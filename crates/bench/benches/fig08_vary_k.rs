@@ -1,0 +1,37 @@
+//! Figure 8: OnlineAll vs Forward vs LocalSearch-P, γ=10, varying k.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::{forward, online_all, progressive};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let gamma = 10;
+    let mut group = c.benchmark_group("fig08");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    for name in ["email", "wiki"] {
+        let g = dataset(name, Scale::Small);
+        for k in [10usize, 100] {
+            // OnlineAll only on the small mail graph (paper: omitted where
+            // infeasible)
+            if name == "email" {
+                group.bench_function(format!("online_all/{name}/k{k}"), |b| {
+                    b.iter(|| online_all::top_k(g, gamma, k))
+                });
+            }
+            group.bench_function(format!("forward/{name}/k{k}"), |b| {
+                b.iter(|| forward::top_k(g, gamma, k))
+            });
+            group.bench_function(format!("local_search_p/{name}/k{k}"), |b| {
+                b.iter(|| progressive::ProgressiveSearch::new(g, gamma).take(k).count())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 9: Forward vs LocalSearch-P, k=10, varying γ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::{forward, progressive};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let k = 10;
+    let mut group = c.benchmark_group("fig09");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    for name in ["wiki", "livejournal"] {
+        let g = dataset(name, Scale::Small);
+        for gamma in [5u32, 10, 20] {
+            group.bench_function(format!("forward/{name}/g{gamma}"), |b| {
+                b.iter(|| forward::top_k(g, gamma, k))
+            });
+            group.bench_function(format!("local_search_p/{name}/g{gamma}"), |b| {
+                b.iter(|| progressive::ProgressiveSearch::new(g, gamma).take(k).count())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 11: the quadratic Backward baseline vs LocalSearch-P.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::{backward, progressive};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    for name in ["arabic", "uk"] {
+        let g = dataset(name, Scale::Small);
+        for k in [10usize, 100] {
+            group.bench_function(format!("backward/{name}/k{k}"), |b| {
+                b.iter(|| backward::top_k(g, 10, k))
+            });
+            group.bench_function(format!("local_search_p/{name}/k{k}"), |b| {
+                b.iter(|| progressive::ProgressiveSearch::new(g, 10).take(k).count())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

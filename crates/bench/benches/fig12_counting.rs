@@ -1,0 +1,36 @@
+//! Figure 12: LocalSearch-OA (counting via OnlineAll) vs LocalSearch with
+//! CountIC — the value of counting without enumerating.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::local_search::{CountStrategy, LocalSearch, LocalSearchOptions};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    for name in ["wiki", "livejournal"] {
+        let g = dataset(name, Scale::Small);
+        for k in [10usize, 100] {
+            group.bench_function(format!("local_search_oa/{name}/k{k}"), |b| {
+                b.iter(|| {
+                    LocalSearch::with_options(LocalSearchOptions {
+                        counting: CountStrategy::OnlineAll,
+                        ..Default::default()
+                    })
+                    .run(g, 10, k)
+                })
+            });
+            group.bench_function(format!("local_search/{name}/k{k}"), |b| {
+                b.iter(|| LocalSearch::new().run(g, 10, k))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

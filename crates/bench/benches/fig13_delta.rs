@@ -1,0 +1,24 @@
+//! Figure 13: sensitivity to the exponential growth ratio δ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::progressive::ProgressiveSearch;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    let g = dataset("livejournal", Scale::Small);
+    for delta in [1.5f64, 2.0, 4.0, 16.0, 128.0] {
+        group.bench_function(format!("local_search_p/delta{delta}"), |b| {
+            b.iter(|| ProgressiveSearch::with_delta(g, 10, delta).take(10).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 14: latency to the first reported community — progressive vs
+//! batch (the batch algorithm reports only at the end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::{local_search, progressive::ProgressiveSearch};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    let g = dataset("arabic", Scale::Small);
+    let k = 128;
+    group.bench_function("progressive_first_community", |b| {
+        b.iter(|| ProgressiveSearch::new(g, 10).next())
+    });
+    group.bench_function("batch_all_128", |b| {
+        b.iter(|| local_search::top_k(g, 10, k))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

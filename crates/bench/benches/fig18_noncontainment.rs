@@ -1,0 +1,29 @@
+//! Figure 18: non-containment queries — global Forward-style vs local.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::noncontainment;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    for name in ["arabic", "uk"] {
+        let g = dataset(name, Scale::Small);
+        for k in [10usize, 100] {
+            group.bench_function(format!("forward_nc/{name}/k{k}"), |b| {
+                b.iter(|| noncontainment::forward_top_k(g, 10, k))
+            });
+            group.bench_function(format!("local_nc/{name}/k{k}"), |b| {
+                b.iter(|| noncontainment::local_top_k(g, 10, k))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

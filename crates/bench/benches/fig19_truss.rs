@@ -1,0 +1,29 @@
+//! Figure 19: influential γ-truss community search, local vs global.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::truss;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    for name in ["wiki", "livejournal"] {
+        let g = dataset(name, Scale::Small);
+        for k in [10usize, 100] {
+            group.bench_function(format!("global_truss/{name}/k{k}"), |b| {
+                b.iter(|| truss::global_top_k(g, 10, k))
+            });
+            group.bench_function(format!("local_truss/{name}/k{k}"), |b| {
+                b.iter(|| truss::local_top_k(g, 10, k))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

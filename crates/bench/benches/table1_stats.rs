@@ -1,0 +1,23 @@
+//! Table 1: cost of computing the per-graph statistics (n, m, dmax, davg,
+//! γmax) — dominated by the core-decomposition peel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_graph::stats::graph_stats;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_stats");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    for name in ["email", "wiki", "twitter"] {
+        let g = dataset(name, Scale::Small);
+        group.bench_function(name, |b| b.iter(|| graph_stats(g)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

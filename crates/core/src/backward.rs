@@ -1,0 +1,128 @@
+//! The **Backward** baseline (Chen et al., CIKM 2016): local search from
+//! the top of the weight order, recomputing the γ-core of the growing
+//! prefix **from scratch after every inserted vertex**.
+//!
+//! When the newly inserted vertex `u` survives in the γ-core of the
+//! current prefix, the connected component of `u` is exactly `IC(u)` (the
+//! prefix is `G≥ω(u)`, so the component is maximal), i.e. `u` is the next
+//! keynode in decreasing influence order. The per-insertion from-scratch
+//! core computation is what gives Backward its quadratic time complexity
+//! in the size of the accessed subgraph — the deficiency Figures 11(a)–(d)
+//! quantify; we intentionally do not optimize it away.
+
+use crate::community::Community;
+use ic_graph::{Rank, WeightedGraph};
+
+/// Top-k influential γ-communities via Backward (highest influence
+/// first). Communities are discovered one by one in decreasing influence
+/// order, so unlike OnlineAll/Forward this baseline *can* stop early —
+/// but pays a quadratic price per prefix.
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+    assert!(gamma >= 1 && k >= 1);
+    let n = g.n();
+    let mut results: Vec<Community> = Vec::with_capacity(k.min(n));
+    // reusable scratch (sized to full graph once; contents re-filled per t)
+    let mut deg = vec![0u32; n];
+    let mut alive = vec![false; n];
+    let mut queue: Vec<Rank> = Vec::new();
+
+    for t in 1..=n {
+        // from-scratch γ-core of the prefix 0..t — Backward's signature
+        // quadratic step
+        for r in 0..t {
+            deg[r] = g.degree_in_prefix(r as Rank, t);
+            alive[r] = true;
+        }
+        queue.clear();
+        for r in 0..t as Rank {
+            if deg[r as usize] < gamma {
+                queue.push(r);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            for &w in g.neighbors_in_prefix(v, t) {
+                let w = w as usize;
+                if alive[w] {
+                    if deg[w] == gamma {
+                        queue.push(w as Rank);
+                    }
+                    deg[w] -= 1;
+                }
+            }
+            alive[v as usize] = false;
+        }
+
+        // the newly inserted vertex is rank t-1; if it survives, it is the
+        // next keynode and its component is IC(u)
+        let u = (t - 1) as Rank;
+        if alive[t - 1] {
+            let mut members = vec![u];
+            let mut seen = vec![false; t];
+            seen[t - 1] = true;
+            let mut head = 0;
+            while head < members.len() {
+                let v = members[head];
+                head += 1;
+                for &w in g.neighbors_in_prefix(v, t) {
+                    if alive[w as usize] && !seen[w as usize] {
+                        seen[w as usize] = true;
+                        members.push(w);
+                    }
+                }
+            }
+            members.sort_unstable();
+            results.push(Community { keynode: u, influence: g.weight(u), members });
+            if results.len() == k {
+                return results;
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::verify;
+    use ic_graph::paper::{figure1, figure3};
+
+    #[test]
+    fn agrees_with_online_all() {
+        for g in [figure1(), figure3()] {
+            for gamma in 1..=4u32 {
+                for k in [1usize, 2, 5, 50] {
+                    let a = top_k(&g, gamma, k);
+                    let b = crate::online_all::top_k(&g, gamma, k);
+                    assert_eq!(a.len(), b.len(), "gamma={gamma} k={k}");
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.members, y.members, "gamma={gamma} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn communities_verify_and_order_is_decreasing() {
+        let g = figure3();
+        let cs = top_k(&g, 3, 10);
+        assert!(cs.len() >= 4);
+        for c in &cs {
+            assert!(verify::is_influential_community(&g, &c.members, 3));
+        }
+        for w in cs.windows(2) {
+            assert!(w[0].influence > w[1].influence);
+        }
+    }
+
+    #[test]
+    fn early_termination_at_k() {
+        let g = figure3();
+        let one = top_k(&g, 3, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].influence, 18.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Disjoint-set (union-find) structure used by EnumIC (Algorithm 3).
+//!
+//! EnumIC needs a *directed* union: when keynode `u` (processed in
+//! decreasing weight order) absorbs the community of an earlier keynode
+//! `u'`, the representative of the merged set must become `u` — `v2key`
+//! must always resolve to the smallest-weight keynode seen so far whose
+//! community contains the vertex. We therefore expose [`Dsu::link`]
+//! (forced-direction union) alongside path-halving `find`; amortized cost
+//! is effectively constant on the forest shapes EnumIC produces.
+
+/// Growable union-find over `u32` element ids.
+#[derive(Debug, Default, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    pub fn new() -> Self {
+        Dsu { parent: Vec::new() }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Dsu { parent: Vec::with_capacity(n) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds a new singleton set and returns its id.
+    pub fn push(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        id
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Makes `new_root` the representative of the set currently rooted at
+    /// `old_root`. Both must be roots (`find` fixpoints); `new_root` stays
+    /// a root afterwards.
+    pub fn link(&mut self, old_root: u32, new_root: u32) {
+        debug_assert_eq!(self.parent[old_root as usize], old_root, "old_root must be a root");
+        debug_assert_eq!(self.parent[new_root as usize], new_root, "new_root must be a root");
+        self.parent[old_root as usize] = new_root;
+    }
+
+    /// True iff `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Drops all sets.
+    pub fn clear(&mut self) {
+        self.parent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut d = Dsu::new();
+        for i in 0..10 {
+            assert_eq!(d.push(), i);
+        }
+        for i in 0..10 {
+            assert_eq!(d.find(i), i);
+        }
+    }
+
+    #[test]
+    fn link_forces_direction() {
+        let mut d = Dsu::new();
+        let a = d.push();
+        let b = d.push();
+        d.link(a, b); // b becomes the representative
+        assert_eq!(d.find(a), b);
+        assert_eq!(d.find(b), b);
+    }
+
+    #[test]
+    fn chained_links_resolve_to_newest() {
+        // mimics EnumIC: communities absorbed by ever-smaller keynodes
+        let mut d = Dsu::new();
+        let ids: Vec<u32> = (0..100).map(|_| d.push()).collect();
+        for w in ids.windows(2) {
+            let old = d.find(w[0]);
+            d.link(old, w[1]);
+        }
+        for &i in &ids {
+            assert_eq!(d.find(i), 99);
+        }
+    }
+
+    #[test]
+    fn same_reports_connectivity() {
+        let mut d = Dsu::new();
+        let a = d.push();
+        let b = d.push();
+        let c = d.push();
+        assert!(!d.same(a, b));
+        d.link(a, b);
+        assert!(d.same(a, b));
+        assert!(!d.same(a, c));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut d = Dsu::new();
+        d.push();
+        d.push();
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.push(), 0);
+    }
+}

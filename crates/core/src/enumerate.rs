@@ -1,0 +1,253 @@
+//! **EnumIC** (Algorithm 3): building the community forest from `keys` and
+//! `cvs`, and the shared incremental state used by **EnumIC-P** (§4).
+//!
+//! Keynodes are processed in decreasing weight order. For keynode `u`, all
+//! vertices of its group `gp(u)` are assigned to `u` in `v2key`; then every
+//! neighbor `w` of a group vertex that already carries an assignment
+//! reveals a community `IC(find(w))` nested inside `IC(u)` — it becomes a
+//! child and its union-find root is redirected to `u` (Lemma 3.6). Each
+//! keynode's work is linear in its group's adjacency, so the whole pass is
+//! `O(size(g))`, and the result *links* communities rather than copying
+//! them.
+
+use crate::community::CommunityForest;
+use crate::dsu::Dsu;
+use crate::peel::{PeelGraph, PeelOutput};
+use ic_graph::Rank;
+
+const NONE: u32 = u32::MAX;
+
+/// Incremental EnumIC state. For the one-shot Algorithm 3, construct,
+/// call [`ForestBuilder::add_peel`] once, and take the forest; for
+/// EnumIC-P the same builder persists across rounds — `v2key` and the
+/// union-find are global, exactly as prescribed in §4 ("the disjoint-set
+/// data structure v2key is a global structure shared among different runs
+/// of EnumIC-P").
+#[derive(Debug, Default)]
+pub struct ForestBuilder {
+    /// `v2key`: per-rank forest entry id, lazily grown, NONE = unassigned.
+    v2key: Vec<u32>,
+    /// Union-find over forest entry ids.
+    dsu: Dsu,
+    forest: CommunityForest,
+    /// Scratch children buffer.
+    child_buf: Vec<u32>,
+}
+
+impl ForestBuilder {
+    pub fn new() -> Self {
+        ForestBuilder {
+            v2key: Vec::new(),
+            dsu: Dsu::new(),
+            forest: CommunityForest::new(),
+            child_buf: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.v2key.len() < n {
+            self.v2key.resize(n, NONE);
+        }
+    }
+
+    /// Adds one keynode (group must start with the keynode itself) and
+    /// returns its forest entry index. `influence` is the keynode weight;
+    /// `g` supplies adjacency for the child-discovery scan.
+    ///
+    /// Keynodes must be fed in decreasing weight order across the lifetime
+    /// of the builder (within and across rounds) — the order EnumIC and
+    /// EnumIC-P prescribe.
+    pub fn add_keynode(
+        &mut self,
+        g: &impl PeelGraph,
+        keynode: Rank,
+        influence: f64,
+        group: &[Rank],
+    ) -> u32 {
+        debug_assert_eq!(group.first(), Some(&keynode));
+        self.ensure(g.len());
+        let entry = self.dsu.push();
+        debug_assert_eq!(entry as usize, self.forest.len());
+        // Lines 5–8: assign the whole group first so intra-group edges do
+        // not masquerade as child links.
+        for &v in group {
+            debug_assert_eq!(self.v2key[v as usize], NONE, "groups partition vertices");
+            self.v2key[v as usize] = entry;
+        }
+        // Lines 9–13: discover nested communities through neighbors.
+        self.child_buf.clear();
+        for &v in group {
+            for &w in g.neighbors(v) {
+                let assigned = self.v2key[w as usize];
+                if assigned != NONE {
+                    let root = self.dsu.find(assigned);
+                    if root != entry {
+                        self.child_buf.push(root);
+                        self.dsu.link(root, entry);
+                    }
+                }
+            }
+        }
+        let influence_entry =
+            self.forest.push(keynode, influence, group, &self.child_buf);
+        debug_assert_eq!(influence_entry, entry);
+        entry
+    }
+
+    /// Feeds an entire peel output (keynodes in increasing weight order,
+    /// as produced by [`crate::peel::PeelEngine`]), processing only the
+    /// **last `k`** keynodes — Algorithm 3 line 1. Entry indices of the
+    /// added communities are returned in decreasing weight order (top
+    /// first). `weight_of` maps a rank to its influence value.
+    pub fn add_peel(
+        &mut self,
+        g: &impl PeelGraph,
+        peel: &PeelOutput,
+        k: usize,
+        weight_of: impl Fn(Rank) -> f64,
+    ) -> Vec<u32> {
+        let total = peel.count();
+        let take = k.min(total);
+        let mut entries = Vec::with_capacity(take);
+        for i in (total - take..total).rev() {
+            let u = peel.keys[i];
+            let entry = self.add_keynode(g, u, weight_of(u), peel.group(i));
+            entries.push(entry);
+        }
+        entries
+    }
+
+    /// The forest built so far.
+    pub fn forest(&self) -> &CommunityForest {
+        &self.forest
+    }
+
+    /// Consumes the builder, returning the forest.
+    pub fn into_forest(self) -> CommunityForest {
+        self.forest
+    }
+}
+
+/// One-shot EnumIC (Algorithm 3): builds the top-`k` community forest from
+/// a peel of `g`. Entry `0` of the returned forest is the top-1 community.
+pub fn enum_ic(
+    g: &impl PeelGraph,
+    peel: &PeelOutput,
+    k: usize,
+    weight_of: impl Fn(Rank) -> f64,
+) -> CommunityForest {
+    let mut b = ForestBuilder::new();
+    b.add_peel(g, peel, k, weight_of);
+    b.into_forest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::{PeelConfig, PeelEngine, PeelOutput};
+    use ic_graph::paper::figure3;
+    use ic_graph::{Prefix, WeightedGraph};
+
+    fn ids(g: &WeightedGraph, ranks: &[Rank]) -> Vec<u64> {
+        let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn peel_prefix<'g>(g: &'g WeightedGraph, t: usize, gamma: u32) -> (Prefix<'g>, PeelOutput) {
+        let prefix = Prefix::with_len(g, t);
+        let mut engine = PeelEngine::new();
+        let mut out = PeelOutput::default();
+        engine.peel(&prefix, PeelConfig::new(gamma), &mut out);
+        (prefix, out)
+    }
+
+    #[test]
+    fn example_3_3_top4_from_figure6() {
+        // EnumIC on G≥τ2 (13 ranks) reproduces Example 3.3 exactly.
+        let g = figure3();
+        let (prefix, out) = peel_prefix(&g, 13, 3);
+        let forest = enum_ic(&prefix, &out, 4, |r| g.weight(r));
+        assert_eq!(forest.len(), 4);
+        // top-1: IC(v11) = {v11, v20, v3, v12}, influence 18
+        assert_eq!(ids(&g, &forest.members(0)), vec![3, 11, 12, 20]);
+        assert_eq!(forest.influence(0), 18.0);
+        // top-2: IC(v7) = {v7, v16, v6, v1}, influence 14
+        assert_eq!(ids(&g, &forest.members(1)), vec![1, 6, 7, 16]);
+        assert_eq!(forest.influence(1), 14.0);
+        // top-3: IC(v13) = gp(v13) ∪ IC(v11), influence 13
+        assert_eq!(ids(&g, &forest.members(2)), vec![3, 11, 12, 13, 20]);
+        assert_eq!(forest.influence(2), 13.0);
+        // top-4: IC(v5) = gp(v5) ∪ IC(v7), influence 12
+        assert_eq!(ids(&g, &forest.members(3)), vec![1, 5, 6, 7, 16]);
+        assert_eq!(forest.influence(3), 12.0);
+        // the child structure of Example 3.3: Ch(v13) = {v11}, Ch(v5) = {v7}
+        assert_eq!(forest.children(2), &[0]);
+        assert_eq!(forest.children(3), &[1]);
+        assert!(forest.children(0).is_empty());
+        assert!(forest.children(1).is_empty());
+    }
+
+    #[test]
+    fn k_smaller_than_total_only_builds_last_k() {
+        let g = figure3();
+        let (prefix, out) = peel_prefix(&g, 13, 3);
+        let forest = enum_ic(&prefix, &out, 2, |r| g.weight(r));
+        assert_eq!(forest.len(), 2);
+        assert_eq!(ids(&g, &forest.members(0)), vec![3, 11, 12, 20]);
+        assert_eq!(ids(&g, &forest.members(1)), vec![1, 6, 7, 16]);
+    }
+
+    #[test]
+    fn k_larger_than_total_returns_all() {
+        let g = figure3();
+        let (prefix, out) = peel_prefix(&g, 13, 3);
+        let forest = enum_ic(&prefix, &out, 100, |r| g.weight(r));
+        assert_eq!(forest.len(), 4);
+    }
+
+    #[test]
+    fn influences_strictly_decrease_in_forest_order() {
+        let g = figure3();
+        let (prefix, out) = peel_prefix(&g, g.n(), 3);
+        let forest = enum_ic(&prefix, &out, usize::MAX, |r| g.weight(r));
+        for i in 1..forest.len() {
+            assert!(forest.influence(i - 1) > forest.influence(i));
+        }
+    }
+
+    #[test]
+    fn incremental_rounds_match_one_shot() {
+        // EnumIC-P: feeding round 1 (G≥τ1) then round 2's new keynodes
+        // (early-stopped peel of G≥τ2) must produce the same four
+        // communities as one-shot EnumIC on G≥τ2.
+        let g = figure3();
+        let mut engine = PeelEngine::new();
+        let mut builder = ForestBuilder::new();
+
+        // round 1: full peel of G≥τ1 (7 ranks)
+        let p1 = Prefix::with_len(&g, 7);
+        let mut out1 = PeelOutput::default();
+        engine.peel(&p1, PeelConfig::new(3), &mut out1);
+        let e1 = builder.add_peel(&p1, &out1, usize::MAX, |r| g.weight(r));
+        assert_eq!(e1.len(), 1);
+
+        // round 2: early-stopped peel of G≥τ2 (13 ranks), stop_before = 7
+        let p2 = Prefix::with_len(&g, 13);
+        let mut out2 = PeelOutput::default();
+        let cfg = PeelConfig { gamma: 3, stop_before: 7, track_nc: false };
+        engine.peel(&p2, cfg, &mut out2);
+        let e2 = builder.add_peel(&p2, &out2, usize::MAX, |r| g.weight(r));
+        assert_eq!(e2.len(), 3);
+
+        let forest = builder.into_forest();
+        // same totals and memberships as the one-shot run
+        let (p, out) = peel_prefix(&g, 13, 3);
+        let oneshot = enum_ic(&p, &out, usize::MAX, |r| g.weight(r));
+        assert_eq!(forest.len(), oneshot.len());
+        for i in 0..forest.len() {
+            assert_eq!(ids(&g, &forest.members(i)), ids(&g, &oneshot.members(i)));
+            assert_eq!(forest.influence(i), oneshot.influence(i));
+        }
+    }
+}

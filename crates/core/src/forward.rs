@@ -1,0 +1,161 @@
+//! The **Forward** baseline (Chen et al., CIKM 2016): OnlineAll with the
+//! expensive connected-component subroutine executed *only during the last
+//! k iterations*.
+//!
+//! Forward does not know in advance how many communities exist, so it runs
+//! two passes over the **entire graph**: a cheap counting peel to learn
+//! the total number `L` of keynodes, then a second peel in which the
+//! component of the minimum-weight vertex is materialized once the
+//! iteration index reaches `L - k`. Both passes are global — the flat-in-k
+//! runtime of Figures 8–9 comes from the `O(size(G))` passes dominating.
+
+use crate::community::Community;
+use crate::count::count_ic;
+use crate::peel::PeelGraph;
+use ic_graph::{Prefix, Rank, WeightedGraph};
+
+/// Top-k influential γ-communities via Forward (highest influence first).
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+    assert!(k >= 1);
+    let prefix = Prefix::with_len(g, g.n());
+    // pass 1: global counting peel
+    let total = count_ic(&prefix, gamma);
+    if total == 0 {
+        return Vec::new();
+    }
+    let skip = total.saturating_sub(k);
+    // pass 2: global peel, materializing components for iterations ≥ skip
+    let mut out = run_with_components(&prefix, gamma, skip);
+    out.reverse(); // last identified = top-1
+    out.into_iter()
+        .map(|(keynode, members)| Community { keynode, influence: g.weight(keynode), members })
+        .collect()
+}
+
+/// The second pass: peels `g`, returning `(keynode, sorted members)` for
+/// every iteration with index ≥ `skip`, in increasing influence order.
+fn run_with_components(
+    g: &impl PeelGraph,
+    gamma: u32,
+    skip: usize,
+) -> Vec<(Rank, Vec<Rank>)> {
+    let t = g.len();
+    let mut deg = vec![0u32; t];
+    g.fill_degrees(&mut deg);
+    let mut alive = vec![true; t];
+    let mut queue: Vec<Rank> = Vec::new();
+    for r in 0..t as Rank {
+        if deg[r as usize] < gamma {
+            queue.push(r);
+        }
+    }
+    cascade(g, gamma, &mut deg, &mut alive, &mut queue);
+
+    let mut results = Vec::new();
+    let mut stamp = vec![0u32; t];
+    let mut epoch = 0u32;
+    let mut iteration = 0usize;
+    let mut cursor = t;
+    loop {
+        let u = loop {
+            if cursor == 0 {
+                return results;
+            }
+            cursor -= 1;
+            if alive[cursor] {
+                break cursor as Rank;
+            }
+        };
+        if iteration >= skip {
+            // component of u in the current γ-core = IC(u)
+            epoch += 1;
+            let mut comp = vec![u];
+            stamp[u as usize] = epoch;
+            let mut head = 0;
+            while head < comp.len() {
+                let v = comp[head];
+                head += 1;
+                for &w in g.neighbors(v) {
+                    if alive[w as usize] && stamp[w as usize] != epoch {
+                        stamp[w as usize] = epoch;
+                        comp.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            results.push((u, comp));
+        }
+        iteration += 1;
+        queue.clear();
+        queue.push(u);
+        cascade(g, gamma, &mut deg, &mut alive, &mut queue);
+    }
+}
+
+fn cascade(
+    g: &impl PeelGraph,
+    gamma: u32,
+    deg: &mut [u32],
+    alive: &mut [bool],
+    queue: &mut Vec<Rank>,
+) {
+    let mut qi = 0;
+    while qi < queue.len() {
+        let v = queue[qi];
+        qi += 1;
+        for &w in g.neighbors(v) {
+            let w = w as usize;
+            if alive[w] {
+                if deg[w] == gamma {
+                    queue.push(w as Rank);
+                }
+                deg[w] -= 1;
+            }
+        }
+        alive[v as usize] = false;
+    }
+    queue.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::paper::{figure1, figure3};
+
+    fn ids(g: &WeightedGraph, ranks: &[Rank]) -> Vec<u64> {
+        let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn agrees_with_online_all_on_paper_graphs() {
+        for g in [figure1(), figure3()] {
+            for gamma in 1..=4u32 {
+                for k in [1usize, 2, 3, 10] {
+                    let a = top_k(&g, gamma, k);
+                    let b = crate::online_all::top_k(&g, gamma, k);
+                    assert_eq!(a.len(), b.len(), "gamma={gamma} k={k}");
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.keynode, y.keynode);
+                        assert_eq!(x.members, y.members);
+                        assert_eq!(x.influence, y.influence);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_top1() {
+        let g = figure3();
+        let cs = top_k(&g, 3, 1);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(ids(&g, &cs[0].members), vec![3, 11, 12, 20]);
+    }
+
+    #[test]
+    fn empty_when_gamma_too_large() {
+        assert!(top_k(&figure1(), 9, 2).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! **LocalSearch** (Algorithm 1): the paper's instance-optimal top-k
+//! influential community search.
+//!
+//! Starting from the heuristic prefix of `k + γ` highest-weight vertices,
+//! the algorithm counts the communities in the current prefix `G≥τᵢ`
+//! (CountIC) and, while fewer than k exist, grows the prefix so that
+//! `size(G≥τᵢ₊₁) ≥ δ · size(G≥τᵢ)` (exponential growth, δ = 2 by default —
+//! §3.3 shows `2δ²/(δ−1)` is minimized at δ = 2). The final prefix is fed
+//! to EnumIC. Total time is `O(size(G≥τ*))` where `τ*` is the largest
+//! threshold whose prefix holds k communities — within a constant factor
+//! of what *any* correct index-free algorithm must access (Theorem 3.4).
+//!
+//! `LocalSearch-OA` (Eval-III) is this algorithm with the counting
+//! subroutine swapped for OnlineAll's enumeration-based count; construct
+//! it via [`CountStrategy::OnlineAll`].
+
+use crate::community::{Community, CommunityForest};
+use crate::enumerate::enum_ic;
+use crate::online_all::count_via_online_all;
+use crate::peel::{PeelConfig, PeelEngine, PeelOutput};
+use crate::Params;
+use ic_graph::{Prefix, WeightedGraph};
+
+/// How the framework counts communities in a candidate prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountStrategy {
+    /// CountIC (Algorithm 2): linear-time keynode counting. The default.
+    #[default]
+    CountIc,
+    /// OnlineAll's peel with per-iteration component extraction —
+    /// the `LocalSearch-OA` variant of Eval-III, kept for comparison.
+    OnlineAll,
+}
+
+/// Tunable options of the local search framework.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchOptions {
+    /// Exponential growth ratio δ > 1 (Alg. 1 line 4); default 2.
+    pub delta: f64,
+    /// Counting subroutine.
+    pub counting: CountStrategy,
+}
+
+impl Default for LocalSearchOptions {
+    fn default() -> Self {
+        LocalSearchOptions { delta: 2.0, counting: CountStrategy::CountIc }
+    }
+}
+
+/// Diagnostics of one query — used by the instance-optimality tests and
+/// the paper's Figure 13/17-style measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Number of counting rounds executed.
+    pub rounds: usize,
+    /// Vertices in the final (accessed) prefix.
+    pub final_prefix_len: usize,
+    /// `size(G≥τ_h)`: vertices + edges of the final prefix — the accessed
+    /// subgraph size that Lemma 3.8 bounds by `2δ · size(G≥τ*)`.
+    pub final_prefix_size: u64,
+    /// Sum of sizes of all counted prefixes (total counting work).
+    pub total_counted_size: u64,
+}
+
+/// Query result: materialized communities (top first), the compact forest,
+/// and access statistics.
+#[derive(Debug)]
+pub struct SearchResult {
+    pub communities: Vec<Community>,
+    pub forest: CommunityForest,
+    pub stats: SearchStats,
+}
+
+/// Reusable LocalSearch executor; buffers persist across queries.
+#[derive(Debug, Default)]
+pub struct LocalSearch {
+    opts: LocalSearchOptions,
+    engine: PeelEngine,
+    out: PeelOutput,
+}
+
+impl LocalSearch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_options(opts: LocalSearchOptions) -> Self {
+        assert!(opts.delta > 1.0, "growth ratio must exceed 1");
+        LocalSearch { opts, ..Self::default() }
+    }
+
+    /// Runs a top-k query.
+    pub fn run(&mut self, g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+        let params = Params::new(gamma, k);
+        let mut stats = SearchStats::default();
+
+        // line 1: heuristic τ1 — the (k+γ)-th largest weight
+        let mut prefix = Prefix::with_len(g, params.initial_prefix_len(g.n()));
+
+        // lines 3–5: count, and grow geometrically while insufficient
+        loop {
+            stats.rounds += 1;
+            stats.total_counted_size += prefix.size();
+            let count = match self.opts.counting {
+                CountStrategy::CountIc => {
+                    self.engine.peel(&prefix, PeelConfig::new(gamma), &mut self.out)
+                }
+                CountStrategy::OnlineAll => count_via_online_all(&prefix, gamma),
+            };
+            if count >= k || prefix.is_full() {
+                break;
+            }
+            let target = (prefix.size() as f64 * self.opts.delta).ceil() as u64;
+            prefix.extend_to_size(target.max(prefix.size() + 1));
+        }
+        stats.final_prefix_len = prefix.len();
+        stats.final_prefix_size = prefix.size();
+
+        // line 6: EnumIC on the final prefix. When counting used
+        // OnlineAll, the cvs for the final prefix has not been built yet.
+        if self.opts.counting == CountStrategy::OnlineAll {
+            self.engine.peel(&prefix, PeelConfig::new(gamma), &mut self.out);
+        }
+        let forest = enum_ic(&prefix, &self.out, k, |r| g.weight(r));
+        let communities = forest.communities();
+        SearchResult { communities, forest, stats }
+    }
+}
+
+/// One-shot convenience: top-k influential γ-communities via LocalSearch
+/// with default options (δ = 2, CountIC).
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+    LocalSearch::new().run(g, gamma, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::verify;
+    use ic_graph::paper::{figure1, figure2a, figure3};
+    use ic_graph::Rank;
+
+    fn ids(g: &WeightedGraph, ranks: &[Rank]) -> Vec<u64> {
+        let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn figure3_top4_matches_paper() {
+        let g = figure3();
+        let res = top_k(&g, 3, 4);
+        assert_eq!(res.communities.len(), 4);
+        assert_eq!(ids(&g, &res.communities[0].members), vec![3, 11, 12, 20]);
+        assert_eq!(ids(&g, &res.communities[1].members), vec![1, 6, 7, 16]);
+        assert_eq!(ids(&g, &res.communities[2].members), vec![3, 11, 12, 13, 20]);
+        assert_eq!(ids(&g, &res.communities[3].members), vec![1, 5, 6, 7, 16]);
+    }
+
+    #[test]
+    fn example_3_1_round_trace() {
+        // k=4, γ=3 on Figure 3: round 1 counts G≥18 (size 18, 1 community),
+        // round 2 counts G≥12 (size 36, 4 communities) and stops.
+        let g = figure3();
+        let res = top_k(&g, 3, 4);
+        assert_eq!(res.stats.rounds, 2);
+        assert_eq!(res.stats.final_prefix_len, 13);
+        assert_eq!(res.stats.final_prefix_size, 36);
+        assert_eq!(res.stats.total_counted_size, 18 + 36);
+    }
+
+    #[test]
+    fn figure2_example_top2() {
+        // the introduction's example: top-2 on Figure 2(a) are the
+        // subgraphs {v3,v4,v8,v9} and {v0,v1,v5,v6}
+        let g = figure2a();
+        let res = top_k(&g, 3, 2);
+        assert_eq!(res.communities.len(), 2);
+        assert_eq!(ids(&g, &res.communities[0].members), vec![3, 4, 8, 9]);
+        assert_eq!(ids(&g, &res.communities[1].members), vec![0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn agrees_with_global_baselines() {
+        for g in [figure1(), figure2a(), figure3()] {
+            for gamma in 1..=4u32 {
+                for k in [1usize, 2, 3, 7, 100] {
+                    let local = top_k(&g, gamma, k);
+                    let global = crate::online_all::top_k(&g, gamma, k);
+                    assert_eq!(local.communities.len(), global.len());
+                    for (a, b) in local.communities.iter().zip(&global) {
+                        assert_eq!(a.keynode, b.keynode, "gamma={gamma} k={k}");
+                        assert_eq!(a.members, b.members, "gamma={gamma} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_oa_variant_agrees() {
+        let g = figure3();
+        for k in [1usize, 2, 4] {
+            let mut oa = LocalSearch::with_options(LocalSearchOptions {
+                counting: CountStrategy::OnlineAll,
+                ..Default::default()
+            });
+            let a = oa.run(&g, 3, k);
+            let b = top_k(&g, 3, k);
+            assert_eq!(a.communities.len(), b.communities.len());
+            for (x, y) in a.communities.iter().zip(&b.communities) {
+                assert_eq!(x.members, y.members);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_variants_agree_on_results() {
+        let g = figure3();
+        let baseline = top_k(&g, 3, 4);
+        for delta in [1.5, 3.0, 8.0, 128.0] {
+            let mut ls = LocalSearch::with_options(LocalSearchOptions {
+                delta,
+                ..Default::default()
+            });
+            let res = ls.run(&g, 3, 4);
+            assert_eq!(res.communities.len(), baseline.communities.len(), "delta={delta}");
+            for (a, b) in res.communities.iter().zip(&baseline.communities) {
+                assert_eq!(a.members, b.members, "delta={delta}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn delta_must_exceed_one() {
+        LocalSearch::with_options(LocalSearchOptions { delta: 1.0, ..Default::default() });
+    }
+
+    #[test]
+    fn all_outputs_satisfy_definition() {
+        let g = figure3();
+        let res = top_k(&g, 3, 10);
+        for c in &res.communities {
+            assert!(verify::is_influential_community(&g, &c.members, 3));
+        }
+    }
+
+    #[test]
+    fn accessed_prefix_is_local_when_k_small() {
+        // locality: for k=1 on Figure 3 the final prefix must be well under
+        // the full graph
+        let g = figure3();
+        let res = top_k(&g, 3, 1);
+        assert!(res.stats.final_prefix_size < g.size());
+        assert_eq!(ids(&g, &res.communities[0].members), vec![3, 11, 12, 20]);
+    }
+
+    #[test]
+    fn reusable_executor_across_queries() {
+        let g = figure3();
+        let mut ls = LocalSearch::new();
+        let a = ls.run(&g, 3, 1);
+        let b = ls.run(&g, 3, 4);
+        let c = ls.run(&g, 3, 1);
+        assert_eq!(a.communities.len(), 1);
+        assert_eq!(b.communities.len(), 4);
+        assert_eq!(a.communities[0].members, c.communities[0].members);
+    }
+
+    #[test]
+    fn fewer_than_k_communities_returns_all() {
+        let g = figure1();
+        let res = top_k(&g, 3, 10);
+        assert_eq!(res.communities.len(), 2);
+        assert!(res.stats.final_prefix_len == g.n());
+    }
+}

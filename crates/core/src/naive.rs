@@ -1,0 +1,285 @@
+//! Definition-level reference implementations, deliberately written in a
+//! completely different style from the optimized algorithms (explicit
+//! hash-set subgraphs, fixpoint loops, no shared code) so the test suite
+//! can cross-validate every production path against Definitions 2.2, 5.1,
+//! and 5.2 directly. Complexity is polynomial-but-awful; use only on small
+//! graphs.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::community::Community;
+use ic_graph::{Rank, WeightedGraph};
+
+/// All influential γ-communities of `g`, highest influence first.
+///
+/// For each vertex `u`, builds `G≥ω(u)` explicitly, strips vertices of
+/// degree < γ to a fixpoint, and — if `u` survives — takes `u`'s connected
+/// component as the (unique, Lemma 3.3) community with influence `ω(u)`.
+pub fn all_communities(g: &WeightedGraph, gamma: u32) -> Vec<Community> {
+    let mut out = Vec::new();
+    for u in 0..g.n() as Rank {
+        if let Some(members) = community_of_candidate(g, u, gamma) {
+            out.push(Community { keynode: u, influence: g.weight(u), members });
+        }
+    }
+    // keynode ranks ascend = influence descends, which is already the
+    // iteration order; make the contract explicit anyway
+    out.sort_by_key(|a| a.keynode);
+    out
+}
+
+/// Top-k influential γ-communities, highest influence first.
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+    let mut all = all_communities(g, gamma);
+    all.truncate(k);
+    all
+}
+
+fn community_of_candidate(g: &WeightedGraph, u: Rank, gamma: u32) -> Option<Vec<Rank>> {
+    // the candidate subgraph: every vertex at least as heavy as u
+    let mut adj: HashMap<Rank, HashSet<Rank>> = HashMap::new();
+    for v in 0..=u {
+        adj.insert(v, HashSet::new());
+    }
+    for v in 0..=u {
+        for &w in g.neighbors(v) {
+            if w <= u {
+                adj.get_mut(&v).expect("inserted").insert(w);
+            }
+        }
+    }
+    // strip low-degree vertices to a fixpoint
+    loop {
+        let doomed: Vec<Rank> = adj
+            .iter()
+            .filter(|(_, nbrs)| (nbrs.len() as u32) < gamma)
+            .map(|(&v, _)| v)
+            .collect();
+        if doomed.is_empty() {
+            break;
+        }
+        for v in doomed {
+            adj.remove(&v);
+            for nbrs in adj.values_mut() {
+                nbrs.remove(&v);
+            }
+        }
+    }
+    if !adj.contains_key(&u) {
+        return None;
+    }
+    // connected component of u
+    let mut comp = HashSet::from([u]);
+    let mut stack = vec![u];
+    while let Some(v) = stack.pop() {
+        for &w in &adj[&v] {
+            if comp.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    let mut members: Vec<Rank> = comp.into_iter().collect();
+    members.sort_unstable();
+    Some(members)
+}
+
+/// All *non-containment* influential γ-communities (Definition 5.1):
+/// communities none of whose proper subgraphs is itself an influential
+/// γ-community. Computed by literal pairwise subset checks.
+pub fn all_noncontainment(g: &WeightedGraph, gamma: u32) -> Vec<Community> {
+    let all = all_communities(g, gamma);
+    let sets: Vec<HashSet<Rank>> =
+        all.iter().map(|c| c.members.iter().copied().collect()).collect();
+    all.iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            !sets.iter().enumerate().any(|(j, other)| {
+                j != *i && other.len() < sets[*i].len() && other.is_subset(&sets[*i])
+            })
+        })
+        .map(|(_, c)| c.clone())
+        .collect()
+}
+
+/// All influential γ-truss communities (§5.2): for each candidate keynode,
+/// builds `G≥ω(u)`, repeatedly deletes edges in fewer than γ−2 triangles
+/// (recomputing supports from scratch each pass), and takes `u`'s
+/// component. Returns `(community, edge count)` pairs, highest influence
+/// first.
+pub fn all_truss_communities(g: &WeightedGraph, gamma: u32) -> Vec<Community> {
+    assert!(gamma >= 2, "γ-truss needs γ ≥ 2");
+    let mut out = Vec::new();
+    for u in 0..g.n() as Rank {
+        if let Some(members) = truss_community_of_candidate(g, u, gamma) {
+            out.push(Community { keynode: u, influence: g.weight(u), members });
+        }
+    }
+    out
+}
+
+fn truss_community_of_candidate(g: &WeightedGraph, u: Rank, gamma: u32) -> Option<Vec<Rank>> {
+    let mut edges: HashSet<(Rank, Rank)> = HashSet::new();
+    for v in 0..=u {
+        for &w in g.neighbors(v) {
+            if w <= u {
+                edges.insert((v.min(w), v.max(w)));
+            }
+        }
+    }
+    let threshold = gamma - 2;
+    loop {
+        let adj = edge_adjacency(&edges);
+        let doomed: Vec<(Rank, Rank)> = edges
+            .iter()
+            .filter(|&&(a, b)| {
+                let common = adj
+                    .get(&a)
+                    .map(|na| {
+                        adj.get(&b)
+                            .map(|nb| na.intersection(nb).count() as u32)
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or(0);
+                common < threshold
+            })
+            .copied()
+            .collect();
+        if doomed.is_empty() {
+            break;
+        }
+        for e in doomed {
+            edges.remove(&e);
+        }
+    }
+    let adj = edge_adjacency(&edges);
+    if !adj.contains_key(&u) {
+        return None;
+    }
+    let mut comp = HashSet::from([u]);
+    let mut stack = vec![u];
+    while let Some(v) = stack.pop() {
+        for &w in &adj[&v] {
+            if comp.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    let mut members: Vec<Rank> = comp.into_iter().collect();
+    members.sort_unstable();
+    Some(members)
+}
+
+fn edge_adjacency(edges: &HashSet<(Rank, Rank)>) -> HashMap<Rank, HashSet<Rank>> {
+    let mut adj: HashMap<Rank, HashSet<Rank>> = HashMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().insert(b);
+        adj.entry(b).or_default().insert(a);
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::verify;
+    use ic_graph::paper::{figure1, figure3};
+
+    fn ids(g: &WeightedGraph, ranks: &[Rank]) -> Vec<u64> {
+        let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn figure1_reference_communities() {
+        let g = figure1();
+        let all = all_communities(&g, 3);
+        assert_eq!(all.len(), 2);
+        assert_eq!(ids(&g, &all[0].members), vec![3, 4, 7, 8, 9]);
+        assert_eq!(ids(&g, &all[1].members), vec![0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn figure3_reference_matches_examples() {
+        let g = figure3();
+        let all = all_communities(&g, 3);
+        assert!(all.len() >= 4);
+        assert_eq!(ids(&g, &all[0].members), vec![3, 11, 12, 20]);
+        assert_eq!(ids(&g, &all[1].members), vec![1, 6, 7, 16]);
+        // Example 2.1: the influence-9 community is
+        // {v3, v9, v10, v11, v12, v13, v20}
+        let nine = all.iter().find(|c| c.influence == 9.0).expect("exists");
+        assert_eq!(ids(&g, &nine.members), vec![3, 9, 10, 11, 12, 13, 20]);
+        // every output passes the definition checker
+        for c in &all {
+            assert!(verify::is_influential_community(&g, &c.members, 3));
+        }
+    }
+
+    #[test]
+    fn noncontainment_on_figure3() {
+        let g = figure3();
+        let nc = all_noncontainment(&g, 3);
+        // the two cliques are the only influence-maximal leaves among the
+        // top communities; lower-influence leaves may exist in the tail,
+        // but every NC community must contain no other community
+        let all = all_communities(&g, 3);
+        for c in &nc {
+            let cset: std::collections::HashSet<Rank> =
+                c.members.iter().copied().collect();
+            for other in &all {
+                if other.keynode != c.keynode {
+                    let oset: std::collections::HashSet<Rank> =
+                        other.members.iter().copied().collect();
+                    assert!(
+                        !oset.is_subset(&cset) || oset.len() >= cset.len(),
+                        "NC community contains another community"
+                    );
+                }
+            }
+        }
+        let nc_ids: Vec<Vec<u64>> = nc.iter().map(|c| ids(&g, &c.members)).collect();
+        assert!(nc_ids.contains(&vec![3, 11, 12, 20]));
+        assert!(nc_ids.contains(&vec![1, 6, 7, 16]));
+    }
+
+    #[test]
+    fn truss_reference_on_figure3() {
+        let g = figure3();
+        // γ=4 truss: every edge in ≥ 2 triangles — the two 4-cliques
+        // qualify (each edge is in exactly 2 triangles inside a 4-clique)
+        let trusses = all_truss_communities(&g, 4);
+        let sets: Vec<Vec<u64>> = trusses.iter().map(|c| ids(&g, &c.members)).collect();
+        assert!(sets.contains(&vec![3, 11, 12, 20]), "sets: {sets:?}");
+        assert!(sets.contains(&vec![1, 6, 7, 16]));
+    }
+
+    #[test]
+    fn truss_is_stricter_than_core() {
+        let g = figure3();
+        for gamma in 2..=4u32 {
+            let cores = all_communities(&g, gamma);
+            let trusses = all_truss_communities(&g, gamma);
+            // paper (Eval-IX): for any influential γ-truss community with
+            // influence τ there is a (γ−1)-community with influence τ
+            // containing it; in particular there are at most as many truss
+            // communities at equal-or-lower counts per threshold
+            assert!(trusses.len() <= cores.len() + g.n(), "sanity");
+            for t in &trusses {
+                if gamma >= 2 {
+                    let parent = all_communities(&g, gamma - 1)
+                        .into_iter()
+                        .find(|c| c.influence == t.influence);
+                    if let Some(p) = parent {
+                        let pset: std::collections::HashSet<Rank> =
+                            p.members.iter().copied().collect();
+                        assert!(
+                            t.members.iter().all(|m| pset.contains(m)),
+                            "gamma={gamma}: truss community not inside (γ-1)-community"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

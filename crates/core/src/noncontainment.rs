@@ -1,0 +1,164 @@
+//! Top-k **non-containment** influential community search (§5.1).
+//!
+//! A non-containment (NC) influential γ-community contains no other
+//! influential γ-community (Definition 5.1); the set of NC communities is
+//! disjoint. A keynode `u` is an NC keynode exactly when no vertex removed
+//! by `Remove(u)` still touches an alive vertex afterwards — in that case
+//! `IC(u)` is precisely `gp(u)` (no child links), so enumeration is free.
+//! The peel engine computes the flag when asked
+//! ([`crate::peel::PeelConfig::track_nc`]); this module wires it into the
+//! local search framework and a Forward-style global baseline (the
+//! comparison of Eval-VII / Figure 18).
+
+use crate::community::Community;
+use crate::peel::{PeelConfig, PeelEngine, PeelOutput};
+use crate::Params;
+use ic_graph::{Prefix, Rank, WeightedGraph};
+
+/// Result of an NC query.
+#[derive(Debug)]
+pub struct NcResult {
+    /// NC communities, highest influence first. Disjoint by definition.
+    pub communities: Vec<Community>,
+    /// `size(G≥τ)` of the final accessed prefix (full graph size for the
+    /// global baseline).
+    pub accessed_size: u64,
+}
+
+fn collect_last_k_nc(
+    g: &WeightedGraph,
+    out: &PeelOutput,
+    k: usize,
+) -> Vec<Community> {
+    let mut communities = Vec::with_capacity(k.min(out.count()));
+    // keys are in increasing weight order; walk backwards for top-first
+    for i in (0..out.count()).rev() {
+        if !out.nc[i] {
+            continue;
+        }
+        let u = out.keys[i];
+        let mut members: Vec<Rank> = out.group(i).to_vec();
+        members.sort_unstable();
+        communities.push(Community { keynode: u, influence: g.weight(u), members });
+        if communities.len() == k {
+            break;
+        }
+    }
+    communities
+}
+
+/// Top-k NC communities via the LocalSearch framework: grow the prefix
+/// geometrically until it contains at least k NC keynodes (the NC count is
+/// monotone in the prefix for the same reason Lemma 3.1 holds — nested
+/// sub-communities of a community never change as the graph grows).
+pub fn local_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> NcResult {
+    let params = Params::new(gamma, k);
+    let mut engine = PeelEngine::new();
+    let mut out = PeelOutput::default();
+    let mut prefix = Prefix::with_len(g, params.initial_prefix_len(g.n()));
+    let cfg = PeelConfig { gamma, stop_before: 0, track_nc: true };
+    loop {
+        engine.peel(&prefix, cfg, &mut out);
+        let nc_count = out.nc.iter().filter(|&&b| b).count();
+        if nc_count >= k || prefix.is_full() {
+            break;
+        }
+        let target = prefix.size().saturating_mul(2).max(prefix.size() + 1);
+        prefix.extend_to_size(target);
+    }
+    NcResult {
+        communities: collect_last_k_nc(g, &out, k),
+        accessed_size: prefix.size(),
+    }
+}
+
+/// Forward-style global baseline for NC queries: a single peel of the
+/// **entire graph** with NC tracking, keeping the top-k NC groups.
+pub fn forward_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> NcResult {
+    Params::new(gamma, k);
+    let mut engine = PeelEngine::new();
+    let mut out = PeelOutput::default();
+    let prefix = Prefix::with_len(g, g.n());
+    engine.peel(&prefix, PeelConfig { gamma, stop_before: 0, track_nc: true }, &mut out);
+    NcResult {
+        communities: collect_last_k_nc(g, &out, k),
+        accessed_size: prefix.size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::paper::{figure1, figure3};
+
+    fn ids(g: &WeightedGraph, ranks: &[Rank]) -> Vec<u64> {
+        let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn figure3_top2_nc_are_the_cliques() {
+        let g = figure3();
+        let res = local_top_k(&g, 3, 2);
+        assert_eq!(res.communities.len(), 2);
+        assert_eq!(ids(&g, &res.communities[0].members), vec![3, 11, 12, 20]);
+        assert_eq!(ids(&g, &res.communities[1].members), vec![1, 6, 7, 16]);
+        assert_eq!(res.communities[0].influence, 18.0);
+        assert_eq!(res.communities[1].influence, 14.0);
+    }
+
+    #[test]
+    fn local_and_forward_agree() {
+        for g in [figure1(), figure3()] {
+            for gamma in 1..=4u32 {
+                for k in [1usize, 2, 5, 100] {
+                    let a = local_top_k(&g, gamma, k);
+                    let b = forward_top_k(&g, gamma, k);
+                    assert_eq!(a.communities.len(), b.communities.len());
+                    for (x, y) in a.communities.iter().zip(&b.communities) {
+                        assert_eq!(x.keynode, y.keynode, "gamma={gamma} k={k}");
+                        assert_eq!(x.members, y.members);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_definition() {
+        for g in [figure1(), figure3()] {
+            for gamma in 2..=4u32 {
+                let reference = crate::naive::all_noncontainment(&g, gamma);
+                let got = forward_top_k(&g, gamma, usize::MAX).communities;
+                assert_eq!(got.len(), reference.len(), "gamma={gamma}");
+                // same sets (reference is influence-descending too after
+                // keynode sort; ours walks keys backwards = descending)
+                for (a, b) in got.iter().zip(reference.iter()) {
+                    assert_eq!(a.keynode, b.keynode, "gamma={gamma}");
+                    assert_eq!(a.members, b.members, "gamma={gamma}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nc_communities_are_disjoint() {
+        let g = figure3();
+        let res = forward_top_k(&g, 3, usize::MAX);
+        let mut seen = std::collections::HashSet::new();
+        for c in &res.communities {
+            for &m in &c.members {
+                assert!(seen.insert(m), "NC communities must be disjoint");
+            }
+        }
+    }
+
+    #[test]
+    fn local_accesses_no_more_than_global() {
+        let g = figure3();
+        let a = local_top_k(&g, 3, 1);
+        let b = forward_top_k(&g, 3, 1);
+        assert!(a.accessed_size <= b.accessed_size);
+    }
+}

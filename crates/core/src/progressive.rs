@@ -1,0 +1,249 @@
+//! **LocalSearch-P** (Algorithm 4): progressive top-k influential
+//! community search.
+//!
+//! Instead of counting first and enumerating at the end, LocalSearch-P
+//! reports communities **as soon as they are determined**, in decreasing
+//! influence value order, so `k` need not be specified — the consumer
+//! simply stops iterating ("the user can terminate the algorithm once
+//! having seen enough results").
+//!
+//! Each round peels the current prefix `G≥τᵢ` with ConstructCVS
+//! (Algorithm 5), stopping as soon as the minimum-weight alive vertex
+//! falls inside the previous prefix: the paper shows the `keys`/`cvs` of
+//! `G≥τᵢ₋₁` form a suffix of those of `G≥τᵢ`, so everything at or above
+//! the previous threshold was already reported. New communities link to
+//! previously reported ones through the shared EnumIC-P state
+//! ([`crate::enumerate::ForestBuilder`]), whose `v2key` union-find is
+//! global across rounds exactly as §4 prescribes.
+
+use std::collections::VecDeque;
+
+use crate::community::{Community, CommunityForest};
+use crate::enumerate::ForestBuilder;
+use crate::peel::{PeelConfig, PeelEngine, PeelOutput};
+use ic_graph::{Prefix, WeightedGraph};
+
+/// A progressive community stream. Implements [`Iterator`]; items arrive
+/// in strictly decreasing influence order.
+#[derive(Debug)]
+pub struct ProgressiveSearch<'g> {
+    g: &'g WeightedGraph,
+    gamma: u32,
+    delta: f64,
+    prefix: Prefix<'g>,
+    /// Length of the previous round's prefix (`stop_before` for
+    /// ConstructCVS); 0 before the first round.
+    prev_len: usize,
+    engine: PeelEngine,
+    out: PeelOutput,
+    builder: ForestBuilder,
+    /// Forest entries built but not yet yielded, front = next.
+    pending: VecDeque<u32>,
+    exhausted: bool,
+}
+
+impl<'g> ProgressiveSearch<'g> {
+    /// Starts a progressive query with the default growth ratio δ = 2
+    /// (Algorithm 4 line 8 hard-codes 2; [`Self::with_delta`] generalizes).
+    pub fn new(g: &'g WeightedGraph, gamma: u32) -> Self {
+        Self::with_delta(g, gamma, 2.0)
+    }
+
+    /// Progressive query with a custom growth ratio δ > 1.
+    pub fn with_delta(g: &'g WeightedGraph, gamma: u32, delta: f64) -> Self {
+        assert!(gamma >= 1, "gamma must be at least 1");
+        assert!(delta > 1.0, "growth ratio must exceed 1");
+        // line 1: the largest τ whose prefix could hold one community —
+        // a γ-community has at least γ+1 vertices
+        let t1 = (gamma as usize + 1).min(g.n());
+        ProgressiveSearch {
+            g,
+            gamma,
+            delta,
+            prefix: Prefix::with_len(g, t1),
+            prev_len: 0,
+            engine: PeelEngine::new(),
+            out: PeelOutput::default(),
+            builder: ForestBuilder::new(),
+            pending: VecDeque::new(),
+            exhausted: false,
+        }
+    }
+
+    /// The forest of all communities reported so far (entry order =
+    /// reporting order).
+    pub fn forest(&self) -> &CommunityForest {
+        self.builder.forest()
+    }
+
+    /// `size(G≥τ)` of the prefix accessed so far — the progressive
+    /// analogue of [`crate::local_search::SearchStats::final_prefix_size`].
+    pub fn accessed_size(&self) -> u64 {
+        self.prefix.size()
+    }
+
+    /// Runs one round of Algorithm 4 (lines 5–9): peel the current prefix
+    /// down to the previous threshold, register new communities, then grow
+    /// the prefix. Returns `false` when the whole graph has been consumed.
+    fn advance_round(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        // line 5: ConstructCVS(G≥τi, γ, τi−1)
+        let cfg = PeelConfig {
+            gamma: self.gamma,
+            stop_before: self.prev_len,
+            track_nc: false,
+        };
+        self.engine.peel(&self.prefix, cfg, &mut self.out);
+        // line 6: EnumIC-P — new keynodes in decreasing weight order
+        let entries =
+            self.builder
+                .add_peel(&self.prefix, &self.out, usize::MAX, |r| self.g.weight(r));
+        self.pending.extend(entries);
+        self.prev_len = self.prefix.len();
+        // line 7: terminate after processing the full graph
+        if self.prefix.is_full() {
+            self.exhausted = true;
+        } else {
+            // line 8: grow to at least δ × current size (τmin fallback is
+            // implicit: extend_to_size caps at the full graph)
+            let target = (self.prefix.size() as f64 * self.delta).ceil() as u64;
+            self.prefix.extend_to_size(target.max(self.prefix.size() + 1));
+        }
+        true
+    }
+}
+
+impl Iterator for ProgressiveSearch<'_> {
+    type Item = Community;
+
+    fn next(&mut self) -> Option<Community> {
+        while self.pending.is_empty() {
+            if !self.advance_round() {
+                return None;
+            }
+        }
+        let entry = self.pending.pop_front().expect("checked non-empty");
+        Some(self.builder.forest().community(entry as usize))
+    }
+}
+
+/// Convenience: the top-k communities via the progressive algorithm
+/// (consumes the stream up to k items).
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+    assert!(k >= 1);
+    ProgressiveSearch::new(g, gamma).take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::verify;
+    use ic_graph::paper::{figure1, figure2a, figure3};
+    use ic_graph::Rank;
+
+    fn ids(g: &WeightedGraph, ranks: &[Rank]) -> Vec<u64> {
+        let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn streams_figure3_in_decreasing_influence_order() {
+        let g = figure3();
+        let all: Vec<Community> = ProgressiveSearch::new(&g, 3).collect();
+        assert!(all.len() >= 4);
+        for w in all.windows(2) {
+            assert!(w[0].influence > w[1].influence);
+        }
+        assert_eq!(ids(&g, &all[0].members), vec![3, 11, 12, 20]);
+        assert_eq!(ids(&g, &all[1].members), vec![1, 6, 7, 16]);
+        assert_eq!(ids(&g, &all[2].members), vec![3, 11, 12, 13, 20]);
+        assert_eq!(ids(&g, &all[3].members), vec![1, 5, 6, 7, 16]);
+    }
+
+    #[test]
+    fn agrees_with_local_search_for_every_k() {
+        for g in [figure1(), figure2a(), figure3()] {
+            for gamma in 1..=4u32 {
+                let reference = crate::local_search::top_k(&g, gamma, 100).communities;
+                let streamed: Vec<Community> =
+                    ProgressiveSearch::new(&g, gamma).collect();
+                assert_eq!(streamed.len(), reference.len(), "gamma={gamma}");
+                for (a, b) in streamed.iter().zip(&reference) {
+                    assert_eq!(a.keynode, b.keynode);
+                    assert_eq!(a.members, b.members);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_accesses_less() {
+        let g = figure3();
+        let mut s = ProgressiveSearch::new(&g, 3);
+        let first = s.next().unwrap();
+        assert_eq!(ids(&g, &first.members), vec![3, 11, 12, 20]);
+        let after_one = s.accessed_size();
+        // draining everything forces the prefix to the full graph
+        let _: Vec<_> = s.by_ref().collect();
+        assert!(after_one <= s.accessed_size());
+        assert_eq!(s.accessed_size(), g.size());
+    }
+
+    #[test]
+    fn take_k_matches_paper_top4() {
+        let g = figure3();
+        let top = top_k(&g, 3, 4);
+        assert_eq!(top.len(), 4);
+        assert_eq!(
+            top.iter().map(|c| c.influence).collect::<Vec<_>>(),
+            vec![18.0, 14.0, 13.0, 12.0]
+        );
+    }
+
+    #[test]
+    fn every_streamed_community_satisfies_definition() {
+        let g = figure3();
+        for gamma in 1..=4u32 {
+            for c in ProgressiveSearch::new(&g, gamma) {
+                assert!(
+                    verify::is_influential_community(&g, &c.members, gamma),
+                    "gamma={gamma} community {:?}",
+                    ids(&g, &c.members)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_across_rounds() {
+        let g = figure3();
+        let all: Vec<Community> = ProgressiveSearch::new(&g, 3).collect();
+        let mut keynodes: Vec<Rank> = all.iter().map(|c| c.keynode).collect();
+        keynodes.sort_unstable();
+        keynodes.dedup();
+        assert_eq!(keynodes.len(), all.len(), "each keynode reported exactly once");
+    }
+
+    #[test]
+    fn sparse_graph_yields_nothing() {
+        let g = figure1();
+        assert_eq!(ProgressiveSearch::new(&g, 9).count(), 0);
+    }
+
+    #[test]
+    fn custom_delta_same_results() {
+        let g = figure3();
+        let base: Vec<Community> = ProgressiveSearch::new(&g, 3).collect();
+        for delta in [1.5, 4.0, 64.0] {
+            let alt: Vec<Community> =
+                ProgressiveSearch::with_delta(&g, 3, delta).collect();
+            assert_eq!(alt.len(), base.len(), "delta={delta}");
+            for (a, b) in alt.iter().zip(&base) {
+                assert_eq!(a.members, b.members, "delta={delta}");
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! **EnumICC**: building influential γ-truss communities from the edge
+//! `cvs` of [`super::peel::count_icc`].
+//!
+//! Communities are assembled exactly as in EnumIC, with edge groups in
+//! place of vertex groups: processing keynodes in decreasing weight order,
+//! the endpoints of group edges either receive a `v2key` assignment or —
+//! if already assigned — reveal a nested community that becomes a child
+//! (union-find keeps transitively-absorbed communities resolving to their
+//! current top). Storage stays linear in the peeled subgraph.
+
+use crate::community::Community;
+use crate::dsu::Dsu;
+use super::peel::TrussPeelOutput;
+use super::subgraph::EdgeSubgraph;
+use ic_graph::Rank;
+
+const NONE: u32 = u32::MAX;
+
+/// Forest of γ-truss communities; entry 0 = highest influence reported.
+#[derive(Debug, Default)]
+pub struct TrussForest {
+    keys: Vec<Rank>,
+    influences: Vec<f64>,
+    /// Flattened per-entry edge groups: `(endpoint a, endpoint b)` pairs.
+    group_edges: Vec<(Rank, Rank)>,
+    group_bounds: Vec<usize>,
+    children: Vec<u32>,
+    child_bounds: Vec<usize>,
+}
+
+impl TrussForest {
+    fn new() -> Self {
+        TrussForest {
+            group_bounds: vec![0],
+            child_bounds: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Keynode of entry `i`.
+    pub fn keynode(&self, i: usize) -> Rank {
+        self.keys[i]
+    }
+
+    /// Influence of entry `i`.
+    pub fn influence(&self, i: usize) -> f64 {
+        self.influences[i]
+    }
+
+    /// Own edge group of entry `i` (excluding children).
+    pub fn group(&self, i: usize) -> &[(Rank, Rank)] {
+        &self.group_edges[self.group_bounds[i]..self.group_bounds[i + 1]]
+    }
+
+    /// Child entries nested inside `i`.
+    pub fn children(&self, i: usize) -> &[u32] {
+        &self.children[self.child_bounds[i]..self.child_bounds[i + 1]]
+    }
+
+    /// All edges of community `i` (group plus children, recursively).
+    pub fn edges(&self, i: usize) -> Vec<(Rank, Rank)> {
+        let mut out = Vec::new();
+        let mut stack = vec![i as u32];
+        while let Some(j) = stack.pop() {
+            out.extend_from_slice(self.group(j as usize));
+            stack.extend_from_slice(self.children(j as usize));
+        }
+        out
+    }
+
+    /// Sorted member vertices of community `i`.
+    pub fn members(&self, i: usize) -> Vec<Rank> {
+        let mut out: Vec<Rank> =
+            self.edges(i).into_iter().flat_map(|(a, b)| [a, b]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Materializes entry `i` as a [`Community`].
+    pub fn community(&self, i: usize) -> Community {
+        Community {
+            keynode: self.keynode(i),
+            influence: self.influence(i),
+            members: self.members(i),
+        }
+    }
+}
+
+/// Builds the top-`k` truss community forest from a peel of `sub`.
+pub fn enum_icc(
+    sub: &EdgeSubgraph,
+    peel: &TrussPeelOutput,
+    k: usize,
+    weight_of: impl Fn(Rank) -> f64,
+) -> TrussForest {
+    let mut forest = TrussForest::new();
+    let mut v2key = vec![NONE; sub.t];
+    let mut dsu = Dsu::new();
+    let mut child_buf: Vec<u32> = Vec::new();
+    let total = peel.count();
+    let take = k.min(total);
+    for i in (total - take..total).rev() {
+        let u = peel.keys[i];
+        let entry = dsu.push();
+        child_buf.clear();
+        for &eid in peel.group(i) {
+            let (a, b) = sub.edges[eid as usize];
+            for x in [a, b] {
+                let assigned = v2key[x as usize];
+                if assigned == NONE {
+                    v2key[x as usize] = entry;
+                } else {
+                    let root = dsu.find(assigned);
+                    if root != entry {
+                        child_buf.push(root);
+                        dsu.link(root, entry);
+                    }
+                }
+            }
+        }
+        forest.keys.push(u);
+        forest.influences.push(weight_of(u));
+        forest
+            .group_edges
+            .extend(peel.group(i).iter().map(|&eid| sub.edges[eid as usize]));
+        forest.group_bounds.push(forest.group_edges.len());
+        forest.children.extend_from_slice(&child_buf);
+        forest.child_bounds.push(forest.children.len());
+    }
+    forest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truss::peel::count_icc;
+    use ic_graph::paper::figure3;
+    use ic_graph::{Prefix, WeightedGraph};
+
+    fn ids(g: &WeightedGraph, ranks: &[Rank]) -> Vec<u64> {
+        let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn enumerate(g: &WeightedGraph, gamma: u32, k: usize) -> (TrussForest, EdgeSubgraph) {
+        let p = Prefix::with_len(g, g.n());
+        let sub = EdgeSubgraph::from_prefix(&p);
+        let mut out = TrussPeelOutput::default();
+        count_icc(&sub, gamma, &mut out);
+        let forest = enum_icc(&sub, &out, k, |r| g.weight(r));
+        (forest, sub)
+    }
+
+    #[test]
+    fn figure3_gamma4_trusses_are_the_cliques() {
+        let g = figure3();
+        let (forest, _) = enumerate(&g, 4, usize::MAX);
+        let sets: Vec<Vec<u64>> =
+            (0..forest.len()).map(|i| ids(&g, &forest.members(i))).collect();
+        assert!(sets.contains(&vec![3, 11, 12, 20]), "{sets:?}");
+        assert!(sets.contains(&vec![1, 6, 7, 16]));
+    }
+
+    #[test]
+    fn matches_naive_membership_for_all_gammas() {
+        let g = figure3();
+        for gamma in 2..=4u32 {
+            let reference = crate::naive::all_truss_communities(&g, gamma);
+            let (forest, _) = enumerate(&g, gamma, usize::MAX);
+            assert_eq!(forest.len(), reference.len(), "gamma={gamma}");
+            for (i, r) in reference.iter().enumerate() {
+                assert_eq!(forest.keynode(i), r.keynode, "gamma={gamma} i={i}");
+                assert_eq!(
+                    forest.members(i),
+                    r.members,
+                    "gamma={gamma} keynode={}",
+                    g.external_id(r.keynode)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn influences_decrease_and_children_precede_parents() {
+        let g = figure3();
+        let (forest, _) = enumerate(&g, 3, usize::MAX);
+        for i in 1..forest.len() {
+            assert!(forest.influence(i - 1) > forest.influence(i));
+        }
+        for i in 0..forest.len() {
+            for &c in forest.children(i) {
+                assert!((c as usize) < i, "children are built before parents");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let g = figure3();
+        let (all, _) = enumerate(&g, 3, usize::MAX);
+        let (top2, _) = enumerate(&g, 3, 2);
+        assert_eq!(top2.len(), 2.min(all.len()));
+        for i in 0..top2.len() {
+            assert_eq!(top2.members(i), all.members(i));
+        }
+    }
+
+    #[test]
+    fn edges_of_community_form_connected_truss() {
+        let g = figure3();
+        let (forest, _) = enumerate(&g, 4, usize::MAX);
+        for i in 0..forest.len() {
+            let members = forest.members(i);
+            assert!(crate::community::verify::is_connected(&g, &members));
+        }
+    }
+}

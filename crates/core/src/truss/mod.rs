@@ -1,0 +1,25 @@
+//! Influential **γ-truss** community search — the case study of the
+//! generalized framework (§5.2).
+//!
+//! A graph has cohesiveness γ under the truss measure when every edge
+//! participates in at least γ−2 triangles. An influential γ-truss
+//! community is then a connected, cohesive, maximal subgraph per
+//! Definition 5.2. The framework instantiation follows the paper:
+//!
+//! * [`subgraph::EdgeSubgraph`] — an edge-indexed view of a rank prefix
+//!   with triangle-support computation;
+//! * [`peel::count_icc`] — **CountICC** (Algorithm 7): truss-maintaining
+//!   peel producing keynodes and an *edge* `cvs`;
+//! * [`enumerate`] — **EnumICC**: the edge-group community forest;
+//! * [`search`] — **LocalSearch-Truss** (Algorithm 6) and the
+//!   **GlobalSearch-Truss** baseline of Eval-VIII.
+
+pub mod enumerate;
+pub mod peel;
+pub mod search;
+pub mod subgraph;
+
+pub use enumerate::TrussForest;
+pub use peel::{count_icc, TrussPeelOutput};
+pub use search::{global_top_k, local_top_k, TrussResult};
+pub use subgraph::EdgeSubgraph;

@@ -1,0 +1,235 @@
+//! **CountICC** (Algorithm 7): counting influential γ-truss communities.
+//!
+//! Mirrors CountIC with edges in place of vertices: reduce to the γ-truss
+//! (every edge in ≥ γ−2 triangles), then repeatedly pick the
+//! minimum-weight vertex that still has an alive edge — a truss keynode —
+//! and remove its incident edges with cascading truss maintenance
+//! (`RemoveEdge`). The `cvs` is a sequence of **edge ids**, grouped per
+//! keynode, from which EnumICC reconstructs communities.
+
+use super::subgraph::EdgeSubgraph;
+use ic_graph::Rank;
+
+/// Peel output: keynodes and the edge-grouped community-aware sequence.
+#[derive(Debug, Default, Clone)]
+pub struct TrussPeelOutput {
+    /// Keynodes in increasing weight order (decreasing rank).
+    pub keys: Vec<Rank>,
+    /// Group start offsets into `cvs_edges`, one per keynode.
+    pub group_start: Vec<u32>,
+    /// Community-aware **edge** sequence.
+    pub cvs_edges: Vec<u32>,
+}
+
+impl TrussPeelOutput {
+    /// Number of keynodes = number of influential γ-truss communities.
+    pub fn count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Edge ids of the `i`-th keynode's group.
+    pub fn group(&self, i: usize) -> &[u32] {
+        let start = self.group_start[i] as usize;
+        let end = self
+            .group_start
+            .get(i + 1)
+            .map_or(self.cvs_edges.len(), |&e| e as usize);
+        &self.cvs_edges[start..end]
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.group_start.clear();
+        self.cvs_edges.clear();
+    }
+}
+
+/// Counts the influential γ-truss communities of `sub` (γ ≥ 2), filling
+/// `out` for subsequent enumeration. Returns the keynode count.
+pub fn count_icc(sub: &EdgeSubgraph, gamma: u32, out: &mut TrussPeelOutput) -> usize {
+    assert!(gamma >= 2, "γ-truss requires γ ≥ 2");
+    out.clear();
+    let threshold = gamma - 2;
+    let m = sub.m();
+    if m == 0 {
+        return 0;
+    }
+    let mut support = sub.supports();
+    let mut edge_alive = vec![true; m];
+    // alive incident edge count per vertex; a vertex leaves the graph when
+    // it reaches zero
+    let mut vdeg = vec![0u32; sub.t];
+    for &(a, b) in &sub.edges {
+        vdeg[a as usize] += 1;
+        vdeg[b as usize] += 1;
+    }
+    let mut queue: Vec<u32> = Vec::new();
+
+    // Phase 1 (Alg. 7 line 1): reduce to the γ-truss; removals discarded.
+    for e in 0..m as u32 {
+        if support[e as usize] < threshold {
+            queue.push(e);
+        }
+    }
+    cascade(sub, threshold, &mut support, &mut edge_alive, &mut vdeg, &mut queue, None);
+
+    // Phase 2 (lines 4–8): keynode peel.
+    let mut cursor = sub.t;
+    loop {
+        let u = loop {
+            if cursor == 0 {
+                return out.keys.len();
+            }
+            cursor -= 1;
+            if vdeg[cursor] > 0 {
+                break cursor as Rank;
+            }
+        };
+        out.keys.push(u);
+        out.group_start.push(out.cvs_edges.len() as u32);
+        // remove every alive edge incident to u, cascading truss
+        // maintenance (lines 7–8)
+        queue.clear();
+        for &(_, eid) in sub.incident(u) {
+            if edge_alive[eid as usize] {
+                queue.push(eid);
+            }
+        }
+        cascade(
+            sub,
+            threshold,
+            &mut support,
+            &mut edge_alive,
+            &mut vdeg,
+            &mut queue,
+            Some(&mut out.cvs_edges),
+        );
+        debug_assert_eq!(vdeg[u as usize], 0);
+    }
+}
+
+/// `RemoveEdge` cascade: drains `queue`, removing edges and decrementing
+/// the supports of the two wing edges of every still-intact triangle;
+/// edges crossing the threshold are enqueued exactly once.
+fn cascade(
+    sub: &EdgeSubgraph,
+    threshold: u32,
+    support: &mut [u32],
+    edge_alive: &mut [bool],
+    vdeg: &mut [u32],
+    queue: &mut Vec<u32>,
+    mut sink: Option<&mut Vec<u32>>,
+) {
+    let mut qi = 0;
+    while qi < queue.len() {
+        let e = queue[qi];
+        qi += 1;
+        if !edge_alive[e as usize] {
+            continue; // an edge can be queued then killed via its keynode
+        }
+        // mark dead first: only still-intact triangles (both wings alive)
+        // lose support, which keeps supports non-negative by construction
+        edge_alive[e as usize] = false;
+        let (a, b) = sub.edges[e as usize];
+        sub.for_common_neighbors(a, b, |_, e_aw, e_bw| {
+            if edge_alive[e_aw as usize] && edge_alive[e_bw as usize] {
+                for wing in [e_aw, e_bw] {
+                    if support[wing as usize] == threshold {
+                        queue.push(wing);
+                    }
+                    support[wing as usize] -= 1;
+                }
+            }
+        });
+        vdeg[a as usize] -= 1;
+        vdeg[b as usize] -= 1;
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.push(e);
+        }
+    }
+    queue.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::paper::figure3;
+    use ic_graph::{Prefix, WeightedGraph};
+
+    fn count(g: &WeightedGraph, t: usize, gamma: u32) -> (usize, TrussPeelOutput) {
+        let p = Prefix::with_len(g, t);
+        let sub = EdgeSubgraph::from_prefix(&p);
+        let mut out = TrussPeelOutput::default();
+        let c = count_icc(&sub, gamma, &mut out);
+        (c, out)
+    }
+
+    #[test]
+    fn matches_naive_on_figure3() {
+        let g = figure3();
+        for gamma in 2..=4u32 {
+            let reference = crate::naive::all_truss_communities(&g, gamma);
+            let (c, out) = count(&g, g.n(), gamma);
+            assert_eq!(c, reference.len(), "gamma={gamma}");
+            // same keynodes, in increasing weight = reverse reference order
+            let mut ref_keys: Vec<Rank> = reference.iter().map(|c| c.keynode).collect();
+            ref_keys.reverse();
+            assert_eq!(out.keys, ref_keys, "gamma={gamma}");
+        }
+    }
+
+    #[test]
+    fn k4_single_community() {
+        let sub = EdgeSubgraph::from_edges(
+            4,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        let mut out = TrussPeelOutput::default();
+        // γ=4: each edge of K4 is in exactly 2 = γ−2 triangles
+        assert_eq!(count_icc(&sub, 4, &mut out), 1);
+        assert_eq!(out.keys, vec![3]); // min-weight vertex = max rank
+        assert_eq!(out.group(0).len(), 6); // the whole clique peels as one group
+        // γ=5 is too strict
+        assert_eq!(count_icc(&sub, 5, &mut out), 0);
+    }
+
+    #[test]
+    fn gamma2_counts_vertices_with_edges_per_threshold() {
+        // γ=2 ⇒ threshold 0: nothing is peeled by cohesiveness; every
+        // vertex with an edge to a higher rank is a keynode
+        let g = figure3();
+        let (c, _) = count(&g, g.n(), 2);
+        let with_higher_edge =
+            (0..g.n() as Rank).filter(|&r| g.higher_degree(r) > 0).count();
+        assert_eq!(c, with_higher_edge);
+    }
+
+    #[test]
+    fn groups_partition_peeled_edges() {
+        let g = figure3();
+        let (_, out) = count(&g, g.n(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for e in &out.cvs_edges {
+            assert!(seen.insert(*e), "edge {e} appears twice in cvs");
+        }
+    }
+
+    #[test]
+    fn count_monotone_in_prefix() {
+        // the truss analogue of Lemma 3.1 (Property I of §5.2)
+        let g = figure3();
+        let mut prev = 0;
+        for t in 0..=g.n() {
+            let (c, _) = count(&g, t, 4);
+            assert!(c >= prev, "truss count dropped at t={t}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn gamma_below_two_rejected() {
+        let sub = EdgeSubgraph::from_edges(2, vec![(0, 1)]);
+        count_icc(&sub, 1, &mut TrussPeelOutput::default());
+    }
+}

@@ -1,0 +1,152 @@
+//! **LocalSearch-Truss** (Algorithm 6) and the **GlobalSearch-Truss**
+//! baseline (Eval-VIII).
+//!
+//! Algorithm 6 is the generalized local search framework: counting and
+//! enumeration are delegated to CountICC/EnumICC, while the prefix-growth
+//! control flow (heuristic start, geometric doubling, Theorem 5.1
+//! stopping rule) is identical to Algorithm 1. GlobalSearch-Truss simply
+//! invokes CountICC on the entire graph and enumerates the last k — the
+//! global comparator of Figure 19.
+
+use super::enumerate::{enum_icc, TrussForest};
+use super::peel::{count_icc, TrussPeelOutput};
+use super::subgraph::EdgeSubgraph;
+use crate::community::Community;
+use crate::Params;
+use ic_graph::{Prefix, WeightedGraph};
+
+/// Result of a truss community query.
+#[derive(Debug)]
+pub struct TrussResult {
+    /// Top-k influential γ-truss communities, highest influence first.
+    pub communities: Vec<Community>,
+    /// The underlying forest (edge groups + nesting).
+    pub forest: TrussForest,
+    /// `size(G≥τ)` of the final accessed prefix.
+    pub accessed_size: u64,
+    /// Number of counting rounds.
+    pub rounds: usize,
+}
+
+/// Top-k influential γ-truss communities via LocalSearch-Truss (γ ≥ 2).
+pub fn local_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> TrussResult {
+    let params = Params::new(gamma, k);
+    assert!(gamma >= 2, "γ-truss requires γ ≥ 2");
+    let mut prefix = Prefix::with_len(g, params.initial_prefix_len(g.n()));
+    let mut out = TrussPeelOutput::default();
+    let mut rounds = 0usize;
+    let sub = loop {
+        rounds += 1;
+        let sub = EdgeSubgraph::from_prefix(&prefix);
+        let count = count_icc(&sub, gamma, &mut out);
+        if count >= k || prefix.is_full() {
+            break sub;
+        }
+        let target = prefix.size().saturating_mul(2).max(prefix.size() + 1);
+        prefix.extend_to_size(target);
+    };
+    let forest = enum_icc(&sub, &out, k, |r| g.weight(r));
+    let communities = (0..forest.len()).map(|i| forest.community(i)).collect();
+    TrussResult { communities, forest, accessed_size: prefix.size(), rounds }
+}
+
+/// Top-k influential γ-truss communities by peeling the **entire graph**.
+pub fn global_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> TrussResult {
+    Params::new(gamma, k);
+    assert!(gamma >= 2, "γ-truss requires γ ≥ 2");
+    let prefix = Prefix::with_len(g, g.n());
+    let sub = EdgeSubgraph::from_prefix(&prefix);
+    let mut out = TrussPeelOutput::default();
+    count_icc(&sub, gamma, &mut out);
+    let forest = enum_icc(&sub, &out, k, |r| g.weight(r));
+    let communities = (0..forest.len()).map(|i| forest.community(i)).collect();
+    TrussResult { communities, forest, accessed_size: prefix.size(), rounds: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::paper::{figure1, figure3};
+    use ic_graph::Rank;
+
+    fn ids(g: &WeightedGraph, ranks: &[Rank]) -> Vec<u64> {
+        let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn local_equals_global_for_all_k() {
+        for g in [figure1(), figure3()] {
+            for gamma in 2..=4u32 {
+                for k in [1usize, 2, 3, 50] {
+                    let a = local_top_k(&g, gamma, k);
+                    let b = global_top_k(&g, gamma, k);
+                    assert_eq!(
+                        a.communities.len(),
+                        b.communities.len(),
+                        "gamma={gamma} k={k}"
+                    );
+                    for (x, y) in a.communities.iter().zip(&b.communities) {
+                        assert_eq!(x.keynode, y.keynode, "gamma={gamma} k={k}");
+                        assert_eq!(x.members, y.members);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_top1_gamma4_is_the_high_clique() {
+        let g = figure3();
+        let res = local_top_k(&g, 4, 1);
+        assert_eq!(res.communities.len(), 1);
+        assert_eq!(ids(&g, &res.communities[0].members), vec![3, 11, 12, 20]);
+        assert_eq!(res.communities[0].influence, 18.0);
+    }
+
+    #[test]
+    fn local_accesses_less_when_k_small() {
+        let g = figure3();
+        let local = local_top_k(&g, 4, 1);
+        let global = global_top_k(&g, 4, 1);
+        assert!(local.accessed_size <= global.accessed_size);
+        assert!(local.accessed_size < g.size());
+    }
+
+    #[test]
+    fn matches_naive_top_k() {
+        let g = figure3();
+        for gamma in 2..=4u32 {
+            let reference = crate::naive::all_truss_communities(&g, gamma);
+            let res = global_top_k(&g, gamma, usize::MAX);
+            assert_eq!(res.communities.len(), reference.len());
+            for (a, b) in res.communities.iter().zip(&reference) {
+                assert_eq!(a.members, b.members, "gamma={gamma}");
+            }
+        }
+    }
+
+    #[test]
+    fn truss_communities_nest_in_core_communities() {
+        // the paper's Eval-IX note: every influential γ-truss community
+        // with influence τ lies inside a (γ−1)-community with influence τ
+        let g = figure3();
+        for gamma in 3..=4u32 {
+            let trusses = global_top_k(&g, gamma, usize::MAX).communities;
+            let cores = crate::local_search::top_k(&g, gamma - 1, usize::MAX).communities;
+            for t in &trusses {
+                let parent = cores
+                    .iter()
+                    .find(|c| c.influence == t.influence)
+                    .unwrap_or_else(|| panic!("no (γ-1)-community at {}", t.influence));
+                let pset: std::collections::HashSet<Rank> =
+                    parent.members.iter().copied().collect();
+                assert!(
+                    t.members.iter().all(|m| pset.contains(m)),
+                    "gamma={gamma}: truss community escapes its core parent"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Edge-indexed prefix subgraph with triangle supports — the substrate
+//! CountICC peels.
+
+use ic_graph::{Prefix, Rank};
+
+/// An explicit edge-indexed copy of a rank-prefix subgraph. Unlike the
+//  vertex peel (which walks CSR slices in place), truss peeling needs
+/// per-edge state (supports, liveness), so the subgraph is materialized
+/// once per round in `O(size)` — the extraction cost Algorithm 6 accounts
+/// for.
+#[derive(Debug, Clone)]
+pub struct EdgeSubgraph {
+    /// Number of vertices (ranks `0..t`).
+    pub t: usize,
+    /// Edge endpoints, `(higher-weight rank, lower-weight rank)`.
+    pub edges: Vec<(Rank, Rank)>,
+    /// CSR offsets per vertex into `adj`.
+    adj_off: Vec<usize>,
+    /// `(neighbor, edge id)` pairs, sorted ascending by neighbor rank.
+    adj: Vec<(Rank, u32)>,
+}
+
+impl EdgeSubgraph {
+    /// Materializes the edge subgraph of a prefix.
+    pub fn from_prefix(prefix: &Prefix<'_>) -> Self {
+        let t = prefix.len();
+        let g = prefix.graph();
+        let mut edges = Vec::new();
+        for r in 0..t as Rank {
+            for &h in g.higher_neighbors(r) {
+                edges.push((h, r));
+            }
+        }
+        Self::from_edges(t, edges)
+    }
+
+    /// Builds from explicit edges over ranks `0..t` (each edge once).
+    pub fn from_edges(t: usize, edges: Vec<(Rank, Rank)>) -> Self {
+        let mut deg = vec![0usize; t];
+        for &(a, b) in &edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut adj_off = Vec::with_capacity(t + 1);
+        let mut acc = 0usize;
+        adj_off.push(0);
+        for &d in &deg {
+            acc += d;
+            adj_off.push(acc);
+        }
+        let mut cursor = adj_off.clone();
+        let mut adj = vec![(0 as Rank, 0u32); 2 * edges.len()];
+        for (eid, &(a, b)) in edges.iter().enumerate() {
+            adj[cursor[a as usize]] = (b, eid as u32);
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize]] = (a, eid as u32);
+            cursor[b as usize] += 1;
+        }
+        for v in 0..t {
+            adj[adj_off[v]..adj_off[v + 1]].sort_unstable();
+        }
+        EdgeSubgraph { t, edges, adj_off, adj }
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `(neighbor, edge id)` list of `v`, sorted by neighbor rank.
+    #[inline]
+    pub fn incident(&self, v: Rank) -> &[(Rank, u32)] {
+        &self.adj[self.adj_off[v as usize]..self.adj_off[v as usize + 1]]
+    }
+
+    /// Triangle support of every edge: `support[e]` = number of triangles
+    /// containing `e`, via sorted-list intersection per edge.
+    pub fn supports(&self) -> Vec<u32> {
+        let mut support = vec![0u32; self.edges.len()];
+        for (eid, &(a, b)) in self.edges.iter().enumerate() {
+            support[eid] = self.count_common(a, b);
+        }
+        support
+    }
+
+    fn count_common(&self, a: Rank, b: Rank) -> u32 {
+        let (la, lb) = (self.incident(a), self.incident(b));
+        let (mut i, mut j, mut c) = (0usize, 0usize, 0u32);
+        while i < la.len() && j < lb.len() {
+            match la[i].0.cmp(&lb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    c += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Calls `f(w, e_aw, e_bw)` for every common neighbor `w` of `a` and
+    /// `b`, passing the ids of both wing edges (two-pointer merge).
+    #[inline]
+    pub fn for_common_neighbors(&self, a: Rank, b: Rank, mut f: impl FnMut(Rank, u32, u32)) {
+        let (la, lb) = (self.incident(a), self.incident(b));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < la.len() && j < lb.len() {
+            match la[i].0.cmp(&lb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(la[i].0, la[i].1, lb[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::paper::figure3;
+    use ic_graph::{GraphBuilder, Prefix};
+
+    fn k4() -> EdgeSubgraph {
+        EdgeSubgraph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn k4_supports_are_two() {
+        let s = k4();
+        assert_eq!(s.m(), 6);
+        assert_eq!(s.supports(), vec![2; 6]);
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        let s = EdgeSubgraph::from_edges(4, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let sup = s.supports();
+        assert_eq!(sup[0], 1); // (0,1) in one triangle
+        assert_eq!(sup[3], 0); // pendant edge (2,3)
+    }
+
+    #[test]
+    fn from_prefix_matches_prefix_edge_count() {
+        let g = figure3();
+        for t in [0usize, 7, 13, 22] {
+            let p = Prefix::with_len(&g, t);
+            let s = EdgeSubgraph::from_prefix(&p);
+            assert_eq!(s.m() as u64, p.edge_count(), "t={t}");
+            assert_eq!(s.t, t);
+        }
+    }
+
+    #[test]
+    fn common_neighbor_enumeration_agrees_with_supports() {
+        let g = figure3();
+        let p = Prefix::with_len(&g, g.n());
+        let s = EdgeSubgraph::from_prefix(&p);
+        let sup = s.supports();
+        for (eid, &(a, b)) in s.edges.iter().enumerate() {
+            let mut n = 0;
+            s.for_common_neighbors(a, b, |_, _, _| n += 1);
+            assert_eq!(n, sup[eid]);
+        }
+    }
+
+    #[test]
+    fn incident_lists_are_sorted_with_correct_ids() {
+        let s = k4();
+        for v in 0..4u32 {
+            let inc = s.incident(v);
+            assert!(inc.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(w, eid) in inc {
+                let (a, b) = s.edges[eid as usize];
+                assert!((a == v && b == w) || (a == w && b == v));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_prefix() {
+        let mut b = GraphBuilder::new();
+        b.set_weight(0, 1.0);
+        b.add_vertex(0);
+        let g = b.build().unwrap();
+        let s = EdgeSubgraph::from_prefix(&Prefix::new(&g));
+        assert_eq!(s.m(), 0);
+        assert_eq!(s.t, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Disk-resident edge storage for the semi-external algorithms (Eval-VI).
+//!
+//! Following the Remark in Section 3.1 (and the semi-external setting of
+//! Li et al., VLDB J. 2017), edges are stored on disk **sorted in
+//! decreasing edge-weight order**, where the weight of an edge is the
+//! minimum weight of its two endpoints. With vertices re-labelled by rank,
+//! this means records are sorted by ascending *lower endpoint rank*: the
+//! record stream is exactly `for r in 0..n { for u in N≥(r) { (r, u) } }`,
+//! so that
+//!
+//! * the `N≥` list of every vertex is stored consecutively, and
+//! * the induced prefix subgraph `G≥τ` is a *prefix of the file* —
+//!   `LocalSearch-SE` reads only as many records as the prefix it grows.
+//!
+//! All reads go through [`EdgeCursor`], which counts bytes and read calls
+//! in [`IoStats`]; Figures 16–17 are reproduced from these counters plus
+//! resident-memory tracking in `ic-core::semi_external`.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::graph::{Rank, WeightedGraph};
+
+/// Bytes per edge record: two little-endian `u32` ranks.
+pub const RECORD_BYTES: usize = 8;
+
+/// Read-side accounting for a disk graph.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Total bytes delivered to the caller.
+    pub bytes_read: u64,
+    /// Number of read operations issued to the underlying file.
+    pub read_ops: u64,
+}
+
+impl IoStats {
+    /// Number of edge records read.
+    pub fn edges_read(&self) -> u64 {
+        self.bytes_read / RECORD_BYTES as u64
+    }
+}
+
+/// A graph whose edges live in a file, plus the in-memory per-vertex
+/// information the semi-external model allows (weights, external ids).
+#[derive(Debug)]
+pub struct DiskGraph {
+    path: PathBuf,
+    /// Vertex weights in rank order (semi-external model: O(n) vertex data
+    /// may be memory resident).
+    weights: Vec<f64>,
+    ext_ids: Vec<u64>,
+    m: usize,
+}
+
+impl DiskGraph {
+    /// Materializes a [`WeightedGraph`] into the on-disk representation at
+    /// `path`.
+    pub fn create(g: &WeightedGraph, path: impl AsRef<Path>) -> io::Result<DiskGraph> {
+        let path = path.as_ref().to_path_buf();
+        let mut w = BufWriter::new(File::create(&path)?);
+        // records sorted by ascending lower-endpoint rank == decreasing
+        // edge weight
+        for r in 0..g.n() as Rank {
+            for &h in g.higher_neighbors(r) {
+                w.write_all(&r.to_le_bytes())?;
+                w.write_all(&h.to_le_bytes())?;
+            }
+        }
+        w.flush()?;
+        Ok(DiskGraph {
+            path,
+            weights: (0..g.n() as Rank).map(|r| g.weight(r)).collect(),
+            ext_ids: (0..g.n() as Rank).map(|r| g.external_id(r)).collect(),
+            m: g.m(),
+        })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges on disk.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Weight of a rank (memory-resident vertex data).
+    pub fn weight(&self, r: Rank) -> f64 {
+        self.weights[r as usize]
+    }
+
+    /// External id of a rank.
+    pub fn external_id(&self, r: Rank) -> u64 {
+        self.ext_ids[r as usize]
+    }
+
+    /// File path of the edge store.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Opens a sequential cursor at the start of the edge file.
+    pub fn cursor(&self) -> io::Result<EdgeCursor> {
+        let f = File::open(&self.path)?;
+        Ok(EdgeCursor {
+            reader: BufReader::with_capacity(1 << 16, f),
+            stats: IoStats::default(),
+            remaining: self.m,
+        })
+    }
+}
+
+/// Sequential reader over the on-disk edge records with I/O accounting.
+#[derive(Debug)]
+pub struct EdgeCursor {
+    reader: BufReader<File>,
+    stats: IoStats,
+    remaining: usize,
+}
+
+impl EdgeCursor {
+    /// Reads the next edge `(lower_rank, higher_rank)`; `None` at EOF.
+    /// The `lower_rank` stream is non-decreasing (file sort order).
+    pub fn next_edge(&mut self) -> io::Result<Option<(Rank, Rank)>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut rec = [0u8; RECORD_BYTES];
+        self.reader.read_exact(&mut rec)?;
+        self.stats.bytes_read += RECORD_BYTES as u64;
+        self.stats.read_ops += 1;
+        self.remaining -= 1;
+        let lo = Rank::from_le_bytes(rec[..4].try_into().unwrap());
+        let hi = Rank::from_le_bytes(rec[4..].try_into().unwrap());
+        Ok(Some((lo, hi)))
+    }
+
+    /// Reads edges while the lower endpoint rank is `< t`, i.e. exactly the
+    /// edges of the prefix subgraph `G≥τ` with `t` vertices, appending them
+    /// to `out`. Stops before the first record outside the prefix (which is
+    /// pushed back, costing no extra I/O beyond one record's peek).
+    pub fn read_prefix_edges(
+        &mut self,
+        t: usize,
+        out: &mut Vec<(Rank, Rank)>,
+    ) -> io::Result<()> {
+        loop {
+            let pos_before = self.reader.stream_position()?;
+            match self.next_edge()? {
+                Some((lo, hi)) if (lo as usize) < t => out.push((lo, hi)),
+                Some(_) => {
+                    // not ours yet: rewind one record and un-count it
+                    self.reader.seek(SeekFrom::Start(pos_before))?;
+                    self.stats.bytes_read -= RECORD_BYTES as u64;
+                    self.stats.read_ops -= 1;
+                    self.remaining += 1;
+                    return Ok(());
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Accumulated I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Number of unread edge records.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{assemble, gnm, WeightKind};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ic_disk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> WeightedGraph {
+        assemble(50, &gnm(50, 120, 23), WeightKind::Uniform(23))
+    }
+
+    #[test]
+    fn create_and_stream_all_edges() {
+        let g = sample();
+        let dg = DiskGraph::create(&g, tmp("all.bin")).unwrap();
+        assert_eq!(dg.n(), g.n());
+        assert_eq!(dg.m(), g.m());
+        let mut cur = dg.cursor().unwrap();
+        let mut count = 0;
+        let mut last_lo = 0;
+        while let Some((lo, hi)) = cur.next_edge().unwrap() {
+            assert!(hi < lo, "record stores (lower-weight, higher-weight) endpoint ranks");
+            assert!(lo >= last_lo, "file sorted by decreasing edge weight");
+            last_lo = lo;
+            assert!(g.has_edge(lo, hi));
+            count += 1;
+        }
+        assert_eq!(count, g.m());
+        assert_eq!(cur.stats().edges_read(), g.m() as u64);
+    }
+
+    #[test]
+    fn prefix_reads_match_prefix_subgraph() {
+        let g = sample();
+        let dg = DiskGraph::create(&g, tmp("prefix.bin")).unwrap();
+        let mut cur = dg.cursor().unwrap();
+        let mut edges = Vec::new();
+        for t in [5usize, 10, 25, 50] {
+            cur.read_prefix_edges(t, &mut edges).unwrap();
+            let expected: usize =
+                (0..t as Rank).map(|r| g.higher_degree(r) as usize).sum();
+            assert_eq!(edges.len(), expected, "t={t}");
+            assert!(edges.iter().all(|&(lo, hi)| (lo as usize) < t && (hi as usize) < t));
+        }
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn io_stats_count_only_consumed_records() {
+        let g = sample();
+        let dg = DiskGraph::create(&g, tmp("stats.bin")).unwrap();
+        let mut cur = dg.cursor().unwrap();
+        let mut edges = Vec::new();
+        cur.read_prefix_edges(10, &mut edges).unwrap();
+        assert_eq!(cur.stats().edges_read() as usize, edges.len());
+        // growing the prefix continues from where we stopped
+        let already = edges.len();
+        cur.read_prefix_edges(20, &mut edges).unwrap();
+        assert!(edges.len() >= already);
+        assert_eq!(cur.stats().edges_read() as usize, edges.len());
+    }
+
+    #[test]
+    fn weights_available_in_memory() {
+        let g = sample();
+        let dg = DiskGraph::create(&g, tmp("weights.bin")).unwrap();
+        for r in 0..g.n() as Rank {
+            assert_eq!(dg.weight(r), g.weight(r));
+            assert_eq!(dg.external_id(r), g.external_id(r));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Graph persistence: a human-readable text format and a compact binary
+//! format.
+//!
+//! Text format (one record per line, `#` comments allowed):
+//!
+//! ```text
+//! v <id> <weight>
+//! e <id> <id>
+//! ```
+//!
+//! Binary format (little endian): magic `ICG1`, `u64 n`, `u64 m`, then `n`
+//! records of `(u64 ext_id, f64 weight)` in rank order, then `m` records of
+//! `(u32 lo_rank, u32 hi_rank)`.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::{GraphBuilder, GraphError};
+use crate::graph::WeightedGraph;
+
+const MAGIC: &[u8; 4] = b"ICG1";
+
+/// Writes the text format.
+pub fn write_text<W: Write>(g: &WeightedGraph, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# influential-communities graph: n={} m={}", g.n(), g.m())?;
+    for r in 0..g.n() as u32 {
+        writeln!(w, "v {} {}", g.external_id(r), g.weight(r))?;
+    }
+    for (a, b) in g.edges() {
+        writeln!(w, "e {} {}", g.external_id(a), g.external_id(b))?;
+    }
+    w.flush()
+}
+
+/// Reads the text format.
+pub fn read_text<R: Read>(input: R) -> Result<WeightedGraph, GraphError> {
+    let reader = BufReader::new(input);
+    let mut b = GraphBuilder::new();
+    // workhorse line buffer (perf-book: avoid per-line allocation)
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().unwrap();
+        let parse_id = |s: Option<&str>| -> Result<u64, GraphError> {
+            s.ok_or_else(|| GraphError::Parse(format!("line {}: missing field", lineno + 1)))?
+                .parse()
+                .map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))
+        };
+        match tag {
+            "v" => {
+                let id = parse_id(parts.next())?;
+                let w: f64 = parts
+                    .next()
+                    .ok_or_else(|| {
+                        GraphError::Parse(format!("line {}: missing weight", lineno + 1))
+                    })?
+                    .parse()
+                    .map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))?;
+                b.set_weight(id, w);
+                b.add_vertex(id);
+            }
+            "e" => {
+                let u = parse_id(parts.next())?;
+                let v = parse_id(parts.next())?;
+                b.add_edge(u, v);
+            }
+            other => {
+                return Err(GraphError::Parse(format!(
+                    "line {}: unknown record tag {other:?}",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    b.build()
+}
+
+/// Writes the binary format.
+pub fn write_binary<W: Write>(g: &WeightedGraph, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.n() as u64).to_le_bytes())?;
+    w.write_all(&(g.m() as u64).to_le_bytes())?;
+    for r in 0..g.n() as u32 {
+        w.write_all(&g.external_id(r).to_le_bytes())?;
+        w.write_all(&g.weight(r).to_le_bytes())?;
+    }
+    for (a, b) in g.edges() {
+        w.write_all(&a.to_le_bytes())?;
+        w.write_all(&b.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the binary format.
+pub fn read_binary<R: Read>(input: R) -> Result<WeightedGraph, GraphError> {
+    let mut r = BufReader::new(input);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(|e| GraphError::Parse(e.to_string()))?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse("bad magic; not an ICG1 file".into()));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<R>| -> Result<u64, GraphError> {
+        r.read_exact(&mut u64buf).map_err(|e| GraphError::Parse(e.to_string()))?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut b = GraphBuilder::with_capacity(m);
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut rec = [0u8; 16];
+        r.read_exact(&mut rec).map_err(|e| GraphError::Parse(e.to_string()))?;
+        let id = u64::from_le_bytes(rec[..8].try_into().unwrap());
+        let w = f64::from_le_bytes(rec[8..].try_into().unwrap());
+        b.set_weight(id, w);
+        b.add_vertex(id);
+        ids.push(id);
+    }
+    for _ in 0..m {
+        let mut rec = [0u8; 8];
+        r.read_exact(&mut rec).map_err(|e| GraphError::Parse(e.to_string()))?;
+        let a = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize;
+        let bb = u32::from_le_bytes(rec[4..].try_into().unwrap()) as usize;
+        if a >= n || bb >= n {
+            return Err(GraphError::Parse("edge endpoint out of range".into()));
+        }
+        b.add_edge(ids[a], ids[bb]);
+    }
+    b.build()
+}
+
+/// Convenience: writes the binary format to a file path.
+pub fn save(g: &WeightedGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: loads the binary format from a file path.
+pub fn load(path: impl AsRef<Path>) -> Result<WeightedGraph, GraphError> {
+    let f = std::fs::File::open(path).map_err(|e| GraphError::Parse(e.to_string()))?;
+    read_binary(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{assemble, gnm, WeightKind};
+
+    fn sample() -> WeightedGraph {
+        assemble(40, &gnm(40, 90, 17), WeightKind::Uniform(17))
+    }
+
+    fn graphs_equal(a: &WeightedGraph, b: &WeightedGraph) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        for r in 0..a.n() as u32 {
+            assert_eq!(a.external_id(r), b.external_id(r));
+            assert_eq!(a.weight(r), b.weight(r));
+            assert_eq!(a.neighbors(r), b.neighbors(r));
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let g2 = read_text(&buf[..]).unwrap();
+        graphs_equal(&g, &g2);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        graphs_equal(&g, &g2);
+    }
+
+    #[test]
+    fn text_tolerates_comments_and_blank_lines() {
+        let input = "# header\n\nv 1 5.0\nv 2 4.0\n# mid comment\ne 1 2\n";
+        let g = read_text(input.as_bytes()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(matches!(read_text("x 1 2\n".as_bytes()), Err(GraphError::Parse(_))));
+        assert!(matches!(read_text("v 1\n".as_bytes()), Err(GraphError::Parse(_))));
+        assert!(matches!(read_text("e 1\n".as_bytes()), Err(GraphError::Parse(_))));
+        assert!(matches!(read_text("v notanum 1.0\n".as_bytes()), Err(GraphError::Parse(_))));
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOPE........".to_vec();
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Parse(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Parse(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("ic_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.icg");
+        save(&g, &path).unwrap();
+        let g2 = load(&path).unwrap();
+        graphs_equal(&g, &g2);
+        std::fs::remove_file(path).ok();
+    }
+}

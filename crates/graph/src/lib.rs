@@ -1,0 +1,42 @@
+//! Graph substrates for top-k influential community search.
+//!
+//! This crate provides everything *below* the community-search algorithms of
+//! [`ic-core`](../ic_core/index.html):
+//!
+//! * [`WeightedGraph`] — an immutable, weight-sorted CSR representation in
+//!   which vertices are identified by their *rank* in decreasing weight
+//!   order and each adjacency list is pre-partitioned into higher-weight
+//!   (`N≥`) and lower-weight (`N<`) neighbors, exactly the organization
+//!   required by Section 3.1 of the paper.
+//! * [`Prefix`] — an incrementally growable view of the induced subgraph
+//!   `G≥τ` (the vertices of the first `t` ranks), the object LocalSearch
+//!   grows geometrically.
+//! * [`generators`] — deterministic synthetic workload generators
+//!   (uniform G(n,m), Barabási–Albert, R-MAT, planted-partition
+//!   collaboration networks) used in place of the paper's SNAP/LAW graphs.
+//! * [`pagerank`] — the vertex-weight rule used throughout the paper's
+//!   evaluation (PageRank with damping 0.85).
+//! * [`io`] — text and binary persistence.
+//! * [`disk`] — a disk-resident edge store sorted by decreasing edge weight
+//!   with byte-level I/O accounting, the substrate for the semi-external
+//!   algorithms (Eval-VI).
+//! * [`stats`] — the statistics of Table 1 (n, m, dmax, davg, γmax).
+
+pub mod builder;
+pub mod disk;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod pagerank;
+pub mod paper;
+pub mod prefix;
+pub mod rng;
+pub mod stats;
+pub mod suite;
+
+pub use builder::{GraphBuilder, GraphError};
+pub use disk::{DiskGraph, EdgeCursor, IoStats};
+pub use graph::{Rank, WeightedGraph};
+pub use prefix::Prefix;
+pub use rng::Pcg32;
+pub use stats::GraphStats;

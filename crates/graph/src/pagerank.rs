@@ -1,0 +1,120 @@
+//! PageRank vertex weighting (the influence measure of the paper's §6:
+//! "weights of vertices are assigned as their PageRank values with the
+//! damping factor being set as 0.85").
+
+/// Options for the power-iteration PageRank computation.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankOptions {
+    /// Damping factor `d`; the paper uses 0.85.
+    pub damping: f64,
+    /// Maximum number of power iterations.
+    pub max_iters: usize,
+    /// L1 convergence tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions { damping: 0.85, max_iters: 100, tolerance: 1e-10 }
+    }
+}
+
+/// PageRank from an explicit undirected edge list over vertices `0..n`.
+///
+/// Treats each undirected edge as two directed edges; isolated vertices
+/// distribute their mass uniformly (the standard dangling-node
+/// correction). Returns one score per vertex; scores sum to 1.
+pub fn pagerank_edges(n: usize, edges: &[(u32, u32)], opts: PageRankOptions) -> Vec<f64> {
+    assert!(n > 0, "pagerank needs at least one vertex");
+    let mut deg = vec![0u32; n];
+    for &(u, v) in edges {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let d = opts.damping;
+    for _ in 0..opts.max_iters {
+        let base = (1.0 - d) / n as f64;
+        // dangling mass: vertices with no edges spread uniformly
+        let dangling: f64 =
+            (0..n).filter(|&v| deg[v] == 0).map(|v| rank[v]).sum::<f64>() * d / n as f64;
+        next.iter_mut().for_each(|x| *x = base + dangling);
+        for &(u, v) in edges {
+            let (u, v) = (u as usize, v as usize);
+            next[v] += d * rank[u] / deg[u] as f64;
+            next[u] += d * rank[v] / deg[v] as f64;
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < opts.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sums_to_one(r: &[f64]) {
+        let s: f64 = r.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "sum {s}");
+    }
+
+    #[test]
+    fn uniform_on_symmetric_graph() {
+        // 4-cycle: perfect symmetry -> equal ranks
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        let r = pagerank_edges(4, &edges, PageRankOptions::default());
+        assert_sums_to_one(&r);
+        for v in 1..4 {
+            assert!((r[v] - r[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaves() {
+        // star: center 0 connected to 1..=4
+        let edges = [(0, 1), (0, 2), (0, 3), (0, 4)];
+        let r = pagerank_edges(5, &edges, PageRankOptions::default());
+        assert_sums_to_one(&r);
+        for v in 1..5 {
+            assert!(r[0] > r[v], "hub must dominate leaf {v}");
+        }
+    }
+
+    #[test]
+    fn dangling_vertices_keep_total_mass() {
+        // vertex 2 is isolated
+        let edges = [(0, 1)];
+        let r = pagerank_edges(3, &edges, PageRankOptions::default());
+        assert_sums_to_one(&r);
+        assert!(r[2] > 0.0);
+    }
+
+    #[test]
+    fn converges_quickly_on_path() {
+        let edges: Vec<(u32, u32)> = (0..99).map(|v| (v, v + 1)).collect();
+        let r = pagerank_edges(100, &edges, PageRankOptions::default());
+        assert_sums_to_one(&r);
+        // interior vertices outrank the two endpoints
+        assert!(r[50] > r[0]);
+        assert!(r[50] > r[99]);
+        // symmetric path -> symmetric scores
+        for v in 0..50 {
+            assert!((r[v] - r[99 - v]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn damping_zero_is_uniform() {
+        let edges = [(0, 1), (0, 2), (0, 3)];
+        let opts = PageRankOptions { damping: 0.0, ..Default::default() };
+        let r = pagerank_edges(4, &edges, opts);
+        for v in 1..4 {
+            assert!((r[v] - r[0]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Faithful reconstructions of the paper's example graphs.
+//!
+//! The paper specifies vertex weights exactly but gives edges only as
+//! drawings; these reconstructions are reverse-engineered so that **every
+//! numeric claim the paper makes about them holds exactly** (community
+//! memberships and influence values of Examples 2.1 and 3.1–3.3, the
+//! prefix sizes `size(G≥18) = 18` and `size(G≥12) = 36` of Example 3.1,
+//! keynode sequences of Figures 6–7, and so on). They are used pervasively
+//! by the test suite and the documentation.
+
+use crate::builder::GraphBuilder;
+use crate::WeightedGraph;
+
+/// The graph of **Figure 1**: vertices `v0..v9` with weights `10..=19`.
+///
+/// For γ = 3 it contains exactly two influential γ-communities:
+/// `{v0, v1, v5, v6}` with influence 10 and `{v3, v4, v7, v8, v9}` with
+/// influence 13 (the subgraph `{v3, v4, v7, v8}` also has influence 13 but
+/// is not maximal).
+pub fn figure1() -> WeightedGraph {
+    let mut b = GraphBuilder::new();
+    for v in 0..10u64 {
+        b.set_weight(v, 10.0 + v as f64);
+    }
+    for &(u, v) in &[
+        // left 4-clique {v0, v1, v5, v6}
+        (0u64, 1u64),
+        (0, 5),
+        (0, 6),
+        (1, 5),
+        (1, 6),
+        (5, 6),
+        // chain through v2 (degree 2: never in a 3-community)
+        (1, 2),
+        (2, 3),
+        // right block: clique {v3, v4, v7, v8} plus v9 attached to
+        // v3, v7, v8 (but not v4, so {v4, v7, v8, v9} is no community)
+        (3, 4),
+        (3, 7),
+        (3, 8),
+        (3, 9),
+        (4, 7),
+        (4, 8),
+        (7, 8),
+        (7, 9),
+        (8, 9),
+    ] {
+        b.add_edge(u, v);
+    }
+    b.build().expect("figure 1 graph is well formed")
+}
+
+/// The graph of **Figure 2(a)**, used to illustrate the local search
+/// framework: a 16-vertex graph in which, for γ = 3,
+///
+/// * the prefix `G≥9` (Figure 2(b)) contains exactly one influential
+///   γ-community, and
+/// * the prefix `G≥5` (Figure 2(c)) contains exactly three: the subgraphs
+///   induced by `{v0, v1, v5, v6}`, `{v3, v4, v8, v9}`, and
+///   `{v3, v4, v8, v9, v10}`.
+pub fn figure2a() -> WeightedGraph {
+    let mut b = GraphBuilder::new();
+    for &(v, w) in &[
+        (0u64, 11.0f64),
+        (1, 8.0),
+        (2, 4.0),
+        (3, 12.0),
+        (4, 14.0),
+        (5, 7.0),
+        (6, 6.0),
+        (7, 3.0),
+        (8, 15.0),
+        (9, 13.0),
+        (10, 5.0),
+        (11, 2.0),
+        (12, 1.0),
+        (13, 10.0),
+        (14, 9.0),
+        (15, 0.5),
+    ] {
+        b.set_weight(v, w);
+    }
+    for &(u, v) in &[
+        // right 4-clique {v3, v4, v8, v9}
+        (3u64, 4u64),
+        (3, 8),
+        (3, 9),
+        (4, 8),
+        (4, 9),
+        (8, 9),
+        // v10 attaches to three of them -> {v3,v4,v8,v9,v10} at influence 5
+        (10, 3),
+        (10, 4),
+        (10, 9),
+        // left 4-clique {v0, v1, v5, v6}
+        (0, 1),
+        (0, 5),
+        (0, 6),
+        (1, 5),
+        (1, 6),
+        (5, 6),
+        // mid-weight fringe v13, v14 (pruned by every γ-core)
+        (13, 8),
+        (13, 14),
+        (13, 0),
+        (14, 9),
+        // low-weight fringe
+        (1, 2),
+        (2, 3),
+        (7, 5),
+        (7, 6),
+        (11, 10),
+        (11, 12),
+        (12, 13),
+        (15, 14),
+    ] {
+        b.add_edge(u, v);
+    }
+    b.build().expect("figure 2(a) graph is well formed")
+}
+
+/// The 22-vertex graph of **Figure 3**, the paper's main running example.
+///
+/// Weights follow the table of Figure 4(a) exactly (v18 24, v17 23, v3 22,
+/// v20 21, v9 20, v12 19, v11 18, v16 17, v1 16, v6 15, v7 14, v13 13,
+/// v5 12, v0 11, v15 10, v10 9, v8 8, v21 7, v19 6, v4 5, v2 4, v14 3).
+///
+/// For γ = 3 the top-4 influential γ-communities are `{v3, v11, v12, v20}`
+/// (influence 18), `{v1, v6, v7, v16}` (14), `{v3, v11, v12, v13, v20}`
+/// (13), and `{v1, v5, v6, v7, v16}` (12), and the prefix sizes of
+/// Example 3.1 hold: `size(G≥18) = 18` (7 vertices, 11 edges) and
+/// `size(G≥12) = 36`.
+pub fn figure3() -> WeightedGraph {
+    let table: [(u64, f64); 22] = [
+        (18, 24.0),
+        (17, 23.0),
+        (3, 22.0),
+        (20, 21.0),
+        (9, 20.0),
+        (12, 19.0),
+        (11, 18.0),
+        (16, 17.0),
+        (1, 16.0),
+        (6, 15.0),
+        (7, 14.0),
+        (13, 13.0),
+        (5, 12.0),
+        (0, 11.0),
+        (15, 10.0),
+        (10, 9.0),
+        (8, 8.0),
+        (21, 7.0),
+        (19, 6.0),
+        (4, 5.0),
+        (2, 4.0),
+        (14, 3.0),
+    ];
+    let mut b = GraphBuilder::new();
+    for &(v, w) in &table {
+        b.set_weight(v, w);
+    }
+    for &(u, v) in &[
+        // the 4-clique {v3, v11, v12, v20}: top-1 community (influence 18)
+        (3u64, 11u64),
+        (3, 12),
+        (3, 20),
+        (11, 12),
+        (11, 20),
+        (12, 20),
+        // v13 attaches to it: {v3, v11, v12, v13, v20} is top-3 (13)
+        (13, 11),
+        (13, 12),
+        (13, 20),
+        // v9 and v10 extend it to the influence-9 community of Example 2.1,
+        // {v3, v9, v10, v11, v12, v13, v20}
+        (9, 3),
+        (9, 12),
+        (10, 9),
+        (10, 11),
+        (10, 12),
+        (10, 20),
+        (10, 13),
+        // the 4-clique {v1, v6, v7, v16}: top-2 (influence 14)
+        (1, 6),
+        (1, 7),
+        (1, 16),
+        (6, 7),
+        (6, 16),
+        (7, 16),
+        // v5 attaches: {v1, v5, v6, v7, v16} is top-4 (influence 12)
+        (5, 1),
+        (5, 6),
+        (5, 7),
+        // v0 and v15 hang off that block with insufficient degree
+        (0, 1),
+        (0, 5),
+        (0, 15),
+        (15, 5),
+        (15, 6),
+        // v17, v18: highest weights but sparse (pruned by every γ-core)
+        (17, 18),
+        (17, 3),
+        (18, 9),
+        // the low-weight tail v2, v4, v8, v14, v19, v21
+        (8, 10),
+        (8, 21),
+        (8, 15),
+        (21, 19),
+        (21, 10),
+        (19, 4),
+        (19, 8),
+        (4, 2),
+        (4, 8),
+        (2, 14),
+        (2, 21),
+        (14, 19),
+        (14, 21),
+    ] {
+        b.add_edge(u, v);
+    }
+    b.build().expect("figure 3 graph is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rank;
+
+    #[test]
+    fn figure1_counts() {
+        let g = figure1();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 17);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn figure2a_counts() {
+        let g = figure2a();
+        assert_eq!(g.n(), 16);
+        g.validate().unwrap();
+        // G≥9 has seven vertices (fig 2(b)): v8,v4,v9,v3,v0,v13,v14
+        assert_eq!(g.prefix_len_for_threshold(9.0), 7);
+        // G≥5 has eleven vertices (fig 2(c))
+        assert_eq!(g.prefix_len_for_threshold(5.0), 11);
+    }
+
+    #[test]
+    fn figure3_example31_sizes() {
+        let g = figure3();
+        assert_eq!(g.n(), 22);
+        g.validate().unwrap();
+        // Example 3.1: G≥τ1 (τ1 = 18) has 7 vertices and 11 edges, size 18
+        let t1 = g.prefix_len_for_threshold(18.0);
+        assert_eq!(t1, 7);
+        let edges1: u32 = (0..t1 as Rank).map(|r| g.higher_degree(r)).sum();
+        assert_eq!(edges1, 11);
+        // Example 3.1: after growing to τ2 = 12 the size is exactly 36
+        let t2 = g.prefix_len_for_threshold(12.0);
+        assert_eq!(t2, 13);
+        let edges2: u32 = (0..t2 as Rank).map(|r| g.higher_degree(r)).sum();
+        assert_eq!(t2 as u32 + edges2, 36);
+    }
+
+    #[test]
+    fn figure4a_rank_order() {
+        let g = figure3();
+        let expected: [u64; 22] = [
+            18, 17, 3, 20, 9, 12, 11, 16, 1, 6, 7, 13, 5, 0, 15, 10, 8, 21, 19, 4, 2, 14,
+        ];
+        for (r, &e) in expected.iter().enumerate() {
+            assert_eq!(g.external_id(r as Rank), e, "rank {r}");
+        }
+    }
+}

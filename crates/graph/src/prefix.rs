@@ -1,0 +1,204 @@
+//! Incrementally growable prefix subgraph `G≥τ` (Algorithm 1, line 4).
+//!
+//! LocalSearch never extracts `G≥τ` by threshold directly; it *grows* the
+//! current prefix vertex-by-vertex (in decreasing weight order) until the
+//! subgraph size reaches a target, paying `O(Δsize)` per extension. This
+//! type encapsulates that bookkeeping: the prefix is fully described by the
+//! number of ranks `t` it contains, and `size = t + |{edges inside}|` is
+//! maintained incrementally using the `N≥` partition (every edge is counted
+//! exactly once, at its lower-weight endpoint).
+
+use crate::graph::{Rank, WeightedGraph};
+
+/// A view of the induced subgraph on ranks `0..t`.
+#[derive(Debug, Clone)]
+pub struct Prefix<'g> {
+    g: &'g WeightedGraph,
+    t: usize,
+    size: u64,
+}
+
+impl<'g> Prefix<'g> {
+    /// The empty prefix.
+    pub fn new(g: &'g WeightedGraph) -> Self {
+        Prefix { g, t: 0, size: 0 }
+    }
+
+    /// A prefix containing the first `t` ranks.
+    pub fn with_len(g: &'g WeightedGraph, t: usize) -> Self {
+        let mut p = Prefix::new(g);
+        p.extend_to_len(t);
+        p
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g WeightedGraph {
+        self.g
+    }
+
+    /// Number of vertices currently in the prefix.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// True iff the prefix contains no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+
+    /// `size(G≥τ) = |V| + |E|` of the current prefix.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of edges inside the prefix.
+    #[inline]
+    pub fn edge_count(&self) -> u64 {
+        self.size - self.t as u64
+    }
+
+    /// True iff the prefix is the whole graph.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.t == self.g.n()
+    }
+
+    /// Weight threshold realized by this prefix: the weight of its last
+    /// vertex (`τ` such that the prefix is `G≥τ`). `None` when empty.
+    pub fn threshold(&self) -> Option<f64> {
+        (self.t > 0).then(|| self.g.weight(self.t as Rank - 1))
+    }
+
+    /// Grows the prefix until it contains `t` vertices (no-op if already
+    /// larger). Cost: `O(Δsize)`.
+    pub fn extend_to_len(&mut self, t: usize) {
+        let t = t.min(self.g.n());
+        while self.t < t {
+            self.size += 1 + self.g.higher_degree(self.t as Rank) as u64;
+            self.t += 1;
+        }
+    }
+
+    /// Grows the prefix until `size ≥ target` or the whole graph is
+    /// included, the exact extension rule of Algorithm 1 line 4 (with the
+    /// `τ_min` fallback). Returns the new size.
+    pub fn extend_to_size(&mut self, target: u64) -> u64 {
+        while self.size < target && self.t < self.g.n() {
+            self.size += 1 + self.g.higher_degree(self.t as Rank) as u64;
+            self.t += 1;
+        }
+        self.size
+    }
+
+    /// Neighbors of `r` inside the prefix (requires `r < len`).
+    #[inline]
+    pub fn neighbors(&self, r: Rank) -> &'g [Rank] {
+        debug_assert!((r as usize) < self.t);
+        self.g.neighbors_in_prefix(r, self.t)
+    }
+
+    /// Degree of `r` inside the prefix.
+    #[inline]
+    pub fn degree(&self, r: Rank) -> u32 {
+        self.g.degree_in_prefix(r, self.t)
+    }
+
+    /// Fills `deg[r]` for all `r < len` with prefix degrees, touching each
+    /// prefix edge twice — the linear-time "retrieve the `N≥` lists" step of
+    /// Section 3.1. `deg` must have length at least `len`.
+    pub fn fill_degrees(&self, deg: &mut [u32]) {
+        for (r, d) in deg.iter_mut().enumerate().take(self.t) {
+            *d = self.g.higher_degree(r as Rank);
+        }
+        for r in 0..self.t {
+            for &h in self.g.higher_neighbors(r as Rank) {
+                deg[h as usize] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path_graph(n: u64) -> WeightedGraph {
+        let mut b = GraphBuilder::new();
+        for v in 0..n {
+            b.set_weight(v, (n - v) as f64); // v0 heaviest -> rank = id
+        }
+        for v in 0..n - 1 {
+            b.add_edge(v, v + 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let g = path_graph(10);
+        let mut p = Prefix::new(&g);
+        assert!(p.is_empty());
+        assert_eq!(p.size(), 0);
+        p.extend_to_len(100); // clamps
+        assert!(p.is_full());
+        assert_eq!(p.size(), g.size());
+        assert_eq!(p.edge_count(), g.m() as u64);
+    }
+
+    #[test]
+    fn incremental_sizes_match_direct_computation() {
+        let g = path_graph(10);
+        for t in 0..=10 {
+            let p = Prefix::with_len(&g, t);
+            let edges: usize = (0..t).map(|r| g.higher_degree(r as Rank) as usize).sum();
+            assert_eq!(p.size(), (t + edges) as u64);
+        }
+    }
+
+    #[test]
+    fn extend_to_size_stops_at_target_or_full() {
+        let g = path_graph(10);
+        let mut p = Prefix::new(&g);
+        let s = p.extend_to_size(7);
+        assert!(s >= 7);
+        // path: each added vertex after the first contributes 2 (itself+edge)
+        assert_eq!(p.len(), 4); // sizes: 1,3,5,7
+        p.extend_to_size(10_000);
+        assert!(p.is_full());
+    }
+
+    #[test]
+    fn threshold_matches_last_vertex() {
+        let g = path_graph(10);
+        assert_eq!(Prefix::new(&g).threshold(), None);
+        let p = Prefix::with_len(&g, 3);
+        assert_eq!(p.threshold(), Some(g.weight(2)));
+    }
+
+    #[test]
+    fn fill_degrees_equals_per_vertex_queries() {
+        let g = path_graph(10);
+        for t in [0, 1, 4, 10] {
+            let p = Prefix::with_len(&g, t);
+            let mut deg = vec![0u32; g.n()];
+            p.fill_degrees(&mut deg);
+            for r in 0..t as Rank {
+                assert_eq!(deg[r as usize], p.degree(r), "t={t} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_prefix_boundary() {
+        let g = path_graph(10);
+        let p = Prefix::with_len(&g, 5);
+        for r in 0..5u32 {
+            assert!(p.neighbors(r).iter().all(|&x| (x as usize) < 5));
+        }
+    }
+}

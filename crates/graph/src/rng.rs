@@ -1,0 +1,193 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The experiment tables in this repository are regenerated from synthetic
+//! graphs; their numbers are only comparable across runs if the generators
+//! are bit-reproducible forever. External RNG crates do not guarantee
+//! stream stability across major versions, so we carry our own PCG32
+//! (O'Neill, "PCG: A Family of Simple Fast Space-Efficient Statistically
+//! Good Algorithms for Random Number Generation") seeded through SplitMix64.
+
+/// Permuted congruential generator (PCG-XSH-RR 64/32).
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// SplitMix64 step, used to derive well-mixed seed material from small
+/// integer seeds (Steele et al., "Fast Splittable Pseudorandom Number
+/// Generators").
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Pcg32 {
+    /// Creates a generator from a single seed. Two different seeds yield
+    /// independent-looking streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let init_state = splitmix64(&mut sm);
+        let init_inc = splitmix64(&mut sm) | 1; // stream selector must be odd
+        let mut rng = Pcg32 { state: 0, inc: init_inc };
+        rng.state = rng.state.wrapping_add(init_state);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method (unbiased).
+    #[inline]
+    pub fn gen_range(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u32();
+            let m = (x as u64) * (bound as u64);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` for usize bounds.
+    #[inline]
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        if bound <= u32::MAX as usize {
+            self.gen_range(bound as u32) as usize
+        } else {
+            // 64-bit variant, rejection against the top multiple of bound.
+            let bound = bound as u64;
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let x = self.next_u64();
+                if x < zone {
+                    return (x % bound) as usize;
+                }
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Pcg32::new(42);
+        let mut b = Pcg32::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_hits_everything() {
+        let mut rng = Pcg32::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Pcg32::new(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_rate() {
+        let mut rng = Pcg32::new(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..=2800).contains(&hits), "hits {hits} not near 2500");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move something");
+    }
+
+    #[test]
+    fn gen_index_large_bound() {
+        let mut rng = Pcg32::new(9);
+        for _ in 0..100 {
+            let v = rng.gen_index(3);
+            assert!(v < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn gen_range_zero_panics() {
+        Pcg32::new(0).gen_range(0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Graph statistics reported in the paper's Table 1: vertex and edge
+//! counts, maximum and average degree, and `γmax` — the largest γ for which
+//! the graph contains a non-empty γ-core (the degeneracy).
+
+use crate::graph::WeightedGraph;
+
+/// The Table 1 statistics row for a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    pub n: usize,
+    pub m: usize,
+    pub d_max: u32,
+    pub d_avg: f64,
+    /// Degeneracy: the maximum `γ` such that a non-empty `γ`-core exists.
+    pub gamma_max: u32,
+}
+
+/// Computes core numbers of every vertex with the linear-time bucket
+/// peeling algorithm (Batagelj–Zaveršnik). Returns `core[r]` per rank.
+pub fn core_numbers(g: &WeightedGraph) -> Vec<u32> {
+    let n = g.n();
+    let mut deg: Vec<u32> = (0..n as u32).map(|r| g.degree(r)).collect();
+    let maxd = deg.iter().copied().max().unwrap_or(0) as usize;
+    // bucket sort vertices by degree
+    let mut bucket_start = vec![0usize; maxd + 2];
+    for &d in &deg {
+        bucket_start[d as usize + 1] += 1;
+    }
+    for i in 1..bucket_start.len() {
+        bucket_start[i] += bucket_start[i - 1];
+    }
+    let mut pos = vec![0usize; n]; // position of vertex in `order`
+    let mut order = vec![0u32; n]; // vertices sorted by current degree
+    {
+        let mut cursor = bucket_start.clone();
+        for v in 0..n {
+            let d = deg[v] as usize;
+            pos[v] = cursor[d];
+            order[cursor[d]] = v as u32;
+            cursor[d] += 1;
+        }
+    }
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i];
+        core[v as usize] = deg[v as usize];
+        for &w in g.neighbors(v) {
+            let (w, dv) = (w as usize, deg[v as usize]);
+            if deg[w] > dv {
+                // swap w to the front of its bucket, then shrink its degree
+                let dw = deg[w] as usize;
+                let front = bucket_start[dw];
+                let u = order[front];
+                if u != w as u32 {
+                    order.swap(front, pos[w]);
+                    pos.swap(u as usize, w);
+                }
+                bucket_start[dw] += 1;
+                deg[w] -= 1;
+            }
+        }
+    }
+    let _ = pos;
+    core
+}
+
+/// Computes the Table 1 statistics of a graph.
+pub fn graph_stats(g: &WeightedGraph) -> GraphStats {
+    let n = g.n();
+    let m = g.m();
+    let d_max = (0..n as u32).map(|r| g.degree(r)).max().unwrap_or(0);
+    let d_avg = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+    let gamma_max = core_numbers(g).into_iter().max().unwrap_or(0);
+    GraphStats { n, m, d_max, d_avg, gamma_max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{assemble, barabasi_albert, gnm, WeightKind};
+    use crate::GraphBuilder;
+
+    fn clique(k: u64) -> WeightedGraph {
+        let mut b = GraphBuilder::new();
+        for v in 0..k {
+            b.set_weight(v, v as f64);
+        }
+        for u in 0..k {
+            for v in u + 1..k {
+                b.add_edge(u, v);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clique_stats() {
+        let g = clique(6);
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.m, 15);
+        assert_eq!(s.d_max, 5);
+        assert_eq!(s.d_avg, 5.0);
+        assert_eq!(s.gamma_max, 5);
+    }
+
+    #[test]
+    fn path_degeneracy_is_one() {
+        let mut b = GraphBuilder::new();
+        for v in 0..10u64 {
+            b.set_weight(v, v as f64);
+        }
+        for v in 0..9u64 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(graph_stats(&g).gamma_max, 1);
+    }
+
+    #[test]
+    fn core_numbers_match_naive_on_random_graphs() {
+        for seed in 0..5 {
+            let g = assemble(60, &gnm(60, 180, seed), WeightKind::Uniform(seed));
+            let fast = core_numbers(&g);
+            let naive = naive_core_numbers(&g);
+            assert_eq!(fast, naive, "seed {seed}");
+        }
+    }
+
+    /// O(n^2) reference: repeatedly strip min-degree vertices.
+    fn naive_core_numbers(g: &WeightedGraph) -> Vec<u32> {
+        let n = g.n();
+        let mut alive = vec![true; n];
+        let mut deg: Vec<i64> = (0..n as u32).map(|r| g.degree(r) as i64).collect();
+        let mut core = vec![0u32; n];
+        let mut k: i64 = 0;
+        for _ in 0..n {
+            let v = (0..n)
+                .filter(|&v| alive[v])
+                .min_by_key(|&v| deg[v])
+                .expect("vertex remains");
+            k = k.max(deg[v]);
+            core[v] = k as u32;
+            alive[v] = false;
+            for &w in g.neighbors(v as u32) {
+                if alive[w as usize] {
+                    deg[w as usize] -= 1;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn ba_graph_degeneracy_equals_attachment_parameter() {
+        // A BA graph built with d edges per new vertex has degeneracy
+        // exactly d (seed clique of d+1 gives d; later vertices add d).
+        let g = assemble(300, &barabasi_albert(300, 4, 2), WeightKind::Degree);
+        assert_eq!(graph_stats(&g).gamma_max, 4);
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let mut b = GraphBuilder::new();
+        b.set_weight(0, 1.0);
+        b.add_vertex(0);
+        b.set_weight(1, 2.0);
+        b.set_weight(2, 3.0);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let cores = core_numbers(&g);
+        let r0 = g.rank_of_external(0).unwrap() as usize;
+        assert_eq!(cores[r0], 0);
+        assert_eq!(graph_stats(&g).gamma_max, 1);
+    }
+}

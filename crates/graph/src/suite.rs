@@ -1,0 +1,158 @@
+//! The synthetic evaluation suite: eight graphs mirroring the *shape* of
+//! the paper's Table 1 (Email … Twitter) at laptop scale.
+//!
+//! The paper's graphs range from 184 K to 1.47 B edges. We reproduce the
+//! suite's qualitative spread — a small mail network, mid-size social
+//! networks, and large skewed web crawls — using seeded generators, scaled
+//! so that the full benchmark harness completes in minutes. Weights are
+//! PageRank values (damping 0.85), as in §6.
+//!
+//! Two sizes are provided: [`bench_suite`] for the `experiments` harness
+//! and [`small_suite`] for criterion micro-benchmarks and CI tests.
+
+use crate::generators::{
+    assemble, barabasi_albert, gnm, overlay_dense_core, rmat, RmatParams, WeightKind,
+};
+use crate::WeightedGraph;
+
+/// A named synthetic dataset standing in for one of the paper's graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Name matching Table 1.
+    pub name: &'static str,
+    /// Which paper graph it substitutes and why it is shaped this way.
+    pub note: &'static str,
+}
+
+/// Specs of the eight Table 1 stand-ins, in the paper's order.
+pub const SUITE: [DatasetSpec; 8] = [
+    DatasetSpec { name: "email", note: "small communication network (G(n,m), mild skew)" },
+    DatasetSpec { name: "youtube", note: "sparse social network (Barabási–Albert)" },
+    DatasetSpec { name: "wiki", note: "denser hyperlink-ish network (R-MAT)" },
+    DatasetSpec { name: "livejournal", note: "social network, higher degeneracy (BA, d=12)" },
+    DatasetSpec { name: "orkut", note: "dense social network (BA, d=24)" },
+    DatasetSpec { name: "arabic", note: "web crawl, heavy skew (R-MAT, ef=24)" },
+    DatasetSpec { name: "uk", note: "web crawl (R-MAT, ef=16)" },
+    DatasetSpec { name: "twitter", note: "largest, very skewed (R-MAT, ef=32)" },
+];
+
+fn build(name: &str, scale_shift: u32) -> WeightedGraph {
+    // `scale_shift` shrinks every dataset by a power of two so the same
+    // shapes serve both criterion (fast) and the full harness.
+    let sh = |v: usize| (v >> scale_shift).max(64);
+    // dense-core sizes shrink with the graphs but keep a floor so that a
+    // γ=10 query is meaningful at every scale (see overlay_dense_core)
+    let core = |v: usize| ((v >> scale_shift).max(48)) as u32;
+    match name {
+        "email" => {
+            let n = sh(8_192);
+            let e = overlay_dense_core(gnm(n, n * 5, 0xE0A1), core(96), 0.6, 0xC0A1);
+            assemble(n, &e, WeightKind::PageRank)
+        }
+        "youtube" => {
+            let n = sh(32_768);
+            let e =
+                overlay_dense_core(barabasi_albert(n, 3, 0xE0A2), core(128), 0.55, 0xC0A2);
+            assemble(n, &e, WeightKind::PageRank)
+        }
+        "wiki" => {
+            let scale = 15u32.saturating_sub(scale_shift);
+            let n = 1usize << scale;
+            assemble(n, &rmat(scale, 14, RmatParams::default(), 0xE0A3), WeightKind::PageRank)
+        }
+        "livejournal" => {
+            let n = sh(32_768);
+            let e =
+                overlay_dense_core(barabasi_albert(n, 12, 0xE0A4), core(768), 0.35, 0xC0A4);
+            assemble(n, &e, WeightKind::PageRank)
+        }
+        "orkut" => {
+            let n = sh(16_384);
+            let e =
+                overlay_dense_core(barabasi_albert(n, 24, 0xE0A5), core(640), 0.5, 0xC0A5);
+            assemble(n, &e, WeightKind::PageRank)
+        }
+        "arabic" => {
+            let scale = 16u32.saturating_sub(scale_shift);
+            let n = 1usize << scale;
+            assemble(n, &rmat(scale, 24, RmatParams { a: 0.6, b: 0.18, c: 0.18 }, 0xE0A6), WeightKind::PageRank)
+        }
+        "uk" => {
+            let scale = 17u32.saturating_sub(scale_shift);
+            let n = 1usize << scale;
+            assemble(n, &rmat(scale, 16, RmatParams::default(), 0xE0A7), WeightKind::PageRank)
+        }
+        "twitter" => {
+            let scale = 16u32.saturating_sub(scale_shift);
+            let n = 1usize << scale;
+            assemble(n, &rmat(scale, 32, RmatParams { a: 0.62, b: 0.17, c: 0.17 }, 0xE0A8), WeightKind::PageRank)
+        }
+        other => panic!("unknown suite dataset {other:?}"),
+    }
+}
+
+/// Builds one harness-scale dataset by name.
+pub fn bench_dataset(name: &str) -> WeightedGraph {
+    build(name, 0)
+}
+
+/// Builds one criterion/CI-scale dataset by name (~16x smaller).
+pub fn small_dataset(name: &str) -> WeightedGraph {
+    build(name, 4)
+}
+
+/// All eight harness-scale datasets, in Table 1 order.
+pub fn bench_suite() -> Vec<(&'static str, WeightedGraph)> {
+    SUITE.iter().map(|s| (s.name, bench_dataset(s.name))).collect()
+}
+
+/// All eight CI-scale datasets, in Table 1 order.
+pub fn small_suite() -> Vec<(&'static str, WeightedGraph)> {
+    SUITE.iter().map(|s| (s.name, small_dataset(s.name))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::graph_stats;
+
+    #[test]
+    fn small_suite_builds_and_validates() {
+        for (name, g) in small_suite() {
+            g.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(g.n() >= 64, "{name} too small");
+            assert!(g.m() > g.n() / 2, "{name} suspiciously sparse");
+        }
+    }
+
+    #[test]
+    fn suite_sizes_are_ordered_roughly_like_table1() {
+        let suite = small_suite();
+        let email = suite.iter().find(|(n, _)| *n == "email").unwrap().1.m();
+        let twitter = suite.iter().find(|(n, _)| *n == "twitter").unwrap().1.m();
+        assert!(twitter > 4 * email, "twitter stand-in must dwarf email stand-in");
+    }
+
+    #[test]
+    fn suite_supports_gamma_10() {
+        // the default query of the paper is γ=10; the mid/large stand-ins
+        // must have a non-empty 10-core for the experiments to be
+        // meaningful
+        for name in ["livejournal", "orkut", "arabic", "twitter"] {
+            let g = small_dataset(name);
+            let s = graph_stats(&g);
+            assert!(s.gamma_max >= 10, "{name}: gamma_max={} < 10", s.gamma_max);
+        }
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let a = small_dataset("email");
+        let b = small_dataset("email");
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        for r in 0..a.n() as u32 {
+            assert_eq!(a.weight(r), b.weight(r));
+        }
+    }
+}

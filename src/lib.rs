@@ -1,0 +1,18 @@
+//! Facade crate for the influential-communities workspace.
+//!
+//! Re-exports the graph substrates ([`graph`]) and the community-search
+//! algorithms ([`search`]) so that examples and downstream users need a
+//! single dependency. See the README for a quickstart and DESIGN.md for
+//! the paper-to-module map.
+
+pub use ic_core as search;
+pub use ic_graph as graph;
+
+pub mod prelude {
+    //! One-import convenience surface used by the examples.
+    pub use ic_core::community::Community;
+    pub use ic_core::local_search::{top_k, LocalSearch};
+    pub use ic_core::progressive::ProgressiveSearch;
+    pub use ic_graph::generators::{assemble, WeightKind};
+    pub use ic_graph::{GraphBuilder, Prefix, WeightedGraph};
+}

@@ -1,0 +1,131 @@
+//! Cross-algorithm consistency: every production algorithm must return
+//! exactly the same communities as the definition-level reference
+//! implementation, across a grid of random graphs, weight assignments,
+//! cohesiveness thresholds, and k values.
+
+use influential_communities::search::{
+    backward, forward, local_search, naive, online_all, progressive,
+};
+use ic_graph::generators::{assemble, barabasi_albert, gnm, planted_partition, WeightKind};
+use ic_graph::WeightedGraph;
+
+fn random_graphs() -> Vec<(String, WeightedGraph)> {
+    let mut graphs = Vec::new();
+    for seed in 0..4u64 {
+        let n = 50 + (seed as usize) * 17;
+        let m = n * (2 + seed as usize % 3);
+        graphs.push((
+            format!("gnm-{seed}"),
+            assemble(n, &gnm(n, m, seed), WeightKind::Uniform(seed + 100)),
+        ));
+    }
+    for seed in 0..3u64 {
+        let n = 60;
+        graphs.push((
+            format!("ba-{seed}"),
+            assemble(n, &barabasi_albert(n, 3, seed), WeightKind::PageRank),
+        ));
+    }
+    graphs.push((
+        "planted".into(),
+        assemble(
+            60,
+            &planted_partition(4, 15, 0.6, 0.02, 9),
+            WeightKind::Uniform(9),
+        ),
+    ));
+    graphs.push((
+        "degree-weighted".into(),
+        assemble(50, &gnm(50, 200, 5), WeightKind::Degree),
+    ));
+    graphs
+}
+
+#[test]
+fn all_algorithms_agree_with_reference() {
+    for (name, g) in random_graphs() {
+        for gamma in 1..=5u32 {
+            let reference = naive::all_communities(&g, gamma);
+            for &k in &[1usize, 2, 5, 16, usize::MAX / 2] {
+                let expected: Vec<_> = reference.iter().take(k).collect();
+                if expected.is_empty() {
+                    // no communities at this γ: every algorithm must agree
+                    assert!(local_search::top_k(&g, gamma, k).communities.is_empty());
+                    assert!(online_all::top_k(&g, gamma, k).is_empty());
+                    assert!(forward::top_k(&g, gamma, k).is_empty());
+                    assert!(backward::top_k(&g, gamma, k).is_empty());
+                    continue;
+                }
+                let ls = local_search::top_k(&g, gamma, k).communities;
+                let oa = online_all::top_k(&g, gamma, k);
+                let fw = forward::top_k(&g, gamma, k);
+                let bw = backward::top_k(&g, gamma, k);
+                let pg: Vec<_> =
+                    progressive::ProgressiveSearch::new(&g, gamma).take(k).collect();
+                for (algo, got) in
+                    [("local", &ls), ("onlineall", &oa), ("forward", &fw), ("backward", &bw), ("progressive", &pg)]
+                {
+                    assert_eq!(
+                        got.len(),
+                        expected.len(),
+                        "{name} γ={gamma} k={k} {algo}: count"
+                    );
+                    for (a, b) in got.iter().zip(&expected) {
+                        assert_eq!(
+                            a.keynode, b.keynode,
+                            "{name} γ={gamma} k={k} {algo}: keynode"
+                        );
+                        assert_eq!(
+                            a.members, b.members,
+                            "{name} γ={gamma} k={k} {algo}: members"
+                        );
+                        assert_eq!(a.influence, b.influence);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn progressive_stream_is_complete_and_ordered() {
+    for (name, g) in random_graphs() {
+        for gamma in 1..=4u32 {
+            let reference = naive::all_communities(&g, gamma);
+            let streamed: Vec<_> =
+                progressive::ProgressiveSearch::new(&g, gamma).collect();
+            assert_eq!(streamed.len(), reference.len(), "{name} γ={gamma}");
+            for w in streamed.windows(2) {
+                // decreasing influence; ties (e.g. degree weights) are
+                // broken by the deterministic rank order, so keynode ranks
+                // strictly increase
+                assert!(
+                    w[0].influence >= w[1].influence && w[0].keynode < w[1].keynode,
+                    "{name} γ={gamma}: order"
+                );
+            }
+            for (a, b) in streamed.iter().zip(&reference) {
+                assert_eq!(a.members, b.members, "{name} γ={gamma}");
+            }
+        }
+    }
+}
+
+#[test]
+fn counting_strategies_and_deltas_are_interchangeable() {
+    use local_search::{CountStrategy, LocalSearch, LocalSearchOptions};
+    for (name, g) in random_graphs().into_iter().take(4) {
+        let baseline = local_search::top_k(&g, 3, 8).communities;
+        for delta in [1.5f64, 3.0, 16.0] {
+            for counting in [CountStrategy::CountIc, CountStrategy::OnlineAll] {
+                let mut ls =
+                    LocalSearch::with_options(LocalSearchOptions { delta, counting });
+                let got = ls.run(&g, 3, 8).communities;
+                assert_eq!(got.len(), baseline.len(), "{name} δ={delta} {counting:?}");
+                for (a, b) in got.iter().zip(&baseline) {
+                    assert_eq!(a.members, b.members, "{name} δ={delta} {counting:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end replication of every worked example in the paper, exercised
+//! through the public facade exactly as a user would.
+
+use influential_communities::prelude::*;
+use influential_communities::search::{
+    backward, forward, noncontainment, online_all, truss,
+};
+use ic_graph::paper::{figure1, figure2a, figure3};
+
+fn ids(g: &WeightedGraph, members: &[u32]) -> Vec<u64> {
+    let mut v: Vec<u64> = members.iter().map(|&r| g.external_id(r)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn introduction_example_figure1() {
+    // "consider the graph in Figure 1 ... γ = 3. There are two influential
+    // γ-communities: the subgraphs induced by vertices {v0,v1,v5,v6} and
+    // vertices {v3,v4,v7,v8,v9} that, respectively, have influence values
+    // 10 and 13."
+    let g = figure1();
+    let res = top_k(&g, 3, 10);
+    assert_eq!(res.communities.len(), 2);
+    assert_eq!(ids(&g, &res.communities[0].members), vec![3, 4, 7, 8, 9]);
+    assert_eq!(res.communities[0].influence, 13.0);
+    assert_eq!(ids(&g, &res.communities[1].members), vec![0, 1, 5, 6]);
+    assert_eq!(res.communities[1].influence, 10.0);
+}
+
+#[test]
+fn introduction_example_figure2() {
+    // "to compute the top-2 influential γ-communities in the graph in
+    // Figure 2(a) with γ = 3, we first count ... G≥9 ... which is 1 ...
+    // we obtain τ2 = 5 ... there are three influential γ-communities in
+    // G≥5 — the subgraphs induced by vertices {v0,v1,v5,v6},
+    // {v3,v4,v8,v9} and {v3,v4,v8,v9,v10}"
+    let g = figure2a();
+    let res = top_k(&g, 3, 2);
+    assert_eq!(res.communities.len(), 2);
+    assert_eq!(ids(&g, &res.communities[0].members), vec![3, 4, 8, 9]);
+    assert_eq!(ids(&g, &res.communities[1].members), vec![0, 1, 5, 6]);
+    // the full community list of G≥5 includes the third, nested community
+    let all = top_k(&g, 3, 10);
+    let memberships: Vec<Vec<u64>> =
+        all.communities.iter().map(|c| ids(&g, &c.members)).collect();
+    assert!(memberships.contains(&vec![3, 4, 8, 9, 10]));
+}
+
+#[test]
+fn problem_statement_figure3_top4() {
+    // "consider the graph in Figure 3 with γ = 3 and k = 4. The top-4
+    // influential γ-communities are {v3,v11,v12,v20}, {v1,v6,v7,v16},
+    // {v3,v11,v12,v13,v20} and {v1,v5,v6,v7,v16} with influence values
+    // 18, 14, 13 and 12"
+    let g = figure3();
+    for communities in [
+        top_k(&g, 3, 4).communities,
+        online_all::top_k(&g, 3, 4),
+        forward::top_k(&g, 3, 4),
+        backward::top_k(&g, 3, 4),
+        ProgressiveSearch::new(&g, 3).take(4).collect(),
+    ] {
+        assert_eq!(communities.len(), 4);
+        assert_eq!(ids(&g, &communities[0].members), vec![3, 11, 12, 20]);
+        assert_eq!(ids(&g, &communities[1].members), vec![1, 6, 7, 16]);
+        assert_eq!(ids(&g, &communities[2].members), vec![3, 11, 12, 13, 20]);
+        assert_eq!(ids(&g, &communities[3].members), vec![1, 5, 6, 7, 16]);
+        assert_eq!(
+            communities.iter().map(|c| c.influence).collect::<Vec<_>>(),
+            vec![18.0, 14.0, 13.0, 12.0]
+        );
+    }
+}
+
+#[test]
+fn example_2_1_influence_9_community() {
+    // "the subgraph g2 induced by vertices {v3,v9,v10,v11,v12,v13,v20} is
+    // an influential γ-community" (influence 9 = ω(v10)); and
+    // "{v3,v10,v11,v12,v20} ... is not an influential γ-community because
+    // it is not maximal"
+    let g = figure3();
+    let all: Vec<Community> = ProgressiveSearch::new(&g, 3).collect();
+    let nine = all.iter().find(|c| c.influence == 9.0).expect("must exist");
+    assert_eq!(ids(&g, &nine.members), vec![3, 9, 10, 11, 12, 13, 20]);
+    use influential_communities::search::community::verify;
+    let g1: Vec<u32> = [3u64, 10, 11, 12, 20]
+        .iter()
+        .map(|&v| g.rank_of_external(v).unwrap())
+        .collect();
+    assert!(verify::is_connected(&g, &g1));
+    assert!(verify::min_degree(&g, &g1) >= 3);
+    assert!(!verify::is_influential_community(&g, &g1, 3));
+}
+
+#[test]
+fn example_3_1_prefix_growth_trace() {
+    // the exact LocalSearch trace: τ1 = ω(v11) = 18 (7th largest weight),
+    // CountIC(G≥τ1) = 1 < 4; grow to size ≥ 36 ⇒ τ2 = ω(v5) = 12;
+    // CountIC(G≥τ2) = 4 ⇒ stop
+    let g = figure3();
+    let res = top_k(&g, 3, 4);
+    assert_eq!(res.stats.rounds, 2);
+    assert_eq!(res.stats.final_prefix_len, 13);
+    assert_eq!(res.stats.final_prefix_size, 36);
+    assert_eq!(g.external_id(6), 11); // the 7th vertex is v11, weight 18
+    assert_eq!(g.weight(6), 18.0);
+    assert_eq!(g.external_id(12), 5); // the 13th vertex is v5, weight 12
+    assert_eq!(g.weight(12), 12.0);
+}
+
+#[test]
+fn definition_5_1_noncontainment() {
+    // the non-containment communities among Figure 3's top communities are
+    // the two cliques (they contain no other influential γ-community)
+    let g = figure3();
+    let res = noncontainment::local_top_k(&g, 3, 2);
+    assert_eq!(ids(&g, &res.communities[0].members), vec![3, 11, 12, 20]);
+    assert_eq!(ids(&g, &res.communities[1].members), vec![1, 6, 7, 16]);
+    // NC communities are pairwise disjoint (stated after Definition 5.1)
+    let all = noncontainment::forward_top_k(&g, 3, usize::MAX);
+    let mut seen = std::collections::HashSet::new();
+    for c in &all.communities {
+        for &m in &c.members {
+            assert!(seen.insert(m));
+        }
+    }
+}
+
+#[test]
+fn section_5_2_truss_case_study() {
+    // γ-truss communities on Figure 3: for γ = 4 the 4-cliques qualify
+    // (every edge of K4 is in exactly 2 = γ−2 triangles)
+    let g = figure3();
+    let res = truss::global_top_k(&g, 4, usize::MAX);
+    let sets: Vec<Vec<u64>> =
+        res.communities.iter().map(|c| ids(&g, &c.members)).collect();
+    assert!(sets.contains(&vec![3, 11, 12, 20]));
+    assert!(sets.contains(&vec![1, 6, 7, 16]));
+}

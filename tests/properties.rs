@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) for the core invariants the paper
+//! proves: monotonicity (Lemma 3.1), keynode/community bijection
+//! (Lemma 3.4), correctness of the top-k prefix rule (Theorem 3.1), the
+//! accessed-size bound behind instance optimality (Lemma 3.8), and
+//! structural integrity of the community forest.
+
+use ic_graph::generators::{assemble, gnm, WeightKind};
+use ic_graph::{Prefix, WeightedGraph};
+use influential_communities::search::community::verify;
+use influential_communities::search::{count, local_search, naive, progressive};
+use proptest::prelude::*;
+
+/// Strategy: a random weighted graph described by (n, density, seed).
+fn graph_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (8usize..48, 1usize..5, 0u64..10_000)
+}
+
+fn make_graph(n: usize, density: usize, seed: u64) -> WeightedGraph {
+    let weights = if seed.is_multiple_of(2) {
+        WeightKind::Uniform(seed.wrapping_mul(31))
+    } else {
+        WeightKind::PageRank
+    };
+    assemble(n, &gnm(n, n * density, seed), weights)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 3.1: the number of communities in G≥τ is non-decreasing as τ
+    /// decreases (the prefix grows).
+    #[test]
+    fn count_monotone_in_prefix((n, d, seed) in graph_params(), gamma in 1u32..5) {
+        let g = make_graph(n, d, seed);
+        let mut prev = 0usize;
+        for t in 0..=g.n() {
+            let c = count::count_ic(&Prefix::with_len(&g, t), gamma);
+            prop_assert!(c >= prev, "count dropped at t={t}: {prev} -> {c}");
+            prev = c;
+        }
+    }
+
+    /// Lemma 3.4 / Theorem 3.2: CountIC equals the number of distinct
+    /// influence values among all communities (keynode bijection).
+    #[test]
+    fn keynode_bijection((n, d, seed) in graph_params(), gamma in 1u32..5) {
+        let g = make_graph(n, d, seed);
+        let reference = naive::all_communities(&g, gamma);
+        let counted = count::count_ic(&Prefix::with_len(&g, g.n()), gamma);
+        prop_assert_eq!(counted, reference.len());
+        // keynodes are pairwise distinct (Lemma 3.3, with input ties
+        // resolved by the deterministic rank order)
+        let mut keys: Vec<u32> = reference.iter().map(|c| c.keynode).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), counted);
+    }
+
+    /// Theorem 3.1 end-to-end: LocalSearch equals the reference for every
+    /// (γ, k), and each output satisfies Definition 2.2.
+    #[test]
+    fn local_search_correct((n, d, seed) in graph_params(), gamma in 1u32..5, k in 1usize..12) {
+        let g = make_graph(n, d, seed);
+        let expected = naive::top_k(&g, gamma, k);
+        let got = local_search::top_k(&g, gamma, k).communities;
+        prop_assert_eq!(got.len(), expected.len());
+        for (a, b) in got.iter().zip(&expected) {
+            prop_assert_eq!(a.keynode, b.keynode);
+            prop_assert_eq!(&a.members, &b.members);
+            prop_assert!(verify::is_influential_community(&g, &a.members, gamma));
+        }
+    }
+
+    /// Lemma 3.8: the subgraph LocalSearch accesses is at most ~2δ times
+    /// the smallest sufficient prefix G≥τ* (when one exists).
+    #[test]
+    fn accessed_size_bound((n, d, seed) in graph_params(), gamma in 1u32..4, k in 1usize..8) {
+        let g = make_graph(n, d, seed);
+        let total = count::count_ic(&Prefix::with_len(&g, g.n()), gamma);
+        prop_assume!(total >= k); // τ* must exist
+        // find size(G≥τ*): smallest prefix with ≥ k communities
+        let mut size_star = g.size();
+        for t in 0..=g.n() {
+            let p = Prefix::with_len(&g, t);
+            if count::count_ic(&p, gamma) >= k {
+                size_star = p.size();
+                break;
+            }
+        }
+        let res = local_search::top_k(&g, gamma, k);
+        let delta = 2.0;
+        let bound = (2.0 * delta * size_star as f64 + 2.0).max(size_star as f64);
+        prop_assert!(
+            (res.stats.final_prefix_size as f64) <= bound,
+            "accessed {} exceeds 2δ·size* = {} (size*={})",
+            res.stats.final_prefix_size, bound, size_star
+        );
+    }
+
+    /// Forest integrity: children have strictly higher influence and their
+    /// member sets nest inside the parent's.
+    #[test]
+    fn forest_nesting((n, d, seed) in graph_params(), gamma in 1u32..5) {
+        let g = make_graph(n, d, seed);
+        let res = local_search::top_k(&g, gamma, usize::MAX / 4);
+        let forest = &res.forest;
+        for i in 0..forest.len() {
+            let members = forest.members(i);
+            let mset: std::collections::HashSet<u32> = members.iter().copied().collect();
+            for &c in forest.children(i) {
+                // strictly higher-ranked keynode; influence can only tie
+                // under tied input weights (rank order breaks ties)
+                prop_assert!(forest.keynode(c as usize) < forest.keynode(i));
+                prop_assert!(forest.influence(c as usize) >= forest.influence(i));
+                for m in forest.members(c as usize) {
+                    prop_assert!(mset.contains(&m), "child member escapes parent");
+                }
+            }
+            // keynode is the minimum-weight member = maximum rank
+            prop_assert_eq!(*members.iter().max().unwrap(), forest.keynode(i));
+        }
+    }
+
+    /// Progressive and batch results coincide for every prefix of the
+    /// stream.
+    #[test]
+    fn progressive_equals_batch((n, d, seed) in graph_params(), gamma in 1u32..5) {
+        let g = make_graph(n, d, seed);
+        let all_batch = naive::all_communities(&g, gamma);
+        let all_stream: Vec<_> = progressive::ProgressiveSearch::new(&g, gamma).collect();
+        prop_assert_eq!(all_stream.len(), all_batch.len());
+        for (a, b) in all_stream.iter().zip(&all_batch) {
+            prop_assert_eq!(&a.members, &b.members);
+        }
+    }
+
+    /// Weight perturbation sanity: scaling all weights by a positive
+    /// constant never changes the community structure (only influences).
+    #[test]
+    fn scale_invariance((n, d, seed) in graph_params(), gamma in 1u32..4, scale in 1u32..1000) {
+        let g = make_graph(n, d, seed);
+        let mut b = ic_graph::GraphBuilder::new();
+        for r in 0..g.n() as u32 {
+            b.set_weight(g.external_id(r), g.weight(r) * scale as f64);
+            b.add_vertex(g.external_id(r));
+        }
+        for (a, bb) in g.edges() {
+            b.add_edge(g.external_id(a), g.external_id(bb));
+        }
+        let g2 = b.build().unwrap();
+        let r1 = local_search::top_k(&g, gamma, 5).communities;
+        let r2 = local_search::top_k(&g2, gamma, 5).communities;
+        prop_assert_eq!(r1.len(), r2.len());
+        for (x, y) in r1.iter().zip(&r2) {
+            let mx: Vec<u64> = x.external_members(&g);
+            let my: Vec<u64> = y.external_members(&g2);
+            prop_assert_eq!(mx, my);
+        }
+    }
+}

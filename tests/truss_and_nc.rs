@@ -1,0 +1,114 @@
+//! Integration tests for the §5 extensions on random graphs: γ-truss
+//! community search and non-containment community search, cross-validated
+//! against the definition-level references.
+
+use ic_graph::generators::{assemble, gnm, planted_partition, WeightKind};
+use ic_graph::WeightedGraph;
+use influential_communities::search::{naive, noncontainment, truss};
+use proptest::prelude::*;
+
+fn graphs() -> Vec<WeightedGraph> {
+    let mut gs = Vec::new();
+    for seed in 0..4u64 {
+        let n = 40 + seed as usize * 10;
+        gs.push(assemble(n, &gnm(n, n * 4, seed), WeightKind::Uniform(seed * 7 + 1)));
+    }
+    gs.push(assemble(
+        45,
+        &planted_partition(3, 15, 0.7, 0.05, 3),
+        WeightKind::PageRank,
+    ));
+    gs
+}
+
+#[test]
+fn truss_local_and_global_match_reference() {
+    for (i, g) in graphs().iter().enumerate() {
+        for gamma in 2..=5u32 {
+            let reference = naive::all_truss_communities(g, gamma);
+            let global = truss::global_top_k(g, gamma, usize::MAX / 2);
+            assert_eq!(global.communities.len(), reference.len(), "g{i} γ={gamma}");
+            for (a, b) in global.communities.iter().zip(&reference) {
+                assert_eq!(a.keynode, b.keynode, "g{i} γ={gamma}");
+                assert_eq!(a.members, b.members, "g{i} γ={gamma}");
+            }
+            for k in [1usize, 2, 4] {
+                let local = truss::local_top_k(g, gamma, k);
+                let expect: Vec<_> = reference.iter().take(k).collect();
+                assert_eq!(local.communities.len(), expect.len(), "g{i} γ={gamma} k={k}");
+                for (a, b) in local.communities.iter().zip(&expect) {
+                    assert_eq!(a.members, b.members, "g{i} γ={gamma} k={k}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn nc_matches_reference_on_random_graphs() {
+    for (i, g) in graphs().iter().enumerate() {
+        for gamma in 2..=4u32 {
+            let reference = naive::all_noncontainment(g, gamma);
+            let got = noncontainment::forward_top_k(g, gamma, usize::MAX / 2);
+            assert_eq!(got.communities.len(), reference.len(), "g{i} γ={gamma}");
+            for (a, b) in got.communities.iter().zip(&reference) {
+                assert_eq!(a.keynode, b.keynode, "g{i} γ={gamma}");
+                assert_eq!(a.members, b.members, "g{i} γ={gamma}");
+            }
+            // local agrees with global for various k
+            for k in [1usize, 3, 8] {
+                let local = noncontainment::local_top_k(g, gamma, k);
+                let expect: Vec<_> = reference.iter().take(k).collect();
+                assert_eq!(local.communities.len(), expect.len());
+                for (a, b) in local.communities.iter().zip(&expect) {
+                    assert_eq!(a.members, b.members, "g{i} γ={gamma} k={k}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truss communities always nest inside a (γ−1)-core community with
+    /// the same influence (the paper's Eval-IX observation).
+    #[test]
+    fn truss_nests_in_core(n in 12usize..40, d in 2usize..6, seed in 0u64..3000, gamma in 3u32..5) {
+        let g = assemble(n, &gnm(n, n * d, seed), WeightKind::Uniform(seed + 5));
+        let trusses = truss::global_top_k(&g, gamma, usize::MAX / 2);
+        let cores = naive::all_communities(&g, gamma - 1);
+        for t in &trusses.communities {
+            let parent = cores.iter().find(|c| c.influence == t.influence);
+            prop_assert!(parent.is_some(), "missing (γ-1)-core parent");
+            let pset: std::collections::HashSet<u32> =
+                parent.unwrap().members.iter().copied().collect();
+            prop_assert!(t.members.iter().all(|m| pset.contains(m)));
+        }
+    }
+
+    /// NC communities are exactly the subset-minimal communities, and the
+    /// NC set is disjoint.
+    #[test]
+    fn nc_is_minimal_and_disjoint(n in 10usize..36, d in 2usize..5, seed in 0u64..3000, gamma in 2u32..4) {
+        let g = assemble(n, &gnm(n, n * d, seed), WeightKind::Uniform(seed ^ 3));
+        let nc = noncontainment::forward_top_k(&g, gamma, usize::MAX / 2);
+        let all = naive::all_communities(&g, gamma);
+        let mut seen = std::collections::HashSet::new();
+        for c in &nc.communities {
+            let cset: std::collections::HashSet<u32> = c.members.iter().copied().collect();
+            // disjointness
+            for &m in &c.members {
+                prop_assert!(seen.insert(m), "overlap between NC communities");
+            }
+            // minimality: no other community strictly inside
+            for other in &all {
+                if other.keynode != c.keynode {
+                    let strictly_inside = other.members.len() < c.members.len()
+                        && other.members.iter().all(|m| cset.contains(m));
+                    prop_assert!(!strictly_inside, "NC community contains another");
+                }
+            }
+        }
+    }
+}
