@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| forward::top_k(g, gamma, k))
         });
         group.bench_function(format!("local_search_p/twitter/g{gamma}k{k}"), |b| {
-            b.iter(|| progressive::ProgressiveSearch::new(g, gamma).take(k).count())
+            b.iter(|| {
+                progressive::ProgressiveSearch::new(g, gamma)
+                    .take(k)
+                    .count()
+            })
         });
     }
     group.finish();

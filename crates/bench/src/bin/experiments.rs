@@ -12,10 +12,8 @@
 
 use ic_bench::{avg_ms, cell, dataset, header, suite_names, time_once_ms, Scale};
 use ic_core::local_search::{CountStrategy, LocalSearch, LocalSearchOptions};
-use ic_core::{
-    backward, forward, local_search, noncontainment, online_all, progressive, truss,
-};
 use ic_core::semi_external::{local_search_se_top_k, online_all_se_top_k};
+use ic_core::{backward, forward, local_search, noncontainment, online_all, progressive, truss};
 use ic_graph::generators::{assemble, collaboration, WeightKind};
 use ic_graph::stats::graph_stats;
 use ic_graph::DiskGraph;
@@ -55,8 +53,8 @@ fn main() {
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+            "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "fig18", "fig19", "fig20",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -120,9 +118,14 @@ fn series_header(label: &str, points: &[String]) {
 fn fig8(scale: Scale, runs: usize) {
     let gamma = 10;
     for name in suite_names() {
-        header(&format!("Figure 8 ({name}): processing time (ms), γ={gamma}, vary k"));
+        header(&format!(
+            "Figure 8 ({name}): processing time (ms), γ={gamma}, vary k"
+        ));
         let g = dataset(name, scale);
-        series_header("k =", &K_SWEEP.iter().map(|k| k.to_string()).collect::<Vec<_>>());
+        series_header(
+            "k =",
+            &K_SWEEP.iter().map(|k| k.to_string()).collect::<Vec<_>>(),
+        );
         let oa_once = ONLINE_ALL_GRAPHS
             .contains(&name)
             .then(|| time_once_ms(|| online_all::top_k(g, gamma, 10)));
@@ -137,7 +140,9 @@ fn fig8(scale: Scale, runs: usize) {
             .iter()
             .map(|&k| {
                 Some(avg_ms(runs, || {
-                    progressive::ProgressiveSearch::new(g, gamma).take(k).count()
+                    progressive::ProgressiveSearch::new(g, gamma)
+                        .take(k)
+                        .count()
                 }))
             })
             .collect();
@@ -157,11 +162,16 @@ fn print_series(label: &str, values: &[Option<f64>]) {
 fn fig9(scale: Scale, runs: usize) {
     let k = 10;
     for name in FIG9_GRAPHS {
-        header(&format!("Figure 9 ({name}): processing time (ms), k={k}, vary γ"));
+        header(&format!(
+            "Figure 9 ({name}): processing time (ms), k={k}, vary γ"
+        ));
         let g = dataset(name, scale);
         series_header(
             "γ =",
-            &GAMMA_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+            &GAMMA_SWEEP
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>(),
         );
         // OnlineAll: one measurement per γ (see fig8 note)
         let oa: Vec<Option<f64>> = GAMMA_SWEEP
@@ -182,7 +192,9 @@ fn fig9(scale: Scale, runs: usize) {
             .iter()
             .map(|&gamma| {
                 Some(avg_ms(runs, || {
-                    progressive::ProgressiveSearch::new(g, gamma).take(k).count()
+                    progressive::ProgressiveSearch::new(g, gamma)
+                        .take(k)
+                        .count()
                 }))
             })
             .collect();
@@ -217,7 +229,10 @@ fn fig10(scale: Scale, runs: usize) {
                 .collect::<Vec<_>>(),
         );
         header(&format!("Figure 10 ({name}): k=100, vary γ (scaled sweep)"));
-        series_header("γ =", &gammas.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        series_header(
+            "γ =",
+            &gammas.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+        );
         print_series(
             "Forward",
             &gammas
@@ -231,7 +246,9 @@ fn fig10(scale: Scale, runs: usize) {
                 .iter()
                 .map(|&gamma| {
                     Some(avg_ms(runs, || {
-                        progressive::ProgressiveSearch::new(g, gamma).take(100).count()
+                        progressive::ProgressiveSearch::new(g, gamma)
+                            .take(100)
+                            .count()
                     }))
                 })
                 .collect::<Vec<_>>(),
@@ -242,9 +259,14 @@ fn fig10(scale: Scale, runs: usize) {
 /// Figure 11: against the local search baseline Backward, vary k.
 fn fig11(scale: Scale, runs: usize) {
     for (name, gamma) in [("arabic", 10u32), ("arabic", 50), ("uk", 10), ("uk", 50)] {
-        header(&format!("Figure 11 ({name}, γ={gamma}): Backward vs LocalSearch-P, vary k"));
+        header(&format!(
+            "Figure 11 ({name}, γ={gamma}): Backward vs LocalSearch-P, vary k"
+        ));
         let g = dataset(name, scale);
-        series_header("k =", &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        series_header(
+            "k =",
+            &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+        );
         print_series(
             "Backward",
             &K_SWEEP
@@ -258,7 +280,9 @@ fn fig11(scale: Scale, runs: usize) {
                 .iter()
                 .map(|&k| {
                     Some(avg_ms(runs, || {
-                        progressive::ProgressiveSearch::new(g, gamma).take(k).count()
+                        progressive::ProgressiveSearch::new(g, gamma)
+                            .take(k)
+                            .count()
                     }))
                 })
                 .collect::<Vec<_>>(),
@@ -270,9 +294,14 @@ fn fig11(scale: Scale, runs: usize) {
 fn fig12(scale: Scale, runs: usize) {
     let gamma = 10;
     for name in FIG9_GRAPHS {
-        header(&format!("Figure 12 ({name}): LocalSearch-OA vs LocalSearch-P, γ={gamma}"));
+        header(&format!(
+            "Figure 12 ({name}): LocalSearch-OA vs LocalSearch-P, γ={gamma}"
+        ));
         let g = dataset(name, scale);
-        series_header("k =", &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        series_header(
+            "k =",
+            &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+        );
         print_series(
             "LocalSearch-OA",
             &K_SWEEP
@@ -294,7 +323,9 @@ fn fig12(scale: Scale, runs: usize) {
                 .iter()
                 .map(|&k| {
                     Some(avg_ms(runs, || {
-                        progressive::ProgressiveSearch::new(g, gamma).take(k).count()
+                        progressive::ProgressiveSearch::new(g, gamma)
+                            .take(k)
+                            .count()
                     }))
                 })
                 .collect::<Vec<_>>(),
@@ -307,7 +338,9 @@ fn fig13(scale: Scale, runs: usize) {
     let deltas = [1.5f64, 2.0, 3.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
     let (gamma, k) = (10u32, 10usize);
     for name in FIG9_GRAPHS {
-        header(&format!("Figure 13 ({name}): growth ratio δ, k={k}, γ={gamma}"));
+        header(&format!(
+            "Figure 13 ({name}): growth ratio δ, k={k}, γ={gamma}"
+        ));
         let g = dataset(name, scale);
         series_header(
             "δ =",
@@ -339,11 +372,17 @@ fn fig14(scale: Scale) {
             "Figure 14 ({name}, γ={gamma}): enumeration time (ms) until top-i, k={k}"
         ));
         let g = dataset(name, scale);
-        series_header("top-i =", &tops.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        series_header(
+            "top-i =",
+            &tops.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+        );
         // batch LocalSearch reports everything at the end: its per-i
         // latency is the (constant) total runtime
         let total = time_once_ms(|| local_search::top_k(g, gamma, k));
-        print_series("LocalSearch", &tops.iter().map(|_| Some(total)).collect::<Vec<_>>());
+        print_series(
+            "LocalSearch",
+            &tops.iter().map(|_| Some(total)).collect::<Vec<_>>(),
+        );
         // progressive: record the wall-clock when each community arrives
         let t0 = Instant::now();
         let mut arrivals = Vec::with_capacity(k);
@@ -367,7 +406,10 @@ fn fig15(scale: Scale, runs: usize) {
             "Figure 15 ({name}, γ={gamma}): LocalSearch vs LocalSearch-P total time, vary k"
         ));
         let g = dataset(name, scale);
-        series_header("k =", &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        series_header(
+            "k =",
+            &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+        );
         print_series(
             "LocalSearch",
             &K_SWEEP
@@ -381,7 +423,9 @@ fn fig15(scale: Scale, runs: usize) {
                 .iter()
                 .map(|&k| {
                     Some(avg_ms(runs, || {
-                        progressive::ProgressiveSearch::new(g, gamma).take(k).count()
+                        progressive::ProgressiveSearch::new(g, gamma)
+                            .take(k)
+                            .count()
                     }))
                 })
                 .collect::<Vec<_>>(),
@@ -401,15 +445,25 @@ fn fig15(scale: Scale, runs: usize) {
 fn fig16_17(scale: Scale, runs: usize, memory: bool) {
     let dir = std::env::temp_dir().join("ic_experiments_se");
     std::fs::create_dir_all(&dir).expect("temp dir");
-    for (name, gamma) in
-        [("wiki", 10u32), ("wiki", 50), ("livejournal", 10), ("livejournal", 50)]
-    {
+    for (name, gamma) in [
+        ("wiki", 10u32),
+        ("wiki", 50),
+        ("livejournal", 10),
+        ("livejournal", 50),
+    ] {
         let fig = if memory { "Figure 17" } else { "Figure 16" };
-        let metric = if memory { "peak resident edges" } else { "total time (ms)" };
+        let metric = if memory {
+            "peak resident edges"
+        } else {
+            "total time (ms)"
+        };
         header(&format!("{fig} ({name}, γ={gamma}): {metric}, vary k"));
         let g = dataset(name, scale);
         let dg = DiskGraph::create(g, dir.join(format!("{name}.bin"))).expect("spill");
-        series_header("k =", &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        series_header(
+            "k =",
+            &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+        );
         let mut oa_row = Vec::new();
         let mut ls_row = Vec::new();
         if memory {
@@ -420,8 +474,7 @@ fn fig16_17(scale: Scale, runs: usize, memory: bool) {
                 ls_row.push(Some(ls.peak_resident_edges as f64));
             }
         } else {
-            let oa_once =
-                time_once_ms(|| online_all_se_top_k(&dg, gamma, 10).expect("OA-SE"));
+            let oa_once = time_once_ms(|| online_all_se_top_k(&dg, gamma, 10).expect("OA-SE"));
             for &k in &K_SWEEP {
                 oa_row.push(Some(oa_once));
                 ls_row.push(Some(avg_ms(runs, || {
@@ -438,9 +491,14 @@ fn fig16_17(scale: Scale, runs: usize, memory: bool) {
 fn fig18(scale: Scale, runs: usize) {
     let gamma = 10;
     for name in ["arabic", "uk"] {
-        header(&format!("Figure 18 ({name}): non-containment queries, γ={gamma}, vary k"));
+        header(&format!(
+            "Figure 18 ({name}): non-containment queries, γ={gamma}, vary k"
+        ));
         let g = dataset(name, scale);
-        series_header("k =", &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        series_header(
+            "k =",
+            &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+        );
         print_series(
             "Forward",
             &K_SWEEP
@@ -462,9 +520,14 @@ fn fig18(scale: Scale, runs: usize) {
 fn fig19(scale: Scale, runs: usize) {
     let gamma = 10;
     for name in ["wiki", "livejournal"] {
-        header(&format!("Figure 19 ({name}): γ-truss community search, γ={gamma}, vary k"));
+        header(&format!(
+            "Figure 19 ({name}): γ-truss community search, γ={gamma}, vary k"
+        ));
         let g = dataset(name, scale);
-        series_header("k =", &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        series_header(
+            "k =",
+            &K_SWEEP.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+        );
         print_series(
             "GlobalSearch-Truss",
             &K_SWEEP

@@ -74,7 +74,11 @@ pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
                 }
             }
             members.sort_unstable();
-            results.push(Community { keynode: u, influence: g.weight(u), members });
+            results.push(Community {
+                keynode: u,
+                influence: g.weight(u),
+                members,
+            });
             if results.len() == k {
                 return results;
             }

@@ -129,7 +129,10 @@ impl CommunityForest {
             stack.extend_from_slice(self.children(j as usize));
         }
         out.sort_unstable();
-        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "groups must be disjoint");
+        debug_assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "groups must be disjoint"
+        );
         out
     }
 
@@ -198,12 +201,12 @@ pub mod verify {
             return false;
         }
         let keynode = *members.iter().max().expect("non-empty");
-        let t = keynode as usize + 1; // G≥ω(keynode) is the rank prefix
+        // G≥ω(keynode) is the rank prefix
+        let t = keynode as usize + 1;
         // γ-core of the prefix by repeated stripping (reference-quality,
         // not performance-critical)
         let mut alive: Vec<bool> = vec![true; t];
-        let mut deg: Vec<u32> =
-            (0..t as u32).map(|r| g.degree_in_prefix(r, t)).collect();
+        let mut deg: Vec<u32> = (0..t as u32).map(|r| g.degree_in_prefix(r, t)).collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -287,8 +290,10 @@ mod tests {
     fn verify_accepts_paper_communities() {
         let g = figure1();
         let to_ranks = |ids: &[u64]| -> Vec<Rank> {
-            let mut v: Vec<Rank> =
-                ids.iter().map(|&i| g.rank_of_external(i).unwrap()).collect();
+            let mut v: Vec<Rank> = ids
+                .iter()
+                .map(|&i| g.rank_of_external(i).unwrap())
+                .collect();
             v.sort_unstable();
             v
         };
@@ -307,7 +312,9 @@ mod tests {
     fn verify_rejects_disconnected_and_sparse() {
         let g = figure1();
         let to_ranks = |ids: &[u64]| -> Vec<Rank> {
-            ids.iter().map(|&i| g.rank_of_external(i).unwrap()).collect()
+            ids.iter()
+                .map(|&i| g.rank_of_external(i).unwrap())
+                .collect()
         };
         // two vertices from different blocks: disconnected
         assert!(!verify::is_connected(&g, &to_ranks(&[0, 9])));

@@ -20,7 +20,9 @@ impl Dsu {
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        Dsu { parent: Vec::with_capacity(n) }
+        Dsu {
+            parent: Vec::with_capacity(n),
+        }
     }
 
     /// Number of elements.
@@ -56,8 +58,14 @@ impl Dsu {
     /// `old_root`. Both must be roots (`find` fixpoints); `new_root` stays
     /// a root afterwards.
     pub fn link(&mut self, old_root: u32, new_root: u32) {
-        debug_assert_eq!(self.parent[old_root as usize], old_root, "old_root must be a root");
-        debug_assert_eq!(self.parent[new_root as usize], new_root, "new_root must be a root");
+        debug_assert_eq!(
+            self.parent[old_root as usize], old_root,
+            "old_root must be a root"
+        );
+        debug_assert_eq!(
+            self.parent[new_root as usize], new_root,
+            "new_root must be a root"
+        );
         self.parent[old_root as usize] = new_root;
     }
 

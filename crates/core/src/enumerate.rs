@@ -88,8 +88,7 @@ impl ForestBuilder {
                 }
             }
         }
-        let influence_entry =
-            self.forest.push(keynode, influence, group, &self.child_buf);
+        let influence_entry = self.forest.push(keynode, influence, group, &self.child_buf);
         debug_assert_eq!(influence_entry, entry);
         entry
     }
@@ -235,7 +234,11 @@ mod tests {
         // round 2: early-stopped peel of G≥τ2 (13 ranks), stop_before = 7
         let p2 = Prefix::with_len(&g, 13);
         let mut out2 = PeelOutput::default();
-        let cfg = PeelConfig { gamma: 3, stop_before: 7, track_nc: false };
+        let cfg = PeelConfig {
+            gamma: 3,
+            stop_before: 7,
+            track_nc: false,
+        };
         engine.peel(&p2, cfg, &mut out2);
         let e2 = builder.add_peel(&p2, &out2, usize::MAX, |r| g.weight(r));
         assert_eq!(e2.len(), 3);

@@ -28,17 +28,17 @@ pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
     let mut out = run_with_components(&prefix, gamma, skip);
     out.reverse(); // last identified = top-1
     out.into_iter()
-        .map(|(keynode, members)| Community { keynode, influence: g.weight(keynode), members })
+        .map(|(keynode, members)| Community {
+            keynode,
+            influence: g.weight(keynode),
+            members,
+        })
         .collect()
 }
 
 /// The second pass: peels `g`, returning `(keynode, sorted members)` for
 /// every iteration with index ≥ `skip`, in increasing influence order.
-fn run_with_components(
-    g: &impl PeelGraph,
-    gamma: u32,
-    skip: usize,
-) -> Vec<(Rank, Vec<Rank>)> {
+fn run_with_components(g: &impl PeelGraph, gamma: u32, skip: usize) -> Vec<(Rank, Vec<Rank>)> {
     let t = g.len();
     let mut deg = vec![0u32; t];
     g.fill_degrees(&mut deg);

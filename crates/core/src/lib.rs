@@ -64,7 +64,9 @@ pub mod semi_external;
 pub mod truss;
 
 pub use community::{Community, CommunityForest};
-pub use local_search::{top_k, LocalSearch, SearchResult};
+pub use local_search::{
+    top_k, CountStrategy, LocalSearch, LocalSearchOptions, SearchResult, SearchStats,
+};
 pub use progressive::ProgressiveSearch;
 
 /// Validated query parameters shared by every algorithm.

@@ -43,7 +43,10 @@ pub struct LocalSearchOptions {
 
 impl Default for LocalSearchOptions {
     fn default() -> Self {
-        LocalSearchOptions { delta: 2.0, counting: CountStrategy::CountIc }
+        LocalSearchOptions {
+            delta: 2.0,
+            counting: CountStrategy::CountIc,
+        }
     }
 }
 
@@ -86,7 +89,10 @@ impl LocalSearch {
 
     pub fn with_options(opts: LocalSearchOptions) -> Self {
         assert!(opts.delta > 1.0, "growth ratio must exceed 1");
-        LocalSearch { opts, ..Self::default() }
+        LocalSearch {
+            opts,
+            ..Self::default()
+        }
     }
 
     /// Runs a top-k query.
@@ -103,7 +109,8 @@ impl LocalSearch {
             stats.total_counted_size += prefix.size();
             let count = match self.opts.counting {
                 CountStrategy::CountIc => {
-                    self.engine.peel(&prefix, PeelConfig::new(gamma), &mut self.out)
+                    self.engine
+                        .peel(&prefix, PeelConfig::new(gamma), &mut self.out)
                 }
                 CountStrategy::OnlineAll => count_via_online_all(&prefix, gamma),
             };
@@ -119,11 +126,16 @@ impl LocalSearch {
         // line 6: EnumIC on the final prefix. When counting used
         // OnlineAll, the cvs for the final prefix has not been built yet.
         if self.opts.counting == CountStrategy::OnlineAll {
-            self.engine.peel(&prefix, PeelConfig::new(gamma), &mut self.out);
+            self.engine
+                .peel(&prefix, PeelConfig::new(gamma), &mut self.out);
         }
         let forest = enum_ic(&prefix, &self.out, k, |r| g.weight(r));
         let communities = forest.communities();
-        SearchResult { communities, forest, stats }
+        SearchResult {
+            communities,
+            forest,
+            stats,
+        }
     }
 }
 
@@ -153,7 +165,10 @@ mod tests {
         assert_eq!(res.communities.len(), 4);
         assert_eq!(ids(&g, &res.communities[0].members), vec![3, 11, 12, 20]);
         assert_eq!(ids(&g, &res.communities[1].members), vec![1, 6, 7, 16]);
-        assert_eq!(ids(&g, &res.communities[2].members), vec![3, 11, 12, 13, 20]);
+        assert_eq!(
+            ids(&g, &res.communities[2].members),
+            vec![3, 11, 12, 13, 20]
+        );
         assert_eq!(ids(&g, &res.communities[3].members), vec![1, 5, 6, 7, 16]);
     }
 
@@ -224,7 +239,11 @@ mod tests {
                 ..Default::default()
             });
             let res = ls.run(&g, 3, 4);
-            assert_eq!(res.communities.len(), baseline.communities.len(), "delta={delta}");
+            assert_eq!(
+                res.communities.len(),
+                baseline.communities.len(),
+                "delta={delta}"
+            );
             for (a, b) in res.communities.iter().zip(&baseline.communities) {
                 assert_eq!(a.members, b.members, "delta={delta}");
             }
@@ -234,7 +253,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn delta_must_exceed_one() {
-        LocalSearch::with_options(LocalSearchOptions { delta: 1.0, ..Default::default() });
+        LocalSearch::with_options(LocalSearchOptions {
+            delta: 1.0,
+            ..Default::default()
+        });
     }
 
     #[test]

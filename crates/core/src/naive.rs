@@ -19,7 +19,11 @@ pub fn all_communities(g: &WeightedGraph, gamma: u32) -> Vec<Community> {
     let mut out = Vec::new();
     for u in 0..g.n() as Rank {
         if let Some(members) = community_of_candidate(g, u, gamma) {
-            out.push(Community { keynode: u, influence: g.weight(u), members });
+            out.push(Community {
+                keynode: u,
+                influence: g.weight(u),
+                members,
+            });
         }
     }
     // keynode ranks ascend = influence descends, which is already the
@@ -88,8 +92,10 @@ fn community_of_candidate(g: &WeightedGraph, u: Rank, gamma: u32) -> Option<Vec<
 /// γ-community. Computed by literal pairwise subset checks.
 pub fn all_noncontainment(g: &WeightedGraph, gamma: u32) -> Vec<Community> {
     let all = all_communities(g, gamma);
-    let sets: Vec<HashSet<Rank>> =
-        all.iter().map(|c| c.members.iter().copied().collect()).collect();
+    let sets: Vec<HashSet<Rank>> = all
+        .iter()
+        .map(|c| c.members.iter().copied().collect())
+        .collect();
     all.iter()
         .enumerate()
         .filter(|(i, _)| {
@@ -111,7 +117,11 @@ pub fn all_truss_communities(g: &WeightedGraph, gamma: u32) -> Vec<Community> {
     let mut out = Vec::new();
     for u in 0..g.n() as Rank {
         if let Some(members) = truss_community_of_candidate(g, u, gamma) {
-            out.push(Community { keynode: u, influence: g.weight(u), members });
+            out.push(Community {
+                keynode: u,
+                influence: g.weight(u),
+                members,
+            });
         }
     }
     out
@@ -225,8 +235,7 @@ mod tests {
         // but every NC community must contain no other community
         let all = all_communities(&g, 3);
         for c in &nc {
-            let cset: std::collections::HashSet<Rank> =
-                c.members.iter().copied().collect();
+            let cset: std::collections::HashSet<Rank> = c.members.iter().copied().collect();
             for other in &all {
                 if other.keynode != c.keynode {
                     let oset: std::collections::HashSet<Rank> =

@@ -25,11 +25,7 @@ pub struct NcResult {
     pub accessed_size: u64,
 }
 
-fn collect_last_k_nc(
-    g: &WeightedGraph,
-    out: &PeelOutput,
-    k: usize,
-) -> Vec<Community> {
+fn collect_last_k_nc(g: &WeightedGraph, out: &PeelOutput, k: usize) -> Vec<Community> {
     let mut communities = Vec::with_capacity(k.min(out.count()));
     // keys are in increasing weight order; walk backwards for top-first
     for i in (0..out.count()).rev() {
@@ -39,7 +35,11 @@ fn collect_last_k_nc(
         let u = out.keys[i];
         let mut members: Vec<Rank> = out.group(i).to_vec();
         members.sort_unstable();
-        communities.push(Community { keynode: u, influence: g.weight(u), members });
+        communities.push(Community {
+            keynode: u,
+            influence: g.weight(u),
+            members,
+        });
         if communities.len() == k {
             break;
         }
@@ -56,7 +56,11 @@ pub fn local_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> NcResult {
     let mut engine = PeelEngine::new();
     let mut out = PeelOutput::default();
     let mut prefix = Prefix::with_len(g, params.initial_prefix_len(g.n()));
-    let cfg = PeelConfig { gamma, stop_before: 0, track_nc: true };
+    let cfg = PeelConfig {
+        gamma,
+        stop_before: 0,
+        track_nc: true,
+    };
     loop {
         engine.peel(&prefix, cfg, &mut out);
         let nc_count = out.nc.iter().filter(|&&b| b).count();
@@ -79,7 +83,15 @@ pub fn forward_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> NcResult {
     let mut engine = PeelEngine::new();
     let mut out = PeelOutput::default();
     let prefix = Prefix::with_len(g, g.n());
-    engine.peel(&prefix, PeelConfig { gamma, stop_before: 0, track_nc: true }, &mut out);
+    engine.peel(
+        &prefix,
+        PeelConfig {
+            gamma,
+            stop_before: 0,
+            track_nc: true,
+        },
+        &mut out,
+    );
     NcResult {
         communities: collect_last_k_nc(g, &out, k),
         accessed_size: prefix.size(),

@@ -74,8 +74,10 @@ impl PeelOutput {
     /// The group (vertex set) of the `i`-th keynode.
     pub fn group(&self, i: usize) -> &[Rank] {
         let start = self.group_start[i] as usize;
-        let end =
-            self.group_start.get(i + 1).map_or(self.cvs.len(), |&e| e as usize);
+        let end = self
+            .group_start
+            .get(i + 1)
+            .map_or(self.cvs.len(), |&e| e as usize);
         &self.cvs[start..end]
     }
 
@@ -104,7 +106,11 @@ pub struct PeelConfig {
 
 impl PeelConfig {
     pub fn new(gamma: u32) -> Self {
-        PeelConfig { gamma, stop_before: 0, track_nc: false }
+        PeelConfig {
+            gamma,
+            stop_before: 0,
+            track_nc: false,
+        }
     }
 }
 
@@ -243,7 +249,10 @@ mod tests {
         let mut engine = PeelEngine::new();
         let mut out = PeelOutput::default();
         let count = engine.peel(&prefix, PeelConfig::new(3), &mut out);
-        assert_eq!(count, 4, "Example 3.2: four influential 3-communities in G≥τ2");
+        assert_eq!(
+            count, 4,
+            "Example 3.2: four influential 3-communities in G≥τ2"
+        );
         // keys = v5, v13, v7, v11 in increasing weight order (Figure 6)
         let keys: Vec<u64> = out.keys.iter().map(|&r| ext(&g, r)).collect();
         assert_eq!(keys, vec![5, 13, 7, 11]);
@@ -286,7 +295,11 @@ mod tests {
         let prefix = Prefix::with_len(&g, 13);
         let mut engine = PeelEngine::new();
         let mut out = PeelOutput::default();
-        let cfg = PeelConfig { gamma: 3, stop_before: 7, track_nc: false };
+        let cfg = PeelConfig {
+            gamma: 3,
+            stop_before: 7,
+            track_nc: false,
+        };
         let count = engine.peel(&prefix, cfg, &mut out);
         assert_eq!(count, 3);
         let keys: Vec<u64> = out.keys.iter().map(|&r| ext(&g, r)).collect();
@@ -328,10 +341,19 @@ mod tests {
         let g = b.build().unwrap();
         let mut engine = PeelEngine::new();
         let mut out = PeelOutput::default();
-        assert_eq!(engine.peel(&Prefix::with_len(&g, 5), PeelConfig::new(2), &mut out), 0);
-        assert_eq!(engine.peel(&Prefix::new(&g), PeelConfig::new(2), &mut out), 0);
+        assert_eq!(
+            engine.peel(&Prefix::with_len(&g, 5), PeelConfig::new(2), &mut out),
+            0
+        );
+        assert_eq!(
+            engine.peel(&Prefix::new(&g), PeelConfig::new(2), &mut out),
+            0
+        );
         // γ=1: the single edge is one community with keynode = lighter end
-        assert_eq!(engine.peel(&Prefix::with_len(&g, 5), PeelConfig::new(1), &mut out), 1);
+        assert_eq!(
+            engine.peel(&Prefix::with_len(&g, 5), PeelConfig::new(1), &mut out),
+            1
+        );
     }
 
     #[test]
@@ -358,7 +380,11 @@ mod tests {
         let prefix = Prefix::with_len(&g, 13);
         let mut engine = PeelEngine::new();
         let mut out = PeelOutput::default();
-        let cfg = PeelConfig { gamma: 3, stop_before: 0, track_nc: true };
+        let cfg = PeelConfig {
+            gamma: 3,
+            stop_before: 0,
+            track_nc: true,
+        };
         engine.peel(&prefix, cfg, &mut out);
         // keys = v5, v13, v7, v11; the two cliques {v1,v6,v7,v16} and
         // {v3,v11,v12,v20} are non-containment; v5's and v13's communities

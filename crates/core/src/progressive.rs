@@ -97,9 +97,9 @@ impl<'g> ProgressiveSearch<'g> {
         };
         self.engine.peel(&self.prefix, cfg, &mut self.out);
         // line 6: EnumIC-P — new keynodes in decreasing weight order
-        let entries =
-            self.builder
-                .add_peel(&self.prefix, &self.out, usize::MAX, |r| self.g.weight(r));
+        let entries = self
+            .builder
+            .add_peel(&self.prefix, &self.out, usize::MAX, |r| self.g.weight(r));
         self.pending.extend(entries);
         self.prev_len = self.prefix.len();
         // line 7: terminate after processing the full graph
@@ -109,7 +109,8 @@ impl<'g> ProgressiveSearch<'g> {
             // line 8: grow to at least δ × current size (τmin fallback is
             // implicit: extend_to_size caps at the full graph)
             let target = (self.prefix.size() as f64 * self.delta).ceil() as u64;
-            self.prefix.extend_to_size(target.max(self.prefix.size() + 1));
+            self.prefix
+                .extend_to_size(target.max(self.prefix.size() + 1));
         }
         true
     }
@@ -168,8 +169,7 @@ mod tests {
         for g in [figure1(), figure2a(), figure3()] {
             for gamma in 1..=4u32 {
                 let reference = crate::local_search::top_k(&g, gamma, 100).communities;
-                let streamed: Vec<Community> =
-                    ProgressiveSearch::new(&g, gamma).collect();
+                let streamed: Vec<Community> = ProgressiveSearch::new(&g, gamma).collect();
                 assert_eq!(streamed.len(), reference.len(), "gamma={gamma}");
                 for (a, b) in streamed.iter().zip(&reference) {
                     assert_eq!(a.keynode, b.keynode);
@@ -224,7 +224,11 @@ mod tests {
         let mut keynodes: Vec<Rank> = all.iter().map(|c| c.keynode).collect();
         keynodes.sort_unstable();
         keynodes.dedup();
-        assert_eq!(keynodes.len(), all.len(), "each keynode reported exactly once");
+        assert_eq!(
+            keynodes.len(),
+            all.len(),
+            "each keynode reported exactly once"
+        );
     }
 
     #[test]
@@ -238,8 +242,7 @@ mod tests {
         let g = figure3();
         let base: Vec<Community> = ProgressiveSearch::new(&g, 3).collect();
         for delta in [1.5, 4.0, 64.0] {
-            let alt: Vec<Community> =
-                ProgressiveSearch::with_delta(&g, 3, delta).collect();
+            let alt: Vec<Community> = ProgressiveSearch::with_delta(&g, 3, delta).collect();
             assert_eq!(alt.len(), base.len(), "delta={delta}");
             for (a, b) in alt.iter().zip(&base) {
                 assert_eq!(a.members, b.members, "delta={delta}");

@@ -57,13 +57,11 @@ pub fn bfs_distances(g: &WeightedGraph, sources: &[Rank]) -> Vec<u32> {
 /// `query` contains ranks of `g`; unreachable vertices never join a
 /// community (weight 0 puts them at the very end of the order, and any
 /// community containing one would have influence 0).
-pub fn closest_top_k(
-    g: &WeightedGraph,
-    query: &[Rank],
-    gamma: u32,
-    k: usize,
-) -> ClosestResult {
-    assert!(!query.is_empty(), "closest community search needs query vertices");
+pub fn closest_top_k(g: &WeightedGraph, query: &[Rank], gamma: u32, k: usize) -> ClosestResult {
+    assert!(
+        !query.is_empty(),
+        "closest community search needs query vertices"
+    );
     let distances = bfs_distances(g, query);
     // Rebuild the weight-sorted view under the ad-hoc weights. External
     // ids are reused so results translate back to the caller's ids; ties
@@ -92,7 +90,8 @@ pub fn closest_top_k(
                 .members
                 .iter()
                 .map(|&rq| {
-                    g.rank_of_external(gq.external_id(rq)).expect("same vertex set")
+                    g.rank_of_external(gq.external_id(rq))
+                        .expect("same vertex set")
                 })
                 .collect();
             members.sort_unstable();
@@ -100,10 +99,17 @@ pub fn closest_top_k(
                 .iter()
                 .max_by_key(|&&r| distances[r as usize])
                 .expect("non-empty community");
-            Community { keynode, influence: c.influence, members }
+            Community {
+                keynode,
+                influence: c.influence,
+                members,
+            }
         })
         .collect();
-    ClosestResult { communities, distances }
+    ClosestResult {
+        communities,
+        distances,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +157,10 @@ mod tests {
         let res = closest_top_k(&g, &[r3], 3, 1);
         assert_eq!(res.communities.len(), 1);
         let members = ids(&g, &res.communities[0].members);
-        assert!(members.contains(&3), "query vertex in its closest community");
+        assert!(
+            members.contains(&3),
+            "query vertex in its closest community"
+        );
         assert!(
             !members.contains(&1) && !members.contains(&16),
             "far block must not win: {members:?}"
@@ -165,7 +174,10 @@ mod tests {
         let res = closest_top_k(&g, &[r7], 3, 1);
         let members = ids(&g, &res.communities[0].members);
         assert!(members.contains(&7));
-        assert!(!members.contains(&11), "v11's block is farther: {members:?}");
+        assert!(
+            !members.contains(&11),
+            "v11's block is farther: {members:?}"
+        );
     }
 
     #[test]

@@ -110,7 +110,11 @@ pub fn local_search_se_top_k(
     }
     loop {
         // ConstructCVS with early stop at the previous prefix
-        let cfg = PeelConfig { gamma, stop_before: prev_len, track_nc: false };
+        let cfg = PeelConfig {
+            gamma,
+            stop_before: prev_len,
+            track_nc: false,
+        };
         engine.peel(&resident, cfg, &mut out);
         let entries = builder.add_peel(&resident, &out, usize::MAX, |r| dg.weight(r));
         reported.extend(entries);
@@ -223,7 +227,11 @@ mod tests {
         let dg = disk(&g, "ba.bin");
         let (_, ls) = local_search_se_top_k(&dg, 3, 5).unwrap();
         let (_, oa) = online_all_se_top_k(&dg, 3, 5).unwrap();
-        assert_eq!(oa.io.edges_read(), g.m() as u64, "OnlineAll-SE reads everything");
+        assert_eq!(
+            oa.io.edges_read(),
+            g.m() as u64,
+            "OnlineAll-SE reads everything"
+        );
         assert!(
             ls.io.edges_read() < oa.io.edges_read() / 2,
             "LocalSearch-SE should read a small prefix: {} vs {}",

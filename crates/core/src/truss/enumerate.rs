@@ -8,10 +8,10 @@
 //! (union-find keeps transitively-absorbed communities resolving to their
 //! current top). Storage stays linear in the peeled subgraph.
 
-use crate::community::Community;
-use crate::dsu::Dsu;
 use super::peel::TrussPeelOutput;
 use super::subgraph::EdgeSubgraph;
+use crate::community::Community;
+use crate::dsu::Dsu;
 use ic_graph::Rank;
 
 const NONE: u32 = u32::MAX;
@@ -79,8 +79,11 @@ impl TrussForest {
 
     /// Sorted member vertices of community `i`.
     pub fn members(&self, i: usize) -> Vec<Rank> {
-        let mut out: Vec<Rank> =
-            self.edges(i).into_iter().flat_map(|(a, b)| [a, b]).collect();
+        let mut out: Vec<Rank> = self
+            .edges(i)
+            .into_iter()
+            .flat_map(|(a, b)| [a, b])
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -166,8 +169,9 @@ mod tests {
     fn figure3_gamma4_trusses_are_the_cliques() {
         let g = figure3();
         let (forest, _) = enumerate(&g, 4, usize::MAX);
-        let sets: Vec<Vec<u64>> =
-            (0..forest.len()).map(|i| ids(&g, &forest.members(i))).collect();
+        let sets: Vec<Vec<u64>> = (0..forest.len())
+            .map(|i| ids(&g, &forest.members(i)))
+            .collect();
         assert!(sets.contains(&vec![3, 11, 12, 20]), "{sets:?}");
         assert!(sets.contains(&vec![1, 6, 7, 16]));
     }

@@ -71,7 +71,15 @@ pub fn count_icc(sub: &EdgeSubgraph, gamma: u32, out: &mut TrussPeelOutput) -> u
             queue.push(e);
         }
     }
-    cascade(sub, threshold, &mut support, &mut edge_alive, &mut vdeg, &mut queue, None);
+    cascade(
+        sub,
+        threshold,
+        &mut support,
+        &mut edge_alive,
+        &mut vdeg,
+        &mut queue,
+        None,
+    );
 
     // Phase 2 (lines 4–8): keynode peel.
     let mut cursor = sub.t;
@@ -180,15 +188,13 @@ mod tests {
 
     #[test]
     fn k4_single_community() {
-        let sub = EdgeSubgraph::from_edges(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let sub = EdgeSubgraph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let mut out = TrussPeelOutput::default();
         // γ=4: each edge of K4 is in exactly 2 = γ−2 triangles
         assert_eq!(count_icc(&sub, 4, &mut out), 1);
         assert_eq!(out.keys, vec![3]); // min-weight vertex = max rank
         assert_eq!(out.group(0).len(), 6); // the whole clique peels as one group
+
         // γ=5 is too strict
         assert_eq!(count_icc(&sub, 5, &mut out), 0);
     }
@@ -199,8 +205,9 @@ mod tests {
         // vertex with an edge to a higher rank is a keynode
         let g = figure3();
         let (c, _) = count(&g, g.n(), 2);
-        let with_higher_edge =
-            (0..g.n() as Rank).filter(|&r| g.higher_degree(r) > 0).count();
+        let with_higher_edge = (0..g.n() as Rank)
+            .filter(|&r| g.higher_degree(r) > 0)
+            .count();
         assert_eq!(c, with_higher_edge);
     }
 

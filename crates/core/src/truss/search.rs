@@ -47,7 +47,12 @@ pub fn local_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> TrussResult {
     };
     let forest = enum_icc(&sub, &out, k, |r| g.weight(r));
     let communities = (0..forest.len()).map(|i| forest.community(i)).collect();
-    TrussResult { communities, forest, accessed_size: prefix.size(), rounds }
+    TrussResult {
+        communities,
+        forest,
+        accessed_size: prefix.size(),
+        rounds,
+    }
 }
 
 /// Top-k influential γ-truss communities by peeling the **entire graph**.
@@ -60,7 +65,12 @@ pub fn global_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> TrussResult {
     count_icc(&sub, gamma, &mut out);
     let forest = enum_icc(&sub, &out, k, |r| g.weight(r));
     let communities = (0..forest.len()).map(|i| forest.community(i)).collect();
-    TrussResult { communities, forest, accessed_size: prefix.size(), rounds: 1 }
+    TrussResult {
+        communities,
+        forest,
+        accessed_size: prefix.size(),
+        rounds: 1,
+    }
 }
 
 #[cfg(test)]

@@ -59,7 +59,12 @@ impl EdgeSubgraph {
         for v in 0..t {
             adj[adj_off[v]..adj_off[v + 1]].sort_unstable();
         }
-        EdgeSubgraph { t, edges, adj_off, adj }
+        EdgeSubgraph {
+            t,
+            edges,
+            adj_off,
+            adj,
+        }
     }
 
     /// Number of edges.

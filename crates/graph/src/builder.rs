@@ -55,7 +55,10 @@ impl GraphBuilder {
 
     /// Pre-sizes internal storage for `m` edges.
     pub fn with_capacity(m: usize) -> Self {
-        GraphBuilder { edges: Vec::with_capacity(m), ..Self::default() }
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            ..Self::default()
+        }
     }
 
     /// Adds an undirected edge; self-loops are ignored.
@@ -135,7 +138,9 @@ impl GraphBuilder {
 
         // Rank by (weight desc, id asc): sort by (weight asc, id desc) and reverse.
         weighted.sort_unstable_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("weights are finite").then(b.1.cmp(&a.1))
+            a.0.partial_cmp(&b.0)
+                .expect("weights are finite")
+                .then(b.1.cmp(&a.1))
         });
         weighted.reverse();
 
@@ -190,7 +195,14 @@ impl GraphBuilder {
             higher_len[r] = list.partition_point(|&x| (x as usize) < r) as u32;
         }
 
-        let g = WeightedGraph { offsets, adj, higher_len, weights, ext_ids, m };
+        let g = WeightedGraph {
+            offsets,
+            adj,
+            higher_len,
+            weights,
+            ext_ids,
+            m,
+        };
         debug_assert_eq!(g.validate(), Ok(()));
         Ok(g)
     }

@@ -141,11 +141,7 @@ impl EdgeCursor {
     /// edges of the prefix subgraph `G≥τ` with `t` vertices, appending them
     /// to `out`. Stops before the first record outside the prefix (which is
     /// pushed back, costing no extra I/O beyond one record's peek).
-    pub fn read_prefix_edges(
-        &mut self,
-        t: usize,
-        out: &mut Vec<(Rank, Rank)>,
-    ) -> io::Result<()> {
+    pub fn read_prefix_edges(&mut self, t: usize, out: &mut Vec<(Rank, Rank)>) -> io::Result<()> {
         loop {
             let pos_before = self.reader.stream_position()?;
             match self.next_edge()? {
@@ -199,7 +195,10 @@ mod tests {
         let mut count = 0;
         let mut last_lo = 0;
         while let Some((lo, hi)) = cur.next_edge().unwrap() {
-            assert!(hi < lo, "record stores (lower-weight, higher-weight) endpoint ranks");
+            assert!(
+                hi < lo,
+                "record stores (lower-weight, higher-weight) endpoint ranks"
+            );
             assert!(lo >= last_lo, "file sorted by decreasing edge weight");
             last_lo = lo;
             assert!(g.has_edge(lo, hi));
@@ -217,10 +216,11 @@ mod tests {
         let mut edges = Vec::new();
         for t in [5usize, 10, 25, 50] {
             cur.read_prefix_edges(t, &mut edges).unwrap();
-            let expected: usize =
-                (0..t as Rank).map(|r| g.higher_degree(r) as usize).sum();
+            let expected: usize = (0..t as Rank).map(|r| g.higher_degree(r) as usize).sum();
             assert_eq!(edges.len(), expected, "t={t}");
-            assert!(edges.iter().all(|&(lo, hi)| (lo as usize) < t && (hi as usize) < t));
+            assert!(edges
+                .iter()
+                .all(|&(lo, hi)| (lo as usize) < t && (hi as usize) < t));
         }
         assert_eq!(cur.remaining(), 0);
     }

@@ -81,7 +81,11 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
         if u == v {
             continue;
         }
-        let key = if u < v { ((u as u64) << 32) | v as u64 } else { ((v as u64) << 32) | u as u64 };
+        let key = if u < v {
+            ((u as u64) << 32) | v as u64
+        } else {
+            ((v as u64) << 32) | u as u64
+        };
         if seen.insert(key) {
             edges.push((u.min(v), u.max(v)));
         }
@@ -135,7 +139,11 @@ pub struct RmatParams {
 impl Default for RmatParams {
     /// The widely used Graph500-style skew.
     fn default() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 }
 
@@ -331,7 +339,10 @@ mod tests {
             deg[a as usize] += 1;
             deg[b as usize] += 1;
         }
-        assert!(deg.iter().all(|&x| x >= d as u32), "BA guarantees min degree d");
+        assert!(
+            deg.iter().all(|&x| x >= d as u32),
+            "BA guarantees min degree d"
+        );
     }
 
     #[test]

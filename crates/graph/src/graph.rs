@@ -75,7 +75,10 @@ impl WeightedGraph {
     /// This is a linear scan and intended for tests and examples; hot paths
     /// should work in rank space.
     pub fn rank_of_external(&self, ext: u64) -> Option<Rank> {
-        self.ext_ids.iter().position(|&e| e == ext).map(|p| p as Rank)
+        self.ext_ids
+            .iter()
+            .position(|&e| e == ext)
+            .map(|p| p as Rank)
     }
 
     /// Full adjacency list of `r`, sorted ascending by rank.
@@ -129,15 +132,18 @@ impl WeightedGraph {
     /// True if `{a, b}` is an edge (binary search on the sorted list of the
     /// lower-degree endpoint).
     pub fn has_edge(&self, a: Rank, b: Rank) -> bool {
-        let (s, t) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        let (s, t) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.neighbors(s).binary_search(&t).is_ok()
     }
 
     /// All edges as `(lower_rank, higher_rank)` pairs, each reported once.
     pub fn edges(&self) -> impl Iterator<Item = (Rank, Rank)> + '_ {
-        (0..self.n() as Rank).flat_map(move |r| {
-            self.higher_neighbors(r).iter().map(move |&h| (h, r))
-        })
+        (0..self.n() as Rank)
+            .flat_map(move |r| self.higher_neighbors(r).iter().map(move |&h| (h, r)))
     }
 
     /// Largest `t` such that every vertex of rank `< t` has weight `≥ τ`.
@@ -195,7 +201,6 @@ impl WeightedGraph {
 
 #[cfg(test)]
 mod tests {
-    
 
     use crate::paper::figure1;
 

@@ -23,7 +23,12 @@ const MAGIC: &[u8; 4] = b"ICG1";
 /// Writes the text format.
 pub fn write_text<W: Write>(g: &WeightedGraph, out: W) -> io::Result<()> {
     let mut w = BufWriter::new(out);
-    writeln!(w, "# influential-communities graph: n={} m={}", g.n(), g.m())?;
+    writeln!(
+        w,
+        "# influential-communities graph: n={} m={}",
+        g.n(),
+        g.m()
+    )?;
     for r in 0..g.n() as u32 {
         writeln!(w, "v {} {}", g.external_id(r), g.weight(r))?;
     }
@@ -101,13 +106,15 @@ pub fn write_binary<W: Write>(g: &WeightedGraph, out: W) -> io::Result<()> {
 pub fn read_binary<R: Read>(input: R) -> Result<WeightedGraph, GraphError> {
     let mut r = BufReader::new(input);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).map_err(|e| GraphError::Parse(e.to_string()))?;
+    r.read_exact(&mut magic)
+        .map_err(|e| GraphError::Parse(e.to_string()))?;
     if &magic != MAGIC {
         return Err(GraphError::Parse("bad magic; not an ICG1 file".into()));
     }
     let mut u64buf = [0u8; 8];
     let mut read_u64 = |r: &mut BufReader<R>| -> Result<u64, GraphError> {
-        r.read_exact(&mut u64buf).map_err(|e| GraphError::Parse(e.to_string()))?;
+        r.read_exact(&mut u64buf)
+            .map_err(|e| GraphError::Parse(e.to_string()))?;
         Ok(u64::from_le_bytes(u64buf))
     };
     let n = read_u64(&mut r)? as usize;
@@ -116,7 +123,8 @@ pub fn read_binary<R: Read>(input: R) -> Result<WeightedGraph, GraphError> {
     let mut ids = Vec::with_capacity(n);
     for _ in 0..n {
         let mut rec = [0u8; 16];
-        r.read_exact(&mut rec).map_err(|e| GraphError::Parse(e.to_string()))?;
+        r.read_exact(&mut rec)
+            .map_err(|e| GraphError::Parse(e.to_string()))?;
         let id = u64::from_le_bytes(rec[..8].try_into().unwrap());
         let w = f64::from_le_bytes(rec[8..].try_into().unwrap());
         b.set_weight(id, w);
@@ -125,7 +133,8 @@ pub fn read_binary<R: Read>(input: R) -> Result<WeightedGraph, GraphError> {
     }
     for _ in 0..m {
         let mut rec = [0u8; 8];
-        r.read_exact(&mut rec).map_err(|e| GraphError::Parse(e.to_string()))?;
+        r.read_exact(&mut rec)
+            .map_err(|e| GraphError::Parse(e.to_string()))?;
         let a = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize;
         let bb = u32::from_le_bytes(rec[4..].try_into().unwrap()) as usize;
         if a >= n || bb >= n {
@@ -194,10 +203,22 @@ mod tests {
 
     #[test]
     fn text_rejects_garbage() {
-        assert!(matches!(read_text("x 1 2\n".as_bytes()), Err(GraphError::Parse(_))));
-        assert!(matches!(read_text("v 1\n".as_bytes()), Err(GraphError::Parse(_))));
-        assert!(matches!(read_text("e 1\n".as_bytes()), Err(GraphError::Parse(_))));
-        assert!(matches!(read_text("v notanum 1.0\n".as_bytes()), Err(GraphError::Parse(_))));
+        assert!(matches!(
+            read_text("x 1 2\n".as_bytes()),
+            Err(GraphError::Parse(_))
+        ));
+        assert!(matches!(
+            read_text("v 1\n".as_bytes()),
+            Err(GraphError::Parse(_))
+        ));
+        assert!(matches!(
+            read_text("e 1\n".as_bytes()),
+            Err(GraphError::Parse(_))
+        ));
+        assert!(matches!(
+            read_text("v notanum 1.0\n".as_bytes()),
+            Err(GraphError::Parse(_))
+        ));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Graph substrates for top-k influential community search.
 //!
 //! This crate provides everything *below* the community-search algorithms of
-//! [`ic-core`](../ic_core/index.html):
+//! the `ic-core` crate (which depends on this one, so no intra-doc link can
+//! point at it from here):
 //!
 //! * [`WeightedGraph`] — an immutable, weight-sorted CSR representation in
 //!   which vertices are identified by their *rank* in decreasing weight

@@ -15,7 +15,11 @@ pub struct PageRankOptions {
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        PageRankOptions { damping: 0.85, max_iters: 100, tolerance: 1e-10 }
+        PageRankOptions {
+            damping: 0.85,
+            max_iters: 100,
+            tolerance: 1e-10,
+        }
     }
 }
 
@@ -37,8 +41,12 @@ pub fn pagerank_edges(n: usize, edges: &[(u32, u32)], opts: PageRankOptions) -> 
     for _ in 0..opts.max_iters {
         let base = (1.0 - d) / n as f64;
         // dangling mass: vertices with no edges spread uniformly
-        let dangling: f64 =
-            (0..n).filter(|&v| deg[v] == 0).map(|v| rank[v]).sum::<f64>() * d / n as f64;
+        let dangling: f64 = (0..n)
+            .filter(|&v| deg[v] == 0)
+            .map(|v| rank[v])
+            .sum::<f64>()
+            * d
+            / n as f64;
         next.iter_mut().for_each(|x| *x = base + dangling);
         for &(u, v) in edges {
             let (u, v) = (u as usize, v as usize);
@@ -111,7 +119,10 @@ mod tests {
     #[test]
     fn damping_zero_is_uniform() {
         let edges = [(0, 1), (0, 2), (0, 3)];
-        let opts = PageRankOptions { damping: 0.0, ..Default::default() };
+        let opts = PageRankOptions {
+            damping: 0.0,
+            ..Default::default()
+        };
         let r = pagerank_edges(4, &edges, opts);
         for v in 1..4 {
             assert!((r[v] - r[0]).abs() < 1e-12);

@@ -35,7 +35,10 @@ impl Pcg32 {
         let mut sm = seed;
         let init_state = splitmix64(&mut sm);
         let init_inc = splitmix64(&mut sm) | 1; // stream selector must be odd
-        let mut rng = Pcg32 { state: 0, inc: init_inc };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: init_inc,
+        };
         rng.state = rng.state.wrapping_add(init_state);
         rng.next_u32();
         rng
@@ -142,7 +145,10 @@ mod tests {
             assert!(v < 10);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]
@@ -173,7 +179,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move something");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move something"
+        );
     }
 
     #[test]

@@ -69,9 +69,19 @@ pub fn graph_stats(g: &WeightedGraph) -> GraphStats {
     let n = g.n();
     let m = g.m();
     let d_max = (0..n as u32).map(|r| g.degree(r)).max().unwrap_or(0);
-    let d_avg = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+    let d_avg = if n == 0 {
+        0.0
+    } else {
+        2.0 * m as f64 / n as f64
+    };
     let gamma_max = core_numbers(g).into_iter().max().unwrap_or(0);
-    GraphStats { n, m, d_max, d_avg, gamma_max }
+    GraphStats {
+        n,
+        m,
+        d_max,
+        d_avg,
+        gamma_max,
+    }
 }
 
 #[cfg(test)]

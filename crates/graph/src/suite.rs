@@ -26,14 +26,38 @@ pub struct DatasetSpec {
 
 /// Specs of the eight Table 1 stand-ins, in the paper's order.
 pub const SUITE: [DatasetSpec; 8] = [
-    DatasetSpec { name: "email", note: "small communication network (G(n,m), mild skew)" },
-    DatasetSpec { name: "youtube", note: "sparse social network (Barabási–Albert)" },
-    DatasetSpec { name: "wiki", note: "denser hyperlink-ish network (R-MAT)" },
-    DatasetSpec { name: "livejournal", note: "social network, higher degeneracy (BA, d=12)" },
-    DatasetSpec { name: "orkut", note: "dense social network (BA, d=24)" },
-    DatasetSpec { name: "arabic", note: "web crawl, heavy skew (R-MAT, ef=24)" },
-    DatasetSpec { name: "uk", note: "web crawl (R-MAT, ef=16)" },
-    DatasetSpec { name: "twitter", note: "largest, very skewed (R-MAT, ef=32)" },
+    DatasetSpec {
+        name: "email",
+        note: "small communication network (G(n,m), mild skew)",
+    },
+    DatasetSpec {
+        name: "youtube",
+        note: "sparse social network (Barabási–Albert)",
+    },
+    DatasetSpec {
+        name: "wiki",
+        note: "denser hyperlink-ish network (R-MAT)",
+    },
+    DatasetSpec {
+        name: "livejournal",
+        note: "social network, higher degeneracy (BA, d=12)",
+    },
+    DatasetSpec {
+        name: "orkut",
+        note: "dense social network (BA, d=24)",
+    },
+    DatasetSpec {
+        name: "arabic",
+        note: "web crawl, heavy skew (R-MAT, ef=24)",
+    },
+    DatasetSpec {
+        name: "uk",
+        note: "web crawl (R-MAT, ef=16)",
+    },
+    DatasetSpec {
+        name: "twitter",
+        note: "largest, very skewed (R-MAT, ef=32)",
+    },
 ];
 
 fn build(name: &str, scale_shift: u32) -> WeightedGraph {
@@ -51,41 +75,72 @@ fn build(name: &str, scale_shift: u32) -> WeightedGraph {
         }
         "youtube" => {
             let n = sh(32_768);
-            let e =
-                overlay_dense_core(barabasi_albert(n, 3, 0xE0A2), core(128), 0.55, 0xC0A2);
+            let e = overlay_dense_core(barabasi_albert(n, 3, 0xE0A2), core(128), 0.55, 0xC0A2);
             assemble(n, &e, WeightKind::PageRank)
         }
         "wiki" => {
             let scale = 15u32.saturating_sub(scale_shift);
             let n = 1usize << scale;
-            assemble(n, &rmat(scale, 14, RmatParams::default(), 0xE0A3), WeightKind::PageRank)
+            assemble(
+                n,
+                &rmat(scale, 14, RmatParams::default(), 0xE0A3),
+                WeightKind::PageRank,
+            )
         }
         "livejournal" => {
             let n = sh(32_768);
-            let e =
-                overlay_dense_core(barabasi_albert(n, 12, 0xE0A4), core(768), 0.35, 0xC0A4);
+            let e = overlay_dense_core(barabasi_albert(n, 12, 0xE0A4), core(768), 0.35, 0xC0A4);
             assemble(n, &e, WeightKind::PageRank)
         }
         "orkut" => {
             let n = sh(16_384);
-            let e =
-                overlay_dense_core(barabasi_albert(n, 24, 0xE0A5), core(640), 0.5, 0xC0A5);
+            let e = overlay_dense_core(barabasi_albert(n, 24, 0xE0A5), core(640), 0.5, 0xC0A5);
             assemble(n, &e, WeightKind::PageRank)
         }
         "arabic" => {
             let scale = 16u32.saturating_sub(scale_shift);
             let n = 1usize << scale;
-            assemble(n, &rmat(scale, 24, RmatParams { a: 0.6, b: 0.18, c: 0.18 }, 0xE0A6), WeightKind::PageRank)
+            assemble(
+                n,
+                &rmat(
+                    scale,
+                    24,
+                    RmatParams {
+                        a: 0.6,
+                        b: 0.18,
+                        c: 0.18,
+                    },
+                    0xE0A6,
+                ),
+                WeightKind::PageRank,
+            )
         }
         "uk" => {
             let scale = 17u32.saturating_sub(scale_shift);
             let n = 1usize << scale;
-            assemble(n, &rmat(scale, 16, RmatParams::default(), 0xE0A7), WeightKind::PageRank)
+            assemble(
+                n,
+                &rmat(scale, 16, RmatParams::default(), 0xE0A7),
+                WeightKind::PageRank,
+            )
         }
         "twitter" => {
             let scale = 16u32.saturating_sub(scale_shift);
             let n = 1usize << scale;
-            assemble(n, &rmat(scale, 32, RmatParams { a: 0.62, b: 0.17, c: 0.17 }, 0xE0A8), WeightKind::PageRank)
+            assemble(
+                n,
+                &rmat(
+                    scale,
+                    32,
+                    RmatParams {
+                        a: 0.62,
+                        b: 0.17,
+                        c: 0.17,
+                    },
+                    0xE0A8,
+                ),
+                WeightKind::PageRank,
+            )
         }
         other => panic!("unknown suite dataset {other:?}"),
     }
@@ -103,12 +158,18 @@ pub fn small_dataset(name: &str) -> WeightedGraph {
 
 /// All eight harness-scale datasets, in Table 1 order.
 pub fn bench_suite() -> Vec<(&'static str, WeightedGraph)> {
-    SUITE.iter().map(|s| (s.name, bench_dataset(s.name))).collect()
+    SUITE
+        .iter()
+        .map(|s| (s.name, bench_dataset(s.name)))
+        .collect()
 }
 
 /// All eight CI-scale datasets, in Table 1 order.
 pub fn small_suite() -> Vec<(&'static str, WeightedGraph)> {
-    SUITE.iter().map(|s| (s.name, small_dataset(s.name))).collect()
+    SUITE
+        .iter()
+        .map(|s| (s.name, small_dataset(s.name)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -130,7 +191,10 @@ mod tests {
         let suite = small_suite();
         let email = suite.iter().find(|(n, _)| *n == "email").unwrap().1.m();
         let twitter = suite.iter().find(|(n, _)| *n == "twitter").unwrap().1.m();
-        assert!(twitter > 4 * email, "twitter stand-in must dwarf email stand-in");
+        assert!(
+            twitter > 4 * email,
+            "twitter stand-in must dwarf email stand-in"
+        );
     }
 
     #[test]

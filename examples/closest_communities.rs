@@ -31,7 +31,10 @@ fn main() {
     for probe in [165u64, 250] {
         let rank = g.rank_of_external(probe).expect("vertex exists");
         let res = closest_top_k(&g, &[rank], 5, 2);
-        println!("\nquery vertex {probe} (its planted group: {}):", probe as usize / size);
+        println!(
+            "\nquery vertex {probe} (its planted group: {}):",
+            probe as usize / size
+        );
         for (i, c) in res.communities.iter().enumerate() {
             let members = c.external_members(&g);
             // which planted group dominates the returned community?
@@ -39,8 +42,7 @@ fn main() {
             for &m in &members {
                 counts[m as usize / size] += 1;
             }
-            let (best_group, hits) =
-                counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
+            let (best_group, hits) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
             println!(
                 "  closest community #{}: {} members, {:.0}% from planted group {}",
                 i + 1,

@@ -15,10 +15,12 @@ use ic_graph::generators::{assemble, collaboration, WeightKind};
 
 /// Deterministic researcher-style label for a vertex id.
 fn name(id: u64) -> String {
-    const FIRST: [&str; 8] =
-        ["Ada", "Edsger", "Grace", "Barbara", "Donald", "Leslie", "Frances", "Tony"];
-    const LAST: [&str; 8] =
-        ["Liu", "Okafor", "Petrov", "Nakamura", "Garcia", "Schmidt", "Rossi", "Haddad"];
+    const FIRST: [&str; 8] = [
+        "Ada", "Edsger", "Grace", "Barbara", "Donald", "Leslie", "Frances", "Tony",
+    ];
+    const LAST: [&str; 8] = [
+        "Liu", "Okafor", "Petrov", "Nakamura", "Garcia", "Schmidt", "Rossi", "Haddad",
+    ];
     format!(
         "{} {}-{:03}",
         FIRST[(id % 8) as usize],
@@ -42,14 +44,20 @@ fn main() {
 
     match (core_top.communities.first(), truss_top.communities.first()) {
         (Some(core), Some(trs)) => {
-            println!("\ntop-1 influential {core_gamma}-community ({} members):", core.len());
+            println!(
+                "\ntop-1 influential {core_gamma}-community ({} members):",
+                core.len()
+            );
             for &r in core.members.iter().take(12) {
                 println!("    {}", name(g.external_id(r)));
             }
             if core.len() > 12 {
                 println!("    ... and {} more", core.len() - 12);
             }
-            println!("\ntop-1 influential {truss_gamma}-truss community ({} members):", trs.len());
+            println!(
+                "\ntop-1 influential {truss_gamma}-truss community ({} members):",
+                trs.len()
+            );
             for &r in &trs.members {
                 println!("    {}", name(g.external_id(r)));
             }

@@ -27,7 +27,10 @@ fn main() {
     let want = 16;
 
     println!("\nstreaming communities (γ = {gamma}):");
-    println!("  {:>5} {:>12} {:>12} {:>9}", "top-i", "influence", "latency", "members");
+    println!(
+        "  {:>5} {:>12} {:>12} {:>9}",
+        "top-i", "influence", "latency", "members"
+    );
     let t0 = Instant::now();
     let mut stream = ProgressiveSearch::new(&g, gamma);
     let mut count = 0usize;
@@ -59,6 +62,8 @@ fn main() {
     );
     println!(
         "accessed subgraph: progressive {} vs batch {} (of {} total)",
-        accessed, batch.stats.final_prefix_size, g.size()
+        accessed,
+        batch.stats.final_prefix_size,
+        g.size()
     );
 }

@@ -16,10 +16,23 @@ fn main() {
         b.set_weight(v, 10.0 + v as f64);
     }
     for (u, v) in [
-        (0, 1), (0, 5), (0, 6), (1, 5), (1, 6), (5, 6),       // one dense block
-        (1, 2), (2, 3),                                        // a bridge
-        (3, 4), (3, 7), (3, 8), (3, 9), (4, 7), (4, 8),        // another block
-        (7, 8), (7, 9), (8, 9),
+        (0, 1),
+        (0, 5),
+        (0, 6),
+        (1, 5),
+        (1, 6),
+        (5, 6), // one dense block
+        (1, 2),
+        (2, 3), // a bridge
+        (3, 4),
+        (3, 7),
+        (3, 8),
+        (3, 9),
+        (4, 7),
+        (4, 8), // another block
+        (7, 8),
+        (7, 9),
+        (8, 9),
     ] {
         b.add_edge(u, v);
     }
@@ -32,7 +45,10 @@ fn main() {
     let k = 2;
     let result = top_k(&g, gamma, k);
 
-    println!("top-{k} influential {gamma}-communities of a {}-vertex graph:", g.n());
+    println!(
+        "top-{k} influential {gamma}-communities of a {}-vertex graph:",
+        g.n()
+    );
     for (i, c) in result.communities.iter().enumerate() {
         println!(
             "  #{}: influence {:.1}, members {:?}",
@@ -52,6 +68,10 @@ fn main() {
     // decreasing influence order and you may stop at any time — no k.
     println!("\nprogressive stream (stop whenever):");
     for c in ProgressiveSearch::new(&g, gamma).take(2) {
-        println!("  influence {:.1}: {:?}", c.influence, c.external_members(&g));
+        println!(
+            "  influence {:.1}: {:?}",
+            c.influence,
+            c.external_members(&g)
+        );
     }
 }

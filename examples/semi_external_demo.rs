@@ -45,7 +45,12 @@ fn main() -> std::io::Result<()> {
 
     println!("\ntop-{k} influential {gamma}-communities (identical from both):");
     for (i, c) in ls_communities.iter().take(3).enumerate() {
-        println!("  #{}: influence {:.3e}, {} members", i + 1, c.influence, c.len());
+        println!(
+            "  #{}: influence {:.3e}, {} members",
+            i + 1,
+            c.influence,
+            c.len()
+        );
     }
     println!("  ...");
 

@@ -36,8 +36,7 @@ fn main() {
 
     println!("\ntop-{k} influential {gamma}-communities:");
     for (i, c) in local.communities.iter().enumerate() {
-        let preview: Vec<u64> =
-            c.external_members(&g).into_iter().take(8).collect();
+        let preview: Vec<u64> = c.external_members(&g).into_iter().take(8).collect();
         println!(
             "  #{}: influence {:.3e}, {} members, e.g. users {:?}",
             i + 1,
@@ -61,5 +60,8 @@ fn main() {
         g.size(),
         100.0 * local.stats.final_prefix_size as f64 / g.size() as f64
     );
-    println!("  Forward:     {t_global:>9.3?}  touched {:>9} (the whole graph)", g.size());
+    println!(
+        "  Forward:     {t_global:>9.3?}  touched {:>9} (the whole graph)",
+        g.size()
+    );
 }

@@ -2,17 +2,26 @@
 //!
 //! Re-exports the graph substrates ([`graph`]) and the community-search
 //! algorithms ([`search`]) so that examples and downstream users need a
-//! single dependency. See the README for a quickstart and DESIGN.md for
-//! the paper-to-module map.
+//! single dependency. See the README for a quickstart and for the
+//! paper-to-module map.
 
 pub use ic_core as search;
 pub use ic_graph as graph;
 
 pub mod prelude {
     //! One-import convenience surface used by the examples.
+    //!
+    //! Every name here is audited against the defining crate: the graph
+    //! side exposes construction ([`GraphBuilder`], [`assemble`],
+    //! [`WeightKind`]) and the two query substrates ([`WeightedGraph`],
+    //! [`Prefix`]); the search side exposes the batch entry point
+    //! ([`top_k`] / [`LocalSearch`] returning [`SearchResult`]), the
+    //! streaming entry point ([`ProgressiveSearch`]), and the result /
+    //! parameter types ([`Community`], [`Params`]).
     pub use ic_core::community::Community;
-    pub use ic_core::local_search::{top_k, LocalSearch};
+    pub use ic_core::local_search::{top_k, LocalSearch, SearchResult};
     pub use ic_core::progressive::ProgressiveSearch;
+    pub use ic_core::Params;
     pub use ic_graph::generators::{assemble, WeightKind};
     pub use ic_graph::{GraphBuilder, Prefix, WeightedGraph};
 }

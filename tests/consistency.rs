@@ -3,11 +3,11 @@
 //! implementation, across a grid of random graphs, weight assignments,
 //! cohesiveness thresholds, and k values.
 
+use ic_graph::generators::{assemble, barabasi_albert, gnm, planted_partition, WeightKind};
+use ic_graph::WeightedGraph;
 use influential_communities::search::{
     backward, forward, local_search, naive, online_all, progressive,
 };
-use ic_graph::generators::{assemble, barabasi_albert, gnm, planted_partition, WeightKind};
-use ic_graph::WeightedGraph;
 
 fn random_graphs() -> Vec<(String, WeightedGraph)> {
     let mut graphs = Vec::new();
@@ -60,11 +60,16 @@ fn all_algorithms_agree_with_reference() {
                 let oa = online_all::top_k(&g, gamma, k);
                 let fw = forward::top_k(&g, gamma, k);
                 let bw = backward::top_k(&g, gamma, k);
-                let pg: Vec<_> =
-                    progressive::ProgressiveSearch::new(&g, gamma).take(k).collect();
-                for (algo, got) in
-                    [("local", &ls), ("onlineall", &oa), ("forward", &fw), ("backward", &bw), ("progressive", &pg)]
-                {
+                let pg: Vec<_> = progressive::ProgressiveSearch::new(&g, gamma)
+                    .take(k)
+                    .collect();
+                for (algo, got) in [
+                    ("local", &ls),
+                    ("onlineall", &oa),
+                    ("forward", &fw),
+                    ("backward", &bw),
+                    ("progressive", &pg),
+                ] {
                     assert_eq!(
                         got.len(),
                         expected.len(),
@@ -92,8 +97,7 @@ fn progressive_stream_is_complete_and_ordered() {
     for (name, g) in random_graphs() {
         for gamma in 1..=4u32 {
             let reference = naive::all_communities(&g, gamma);
-            let streamed: Vec<_> =
-                progressive::ProgressiveSearch::new(&g, gamma).collect();
+            let streamed: Vec<_> = progressive::ProgressiveSearch::new(&g, gamma).collect();
             assert_eq!(streamed.len(), reference.len(), "{name} γ={gamma}");
             for w in streamed.windows(2) {
                 // decreasing influence; ties (e.g. degree weights) are
@@ -113,13 +117,14 @@ fn progressive_stream_is_complete_and_ordered() {
 
 #[test]
 fn counting_strategies_and_deltas_are_interchangeable() {
-    use local_search::{CountStrategy, LocalSearch, LocalSearchOptions};
+    use influential_communities::search::local_search::{
+        CountStrategy, LocalSearch, LocalSearchOptions,
+    };
     for (name, g) in random_graphs().into_iter().take(4) {
         let baseline = local_search::top_k(&g, 3, 8).communities;
         for delta in [1.5f64, 3.0, 16.0] {
             for counting in [CountStrategy::CountIc, CountStrategy::OnlineAll] {
-                let mut ls =
-                    LocalSearch::with_options(LocalSearchOptions { delta, counting });
+                let mut ls = LocalSearch::with_options(LocalSearchOptions { delta, counting });
                 let got = ls.run(&g, 3, 8).communities;
                 assert_eq!(got.len(), baseline.len(), "{name} δ={delta} {counting:?}");
                 for (a, b) in got.iter().zip(&baseline) {

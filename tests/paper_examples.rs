@@ -1,11 +1,9 @@
 //! End-to-end replication of every worked example in the paper, exercised
 //! through the public facade exactly as a user would.
 
-use influential_communities::prelude::*;
-use influential_communities::search::{
-    backward, forward, noncontainment, online_all, truss,
-};
 use ic_graph::paper::{figure1, figure2a, figure3};
+use influential_communities::prelude::*;
+use influential_communities::search::{backward, forward, noncontainment, online_all, truss};
 
 fn ids(g: &WeightedGraph, members: &[u32]) -> Vec<u64> {
     let mut v: Vec<u64> = members.iter().map(|&r| g.external_id(r)).collect();
@@ -42,8 +40,11 @@ fn introduction_example_figure2() {
     assert_eq!(ids(&g, &res.communities[1].members), vec![0, 1, 5, 6]);
     // the full community list of G≥5 includes the third, nested community
     let all = top_k(&g, 3, 10);
-    let memberships: Vec<Vec<u64>> =
-        all.communities.iter().map(|c| ids(&g, &c.members)).collect();
+    let memberships: Vec<Vec<u64>> = all
+        .communities
+        .iter()
+        .map(|c| ids(&g, &c.members))
+        .collect();
     assert!(memberships.contains(&vec![3, 4, 8, 9, 10]));
 }
 
@@ -133,8 +134,11 @@ fn section_5_2_truss_case_study() {
     // (every edge of K4 is in exactly 2 = γ−2 triangles)
     let g = figure3();
     let res = truss::global_top_k(&g, 4, usize::MAX);
-    let sets: Vec<Vec<u64>> =
-        res.communities.iter().map(|c| ids(&g, &c.members)).collect();
+    let sets: Vec<Vec<u64>> = res
+        .communities
+        .iter()
+        .map(|c| ids(&g, &c.members))
+        .collect();
     assert!(sets.contains(&vec![3, 11, 12, 20]));
     assert!(sets.contains(&vec![1, 6, 7, 16]));
 }

@@ -23,10 +23,8 @@ fn se_answers_match_in_memory_on_random_graphs() {
         for gamma in 1..=4u32 {
             for k in [1usize, 3, 9] {
                 let reference = local_search::top_k(&g, gamma, k).communities;
-                let (ls, _) =
-                    semi_external::local_search_se_top_k(&dg, gamma, k).unwrap();
-                let (oa, _) =
-                    semi_external::online_all_se_top_k(&dg, gamma, k).unwrap();
+                let (ls, _) = semi_external::local_search_se_top_k(&dg, gamma, k).unwrap();
+                let (oa, _) = semi_external::online_all_se_top_k(&dg, gamma, k).unwrap();
                 assert_eq!(ls.len(), reference.len(), "seed={seed} γ={gamma} k={k}");
                 assert_eq!(oa.len(), reference.len());
                 for ((a, b), c) in ls.iter().zip(&oa).zip(&reference) {

@@ -11,7 +11,11 @@ fn graphs() -> Vec<WeightedGraph> {
     let mut gs = Vec::new();
     for seed in 0..4u64 {
         let n = 40 + seed as usize * 10;
-        gs.push(assemble(n, &gnm(n, n * 4, seed), WeightKind::Uniform(seed * 7 + 1)));
+        gs.push(assemble(
+            n,
+            &gnm(n, n * 4, seed),
+            WeightKind::Uniform(seed * 7 + 1),
+        ));
     }
     gs.push(assemble(
         45,
@@ -35,7 +39,11 @@ fn truss_local_and_global_match_reference() {
             for k in [1usize, 2, 4] {
                 let local = truss::local_top_k(g, gamma, k);
                 let expect: Vec<_> = reference.iter().take(k).collect();
-                assert_eq!(local.communities.len(), expect.len(), "g{i} γ={gamma} k={k}");
+                assert_eq!(
+                    local.communities.len(),
+                    expect.len(),
+                    "g{i} γ={gamma} k={k}"
+                );
                 for (a, b) in local.communities.iter().zip(&expect) {
                     assert_eq!(a.members, b.members, "g{i} γ={gamma} k={k}");
                 }

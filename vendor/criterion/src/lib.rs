@@ -1,0 +1,261 @@
+//! A minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the small API subset our benches use — `Criterion::benchmark_group`,
+//! group configuration (`sample_size` / `measurement_time` /
+//! `warm_up_time`), `bench_function`, `finish`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a real measuring
+//! loop behind it: each benchmark is warmed up, then timed for
+//! `sample_size` samples (bounded by `measurement_time`), and the
+//! min/mean/max per-iteration times are printed in a criterion-like
+//! format. Swapping in the real criterion later only requires changing
+//! the dependency, not the benches.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle, handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    /// Substring filter from the command line (`cargo bench <filter>`).
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parses the arguments cargo's bench runner forwards. Flags we do not
+    /// implement (`--bench`, `--save-baseline <name>`, …) are ignored; the
+    /// first free-standing argument becomes a substring filter.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" | "--color" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => {
+                    // Real criterion rejects a second positional filter;
+                    // silently keeping only one would skew baselines.
+                    assert!(
+                        self.filter.is_none(),
+                        "at most one benchmark filter is supported, got both \
+                         {:?} and {s:?}",
+                        self.filter.as_deref().unwrap()
+                    );
+                    self.filter = Some(s.to_string());
+                }
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Upper bound on total measuring time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measures one routine and prints its per-iteration statistics.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+
+        // Warm-up: run (and discard) until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        while warm_start.elapsed() < self.warm_up_time {
+            b.elapsed = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+        }
+
+        // Measurement: `sample_size` samples, clipped by `measurement_time`.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+            if measure_start.elapsed() >= self.measurement_time && !samples.is_empty() {
+                break;
+            }
+        }
+
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{full:<60} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to the benchmarked closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count so one sample is long
+    /// enough to be measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One calibration run decides how many iterations a sample needs to
+        // dominate timer quantization (~aim for >= 100µs per sample).
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        let reps = if once >= Duration::from_micros(100) {
+            1
+        } else {
+            (Duration::from_micros(100).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            black_box(routine());
+        }
+        self.elapsed += t1.elapsed() + once;
+        self.iters += reps + 1;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "-".into()
+    } else if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut c = c;
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5), "2.5000 s");
+        assert!(fmt_time(0.0025).ends_with("ms"));
+        assert!(fmt_time(2.5e-6).ends_with("µs"));
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+    }
+}
