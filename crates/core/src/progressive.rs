@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 
 use crate::community::{Community, CommunityForest};
 use crate::enumerate::ForestBuilder;
+use crate::local_search::{SearchResult, SearchStats};
 use crate::peel::{PeelConfig, PeelEngine, PeelOutput};
 use ic_graph::{Prefix, WeightedGraph};
 
@@ -40,6 +41,13 @@ pub struct ProgressiveSearch<'g> {
     /// Forest entries built but not yet yielded, front = next.
     pending: VecDeque<u32>,
     exhausted: bool,
+    /// Rounds executed and counting work, mirroring
+    /// [`crate::local_search::SearchStats`] for the batch algorithm.
+    rounds: usize,
+    /// `size(G≥τ)` of the most recently peeled prefix (the prefix itself
+    /// may already have grown for the next round).
+    prev_size: u64,
+    total_counted_size: u64,
 }
 
 impl<'g> ProgressiveSearch<'g> {
@@ -67,6 +75,9 @@ impl<'g> ProgressiveSearch<'g> {
             builder: ForestBuilder::new(),
             pending: VecDeque::new(),
             exhausted: false,
+            rounds: 0,
+            prev_size: 0,
+            total_counted_size: 0,
         }
     }
 
@@ -80,6 +91,18 @@ impl<'g> ProgressiveSearch<'g> {
     /// analogue of [`crate::local_search::SearchStats::final_prefix_size`].
     pub fn accessed_size(&self) -> u64 {
         self.prefix.size()
+    }
+
+    /// Access statistics so far, in the same shape as the batch
+    /// algorithm's [`SearchStats`] so downstream consumers (e.g. a query
+    /// planner) can treat both uniformly.
+    pub fn stats(&self) -> SearchStats {
+        SearchStats {
+            rounds: self.rounds,
+            final_prefix_len: self.prev_len,
+            final_prefix_size: self.prev_size,
+            total_counted_size: self.total_counted_size,
+        }
     }
 
     /// Runs one round of Algorithm 4 (lines 5–9): peel the current prefix
@@ -96,6 +119,9 @@ impl<'g> ProgressiveSearch<'g> {
             track_nc: false,
         };
         self.engine.peel(&self.prefix, cfg, &mut self.out);
+        self.rounds += 1;
+        self.prev_size = self.prefix.size();
+        self.total_counted_size += self.prefix.size();
         // line 6: EnumIC-P — new keynodes in decreasing weight order
         let entries = self
             .builder
@@ -131,10 +157,19 @@ impl Iterator for ProgressiveSearch<'_> {
 }
 
 /// Convenience: the top-k communities via the progressive algorithm
-/// (consumes the stream up to k items).
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+/// (consumes the stream up to k items). Returns the same [`SearchResult`]
+/// shape as [`crate::local_search::top_k`] so callers can dispatch between
+/// the batch and progressive algorithms uniformly.
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
     assert!(k >= 1);
-    ProgressiveSearch::new(g, gamma).take(k).collect()
+    let mut search = ProgressiveSearch::new(g, gamma);
+    let communities: Vec<Community> = search.by_ref().take(k).collect();
+    let stats = search.stats();
+    SearchResult {
+        communities,
+        forest: search.builder.into_forest(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -195,12 +230,33 @@ mod tests {
     #[test]
     fn take_k_matches_paper_top4() {
         let g = figure3();
-        let top = top_k(&g, 3, 4);
-        assert_eq!(top.len(), 4);
+        let res = top_k(&g, 3, 4);
+        assert_eq!(res.communities.len(), 4);
         assert_eq!(
-            top.iter().map(|c| c.influence).collect::<Vec<_>>(),
+            res.communities
+                .iter()
+                .map(|c| c.influence)
+                .collect::<Vec<_>>(),
             vec![18.0, 14.0, 13.0, 12.0]
         );
+        // the stats are populated, not defaulted, and the forest holds at
+        // least the reported communities
+        assert!(res.stats.rounds >= 1);
+        assert!(res.stats.final_prefix_size > 0);
+        assert!(res.stats.total_counted_size >= res.stats.final_prefix_size);
+        assert!(res.forest.len() >= 4);
+    }
+
+    #[test]
+    fn top_k_matches_local_search_result_shape() {
+        let g = figure3();
+        let a = top_k(&g, 3, 4);
+        let b = crate::local_search::top_k(&g, 3, 4);
+        assert_eq!(a.communities.len(), b.communities.len());
+        for (x, y) in a.communities.iter().zip(&b.communities) {
+            assert_eq!(x.keynode, y.keynode);
+            assert_eq!(x.members, y.members);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Query-dependent vertex weights — the paper's stated future-work
 //! extension (§1 footnote 1 and §7): *"the weight of a vertex is computed
 //! online based on a query, e.g., the reciprocal of the shortest distance
-//! to query vertices as studied in closest community search [23]"*.
+//! to query vertices as studied in closest community search \[23\]"*.
 //!
 //! Because LocalSearch is index-free, supporting an ad-hoc weight vector
 //! only requires re-ranking the vertices for the query: we compute the

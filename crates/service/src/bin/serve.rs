@@ -1,0 +1,81 @@
+//! The `serve` binary: a TCP front-end for the influential-communities
+//! query service.
+//!
+//! ```sh
+//! cargo run --release -p ic-service --bin serve -- 127.0.0.1:7878 --workers 4 --preload
+//! # then, from another terminal:
+//! #   printf 'QUERY email 10 4\nSTATS\nQUIT\n' | nc 127.0.0.1 7878
+//! ```
+//!
+//! `--preload` registers two small Table 1 stand-in datasets (`email`,
+//! `wiki`) so the server is immediately queryable; otherwise clients
+//! register graphs themselves via `LOAD`/`GEN`.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use ic_service::protocol::HELP;
+use ic_service::{serve, Service, ServiceConfig};
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServiceConfig::default();
+    let mut preload = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.workers = v,
+                None => return usage("--workers needs a number"),
+            },
+            "--cache" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.cache_capacity = v,
+                None => return usage("--cache needs a number"),
+            },
+            "--preload" => preload = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [addr] [--workers N] [--cache N] [--preload]\n\
+                     protocol: {HELP}"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let svc = Service::new(config);
+    if preload {
+        for name in ["email", "wiki"] {
+            let entry = svc.register(name, ic_graph::suite::small_dataset(name));
+            println!(
+                "preloaded {name}: n={} m={} gamma_max={}",
+                entry.stats.n, entry.stats.m, entry.stats.gamma_max
+            );
+        }
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ic-service listening on {addr} ({} workers); {HELP}",
+        svc.worker_count()
+    );
+    if let Err(e) = serve(listener, svc) {
+        eprintln!("server failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("serve: {msg} (try --help)");
+    ExitCode::FAILURE
+}

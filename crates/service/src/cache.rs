@@ -1,0 +1,231 @@
+//! Sharded LRU result cache.
+//!
+//! Queries are keyed by `(graph, γ, k)` — the community set they return is
+//! a pure function of that triple, whatever algorithm computed it — so a
+//! repeat query is answered in O(1) with a shared `Arc` to the first
+//! answer. Sharding by key hash keeps lock contention off the hot path:
+//! each shard is an independent `Mutex` around a small map, so concurrent
+//! hits on different keys rarely collide.
+//!
+//! Eviction is exact LRU per shard, implemented with a monotone use-tick
+//! per entry and a linear min-scan on overflow. Shards are small (total
+//! capacity / shard count), so the scan is a handful of comparisons —
+//! simpler and, at this size, faster than maintaining an intrusive list.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use ic_core::Community;
+
+/// Cache key: the query triple that determines the answer, plus the
+/// registration generation of the graph instance it was computed against.
+/// The generation makes replacement races benign: a result computed
+/// against a superseded instance is inserted under the old generation and
+/// is unreachable from queries planned against the new one (see
+/// [`crate::registry::RegisteredGraph::generation`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub graph: String,
+    pub generation: u64,
+    pub gamma: u32,
+    pub k: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<Vec<Community>>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// The sharded cache. Cheap to share (`&self` everywhere); values are
+/// `Arc`s, so a hit never copies the community lists.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Box<[Mutex<Shard>]>,
+    per_shard_capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries spread over `shards`
+    /// shards (both floored at 1; per-shard capacity is rounded up so the
+    /// total is never below `capacity`).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity = capacity.max(1);
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Community>>> {
+        let mut shard = self.shard(key).lock().expect("cache lock poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// entry of the shard if it is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<Vec<Community>>) {
+        let mut shard = self.shard(&key).lock().expect("cache lock poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry for `graph` — called when a graph is re-registered
+    /// under an existing name, so stale answers can never be served.
+    pub fn invalidate_graph(&self, graph: &str) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().expect("cache lock poisoned");
+            shard.map.retain(|k, _| k.graph != graph);
+        }
+    }
+
+    /// Removes every entry.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache lock poisoned").map.clear();
+        }
+    }
+
+    /// Total number of cached entries (sums shard sizes; approximate under
+    /// concurrent mutation).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock poisoned").map.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(graph: &str, gamma: u32, k: usize) -> CacheKey {
+        CacheKey {
+            graph: graph.into(),
+            generation: 0,
+            gamma,
+            k,
+        }
+    }
+
+    fn value(n: usize) -> Arc<Vec<Community>> {
+        Arc::new(vec![
+            Community {
+                keynode: 0,
+                influence: 1.0,
+                members: vec![0],
+            };
+            n
+        ])
+    }
+
+    #[test]
+    fn hit_returns_same_arc() {
+        let c = ResultCache::new(8, 2);
+        let v = value(3);
+        c.insert(key("g", 3, 5), v.clone());
+        let got = c.get(&key("g", 3, 5)).unwrap();
+        assert!(Arc::ptr_eq(&v, &got));
+        assert!(c.get(&key("g", 3, 6)).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        // single shard so recency is globally ordered
+        let c = ResultCache::new(2, 1);
+        c.insert(key("g", 1, 1), value(1));
+        c.insert(key("g", 1, 2), value(1));
+        // touch the first so the second becomes LRU
+        assert!(c.get(&key("g", 1, 1)).is_some());
+        c.insert(key("g", 1, 3), value(1));
+        assert!(c.get(&key("g", 1, 1)).is_some());
+        assert!(c.get(&key("g", 1, 2)).is_none());
+        assert!(c.get(&key("g", 1, 3)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let c = ResultCache::new(2, 1);
+        c.insert(key("g", 1, 1), value(1));
+        c.insert(key("g", 1, 2), value(1));
+        c.insert(key("g", 1, 2), value(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key("g", 1, 2)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn invalidation_is_per_graph() {
+        let c = ResultCache::new(16, 4);
+        c.insert(key("a", 1, 1), value(1));
+        c.insert(key("a", 2, 1), value(1));
+        c.insert(key("b", 1, 1), value(1));
+        c.invalidate_graph("a");
+        assert!(c.get(&key("a", 1, 1)).is_none());
+        assert!(c.get(&key("a", 2, 1)).is_none());
+        assert!(c.get(&key("b", 1, 1)).is_some());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = Arc::new(ResultCache::new(64, 8));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200usize {
+                    let k = key("g", t, i % 32);
+                    c.insert(k.clone(), value(1));
+                    let _ = c.get(&k);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 64 + 8); // per-shard rounding slack
+    }
+}

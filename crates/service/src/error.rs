@@ -1,0 +1,50 @@
+//! Error type shared by every service layer.
+
+use std::fmt;
+
+/// Anything that can go wrong serving a request. The TCP front-end maps
+/// each variant to a one-line `ERR` reply; library users match on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Query or command referenced a graph name that is not registered.
+    UnknownGraph(String),
+    /// `NEXT`/`CLOSE` referenced a session id that does not exist (never
+    /// opened, or already closed).
+    UnknownSession(u64),
+    /// Degenerate or malformed query parameters (γ = 0, k = 0, bad mode).
+    InvalidQuery(String),
+    /// A graph failed to load or generate.
+    GraphLoad(String),
+    /// The worker pool or a session worker shut down mid-request.
+    WorkerGone,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            ServiceError::GraphLoad(msg) => write!(f, "graph load failed: {msg}"),
+            ServiceError::WorkerGone => write!(f, "worker shut down while serving the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServiceError::UnknownGraph("g".into())
+            .to_string()
+            .contains("\"g\""));
+        assert!(ServiceError::UnknownSession(7).to_string().contains('7'));
+        assert!(ServiceError::InvalidQuery("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
+    }
+}

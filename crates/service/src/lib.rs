@@ -1,0 +1,67 @@
+//! `ic-service` — the serving layer for online influential-community
+//! search.
+//!
+//! The paper's point is *online* queries: LocalSearch answers a `(γ, k)`
+//! query in time proportional to the answer, and LS-P streams communities
+//! progressively. This crate turns those library calls into a concurrent
+//! query engine, std-only like the rest of the workspace:
+//!
+//! * [`registry::GraphRegistry`] — named, immutable `Arc`-shared graphs,
+//!   loaded from files or synthesized, with planning statistics captured
+//!   at registration.
+//! * [`planner`] — a [`planner::Query`] type and a cost model choosing
+//!   between LocalSearch, progressive, Forward, and OnlineAll per query,
+//!   with an explicit override and an explainable decision
+//!   ([`planner::Explain`]).
+//! * [`service::Service`] — the engine: a fixed worker pool executing
+//!   queries against shared graphs behind a sharded LRU [`cache`] keyed
+//!   by `(graph, γ, k)`, with hit/miss/latency counters snapshotted as
+//!   [`stats::ServiceStats`].
+//! * [`session::Session`] — progressive sessions: pull communities one
+//!   batch at a time across calls, each session backed by a thread owning
+//!   its `ProgressiveSearch` iterator.
+//! * [`protocol`] / [`server`] — a line-oriented text protocol (`LOAD`,
+//!   `QUERY`, `NEXT`, `STATS`, `EXPLAIN`, …) and the TCP front-end behind
+//!   the `serve` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use ic_graph::paper::figure3;
+//! use ic_service::{Query, Service};
+//!
+//! let svc = Service::with_defaults();
+//! svc.register("fig3", figure3());
+//!
+//! // batch query through the pool + cache
+//! let resp = svc.query(Query::new("fig3", 3, 4)).unwrap();
+//! assert_eq!(resp.communities.len(), 4);
+//! assert!(svc.query(Query::new("fig3", 3, 4)).unwrap().cached);
+//!
+//! // progressive session: pull communities one at a time
+//! let id = svc.open_session("fig3", 3).unwrap();
+//! let first = svc.session_next(id, 1).unwrap();
+//! assert_eq!(first.len(), 1);
+//! svc.close_session(id).unwrap();
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod planner;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+pub mod session;
+pub mod stats;
+
+pub use cache::{CacheKey, ResultCache};
+pub use error::ServiceError;
+pub use planner::{plan, Algorithm, Explain, Mode, Query};
+pub use pool::WorkerPool;
+pub use registry::{GraphRegistry, RegisteredGraph};
+pub use server::serve;
+pub use service::{QueryResponse, Service, ServiceConfig, SyntheticSpec};
+pub use session::Session;
+pub use stats::ServiceStats;

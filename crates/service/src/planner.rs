@@ -1,0 +1,305 @@
+//! The query planner: picks which search algorithm answers a query.
+//!
+//! The repo implements four interchangeable top-k algorithms with very
+//! different cost profiles (§6 of the paper):
+//!
+//! * **LocalSearch** — instance-optimal; touches `O(size(G≥τ*))`, tiny
+//!   when k is small relative to the graph.
+//! * **LocalSearch-P** (progressive) — minimal latency to the *first*
+//!   community; ideal when only a handful of results is consumed.
+//! * **Forward** — two flat global passes; independent of k, so it wins
+//!   once the answer prefix approaches the whole graph and LocalSearch
+//!   would pay geometric re-counting of near-global prefixes.
+//! * **OnlineAll** — one global sweep that enumerates *every* community;
+//!   the right tool when k exceeds any possible community count.
+//!
+//! The planner encodes these regimes as a cost model over the O(1)
+//! [`GraphStats`] captured at registration time. Every decision is
+//! explainable: [`plan`] returns an [`Explain`] naming the chosen
+//! algorithm and the rule that fired, and the `EXPLAIN` protocol verb
+//! surfaces it to clients. An explicit [`Mode`] override bypasses the
+//! model (the escape hatch the consistency proptests use to exercise each
+//! branch directly).
+
+use std::fmt;
+
+use ic_graph::GraphStats;
+
+use crate::error::ServiceError;
+
+/// How the client wants the query dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Let the cost model decide (the default).
+    #[default]
+    Auto,
+    /// Force a specific algorithm.
+    Force(Algorithm),
+}
+
+/// The four executable plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    LocalSearch,
+    Progressive,
+    Forward,
+    OnlineAll,
+}
+
+impl Algorithm {
+    /// All algorithms, in display order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::LocalSearch,
+        Algorithm::Progressive,
+        Algorithm::Forward,
+        Algorithm::OnlineAll,
+    ];
+
+    /// Stable lower-case name used by the wire protocol and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::LocalSearch => "local_search",
+            Algorithm::Progressive => "progressive",
+            Algorithm::Forward => "forward",
+            Algorithm::OnlineAll => "online_all",
+        }
+    }
+
+    /// Index into per-algorithm counter arrays.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Algorithm::LocalSearch => 0,
+            Algorithm::Progressive => 1,
+            Algorithm::Forward => 2,
+            Algorithm::OnlineAll => 3,
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parses the protocol's mode token (`auto`, `local_search`, …).
+pub fn parse_mode(s: &str) -> Result<Mode, ServiceError> {
+    match s.to_ascii_lowercase().as_str() {
+        "auto" => Ok(Mode::Auto),
+        "local_search" | "local" => Ok(Mode::Force(Algorithm::LocalSearch)),
+        "progressive" => Ok(Mode::Force(Algorithm::Progressive)),
+        "forward" => Ok(Mode::Force(Algorithm::Forward)),
+        "online_all" | "onlineall" => Ok(Mode::Force(Algorithm::OnlineAll)),
+        other => Err(ServiceError::InvalidQuery(format!(
+            "unknown mode {other:?} (expected auto, local_search, progressive, forward, online_all)"
+        ))),
+    }
+}
+
+/// A top-k query against a registered graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Name of the registered graph.
+    pub graph: String,
+    /// Cohesiveness threshold γ ≥ 1.
+    pub gamma: u32,
+    /// Number of communities requested, ≥ 1.
+    pub k: usize,
+    /// Dispatch mode.
+    pub mode: Mode,
+}
+
+impl Query {
+    /// A query in the default [`Mode::Auto`].
+    pub fn new(graph: impl Into<String>, gamma: u32, k: usize) -> Self {
+        Query {
+            graph: graph.into(),
+            gamma,
+            k,
+            mode: Mode::Auto,
+        }
+    }
+
+    /// Same query pinned to a specific algorithm.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Rejects degenerate parameters up front so executors can rely on
+    /// `γ ≥ 1`, `k ≥ 1` (the panicking `Params::new` contract).
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.gamma == 0 {
+            return Err(ServiceError::InvalidQuery(
+                "gamma must be at least 1".into(),
+            ));
+        }
+        if self.k == 0 {
+            return Err(ServiceError::InvalidQuery("k must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Why a plan was chosen — returned by [`plan`] and printed by `EXPLAIN`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explain {
+    /// The chosen algorithm.
+    pub algorithm: Algorithm,
+    /// The cost-model rule (or override) that selected it.
+    pub reason: &'static str,
+    /// Whether the choice came from an explicit [`Mode::Force`].
+    pub forced: bool,
+    /// Graph statistics the decision consulted.
+    pub n: usize,
+    pub m: usize,
+    pub gamma_max: u32,
+}
+
+/// k at or below which the progressive stream's latency-to-first-result
+/// beats the batch algorithms outright (Figure 14 regime).
+pub const PROGRESSIVE_K_CUTOFF: usize = 2;
+
+/// Picks the algorithm for `(γ, k)` on a graph with the given statistics.
+///
+/// The `Auto` branches, in order:
+///
+/// 1. `γ > γmax` — no γ-core exists; **Forward**'s single global counting
+///    pass is the cheapest proof of emptiness.
+/// 2. `k + γ ≥ n` — the heuristic initial prefix already spans the whole
+///    graph; **OnlineAll**'s single sweep enumerates everything without
+///    LocalSearch's growth rounds.
+/// 3. `k + γ ≥ n/2` — the answer prefix likely covers most of the graph;
+///    **Forward**'s two flat passes beat repeated counting of near-global
+///    prefixes.
+/// 4. `k ≤ `[`PROGRESSIVE_K_CUTOFF`] — a tiny result set; the
+///    **progressive** stream stops after the minimal prefix.
+/// 5. otherwise — **LocalSearch**, the instance-optimal default.
+pub fn plan(stats: &GraphStats, gamma: u32, k: usize, mode: Mode) -> Explain {
+    let base = |algorithm: Algorithm, reason: &'static str, forced: bool| Explain {
+        algorithm,
+        reason,
+        forced,
+        n: stats.n,
+        m: stats.m,
+        gamma_max: stats.gamma_max,
+    };
+    if let Mode::Force(algorithm) = mode {
+        return base(algorithm, "explicit mode override", true);
+    }
+    let n = stats.n;
+    let reach = k.saturating_add(gamma as usize);
+    if gamma > stats.gamma_max {
+        base(
+            Algorithm::Forward,
+            "gamma exceeds the graph's degeneracy: no gamma-core exists, so one \
+             global counting pass proves the answer empty",
+            false,
+        )
+    } else if reach >= n {
+        base(
+            Algorithm::OnlineAll,
+            "k + gamma >= n: the initial prefix already spans the whole graph, \
+             so a single global sweep enumerates every community",
+            false,
+        )
+    } else if reach >= n / 2 {
+        base(
+            Algorithm::Forward,
+            "k + gamma >= n/2: the answer prefix covers most of the graph, so \
+             two flat global passes beat geometric re-counting",
+            false,
+        )
+    } else if k <= PROGRESSIVE_K_CUTOFF {
+        base(
+            Algorithm::Progressive,
+            "tiny k: the progressive stream terminates after the minimal \
+             prefix, minimizing latency to the first community",
+            false,
+        )
+    } else {
+        base(
+            Algorithm::LocalSearch,
+            "small k relative to n: instance-optimal prefix search touches \
+             only the subgraph the answer needs",
+            false,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(n: usize, m: usize, gamma_max: u32) -> GraphStats {
+        GraphStats {
+            n,
+            m,
+            d_max: gamma_max,
+            d_avg: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
+            gamma_max,
+        }
+    }
+
+    #[test]
+    fn override_wins_over_everything() {
+        let s = stats(1000, 5000, 8);
+        for algo in Algorithm::ALL {
+            let e = plan(&s, 99, 1, Mode::Force(algo));
+            assert_eq!(e.algorithm, algo);
+            assert!(e.forced);
+        }
+    }
+
+    #[test]
+    fn infeasible_gamma_dispatches_forward() {
+        let e = plan(&stats(1000, 5000, 8), 9, 5, Mode::Auto);
+        assert_eq!(e.algorithm, Algorithm::Forward);
+        assert!(e.reason.contains("degeneracy"));
+    }
+
+    #[test]
+    fn whole_graph_k_dispatches_online_all() {
+        let e = plan(&stats(100, 500, 8), 3, 100, Mode::Auto);
+        assert_eq!(e.algorithm, Algorithm::OnlineAll);
+    }
+
+    #[test]
+    fn large_k_dispatches_forward() {
+        let e = plan(&stats(100, 500, 8), 3, 60, Mode::Auto);
+        assert_eq!(e.algorithm, Algorithm::Forward);
+        assert!(e.reason.contains("flat"));
+    }
+
+    #[test]
+    fn tiny_k_dispatches_progressive() {
+        let e = plan(&stats(1000, 5000, 8), 3, PROGRESSIVE_K_CUTOFF, Mode::Auto);
+        assert_eq!(e.algorithm, Algorithm::Progressive);
+    }
+
+    #[test]
+    fn moderate_k_dispatches_local_search() {
+        let e = plan(&stats(1000, 5000, 8), 3, 20, Mode::Auto);
+        assert_eq!(e.algorithm, Algorithm::LocalSearch);
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        assert_eq!(parse_mode("auto").unwrap(), Mode::Auto);
+        for algo in Algorithm::ALL {
+            assert_eq!(parse_mode(algo.name()).unwrap(), Mode::Force(algo));
+        }
+        assert!(parse_mode("mystery").is_err());
+    }
+
+    #[test]
+    fn query_validation() {
+        assert!(Query::new("g", 1, 1).validate().is_ok());
+        assert!(Query::new("g", 0, 1).validate().is_err());
+        assert!(Query::new("g", 1, 0).validate().is_err());
+    }
+}

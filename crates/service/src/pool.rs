@@ -1,0 +1,127 @@
+//! Fixed-size worker pool over `std::thread` + `std::sync::mpsc`.
+//!
+//! Jobs are boxed closures pulled from a single shared channel guarded by
+//! a mutex (the receiver side of `mpsc` is single-consumer, so workers
+//! take turns holding the lock just long enough to dequeue — the classic
+//! std-only work queue). Dropping the pool closes the channel, lets every
+//! queued job finish, and joins the workers; a pool is therefore safe to
+//! use from `Drop` order anywhere in the service.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads executing submitted jobs FIFO.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (floored at 1).
+    pub fn new(workers: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("ic-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Returns `false` if the pool is already shut down
+    /// (only possible during teardown races).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only for the dequeue, never during the job.
+        let job = match rx.lock().expect("worker queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: pool dropped
+        };
+        job();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel: workers drain then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs_across_threads() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.worker_count(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel();
+        for _ in 0..100 {
+            let counter = counter.clone();
+            let done = done_tx.clone();
+            assert!(pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let _ = done.send(());
+            }));
+        }
+        for _ in 0..100 {
+            done_rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..50 {
+                let counter = counter.clone();
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // pool dropped here: must finish every queued job before joining
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_workers_is_floored_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.worker_count(), 1);
+        let (tx, rx) = channel();
+        pool.submit(move || tx.send(7usize).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

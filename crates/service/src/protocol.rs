@@ -1,0 +1,376 @@
+//! The line-oriented text protocol spoken by the `serve` binary.
+//!
+//! One request per line; one reply per request. Replies are a single
+//! `OK …` / `ERR …` line, except community-bearing replies (`QUERY`,
+//! `NEXT`), which follow the `OK` line with one `C` line per community
+//! and a final `END` line. Vertices are printed as the caller's external
+//! ids. The full verb set:
+//!
+//! ```text
+//! LOAD <name> <path>                     register a graph file (ICG1 or text)
+//! GEN <name> gnm <n> <m> <seed>          register synthetic G(n,m)
+//! GEN <name> ba <n> <d> <seed>           register synthetic Barabási–Albert
+//! GEN <name> rmat <scale> <ef> <seed>    register synthetic R-MAT
+//! GRAPHS                                 list registered graphs
+//! QUERY <graph> <gamma> <k> [mode]       top-k (mode: auto|local_search|…)
+//! EXPLAIN <graph> <gamma> <k> [mode]     plan only, with the reason
+//! OPEN <graph> <gamma>                   open a progressive session
+//! NEXT <session> [n]                     pull up to n communities (default 1)
+//! CLOSE <session>                        close a session
+//! STATS                                  hit/miss/latency counters
+//! HELP                                   this listing
+//! QUIT                                   close the connection
+//! ```
+//!
+//! [`handle_line`] is a pure request → reply function over an
+//! [`Arc<Service>`]; the TCP front-end ([`crate::server`]) and the
+//! in-process `service_demo` example share it, so the protocol is tested
+//! without sockets.
+
+use std::sync::Arc;
+
+use ic_core::Community;
+use ic_graph::WeightedGraph;
+
+use crate::error::ServiceError;
+use crate::planner::{parse_mode, Mode, Query};
+use crate::service::{QueryResponse, Service, SyntheticSpec};
+
+/// Help text returned by `HELP` (and useful as a banner).
+pub const HELP: &str = "commands: LOAD <name> <path> | GEN <name> gnm|ba|rmat <args> <seed> | \
+GRAPHS | QUERY <graph> <gamma> <k> [mode] | EXPLAIN <graph> <gamma> <k> [mode] | \
+OPEN <graph> <gamma> | NEXT <session> [n] | CLOSE <session> | STATS | HELP | QUIT";
+
+/// Handles one request line, returning the full (possibly multi-line)
+/// reply without a trailing newline. Empty and `#`-comment lines get an
+/// empty reply. `QUIT` is connection-level and handled by the caller.
+pub fn handle_line(svc: &Arc<Service>, line: &str) -> String {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return String::new();
+    }
+    match dispatch(svc, line) {
+        Ok(reply) => reply,
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
+    let mut parts = line.split_ascii_whitespace();
+    let verb = parts.next().expect("non-empty line").to_ascii_uppercase();
+    let args: Vec<&str> = parts.collect();
+    match verb.as_str() {
+        "HELP" => Ok(format!("OK {HELP}")),
+        "LOAD" => {
+            let [name, path] = expect_args::<2>(&verb, &args)?;
+            let entry = svc.load_path(name, path)?;
+            Ok(graph_line(
+                &entry.name,
+                entry.stats.n,
+                entry.stats.m,
+                entry.stats.gamma_max,
+            ))
+        }
+        "GEN" => {
+            let [name, kind, a, b, seed] = expect_args::<5>(&verb, &args)?;
+            let seed = parse_num::<u64>("seed", seed)?;
+            let spec = match kind.to_ascii_lowercase().as_str() {
+                "gnm" => SyntheticSpec::Gnm {
+                    n: parse_num("n", a)?,
+                    m: parse_num("m", b)?,
+                    seed,
+                },
+                "ba" => SyntheticSpec::BarabasiAlbert {
+                    n: parse_num("n", a)?,
+                    d: parse_num("d", b)?,
+                    seed,
+                },
+                "rmat" => SyntheticSpec::Rmat {
+                    scale: parse_num("scale", a)?,
+                    edge_factor: parse_num("edge_factor", b)?,
+                    seed,
+                },
+                other => {
+                    return Err(ServiceError::InvalidQuery(format!(
+                        "unknown generator {other:?} (expected gnm, ba, rmat)"
+                    )))
+                }
+            };
+            let entry = svc.register_synthetic(name, spec);
+            Ok(graph_line(
+                &entry.name,
+                entry.stats.n,
+                entry.stats.m,
+                entry.stats.gamma_max,
+            ))
+        }
+        "GRAPHS" => {
+            let graphs = svc.graphs();
+            let mut out = format!("OK count={}", graphs.len());
+            for g in graphs {
+                out.push_str(&format!(
+                    "\nG name={} n={} m={} gamma_max={}",
+                    g.name, g.stats.n, g.stats.m, g.stats.gamma_max
+                ));
+            }
+            out.push_str("\nEND");
+            Ok(out)
+        }
+        "QUERY" => {
+            let query = parse_query(&verb, &args)?;
+            let resp = svc.query(query)?;
+            Ok(format_query_response(&resp))
+        }
+        "EXPLAIN" => {
+            let query = parse_query(&verb, &args)?;
+            let e = svc.explain(&query)?;
+            Ok(format!(
+                "OK algo={} forced={} n={} m={} gamma_max={} reason={}",
+                e.algorithm, e.forced, e.n, e.m, e.gamma_max, e.reason
+            ))
+        }
+        "OPEN" => {
+            let [graph, gamma] = expect_args::<2>(&verb, &args)?;
+            let gamma = parse_num::<u32>("gamma", gamma)?;
+            let id = svc.open_session(graph, gamma)?;
+            Ok(format!("OK session={id}"))
+        }
+        "NEXT" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(usage(&verb, "NEXT <session> [n]"));
+            }
+            let id = parse_num::<u64>("session", args[0])?;
+            let n = match args.get(1) {
+                Some(s) => parse_num::<usize>("n", s)?,
+                None => 1,
+            };
+            // Print through the instance the session actually streams
+            // from — the name may have been re-registered to a different
+            // graph mid-session, whose rank space would not match.
+            let g = svc
+                .session_graph_instance(id)
+                .ok_or(ServiceError::UnknownSession(id))?;
+            let batch = svc.session_next(id, n)?;
+            let mut out = format!("OK count={}", batch.len());
+            push_communities(&mut out, &batch, &g);
+            out.push_str("\nEND");
+            Ok(out)
+        }
+        "CLOSE" => {
+            let [id] = expect_args::<1>(&verb, &args)?;
+            let id = parse_num::<u64>("session", id)?;
+            svc.close_session(id)?;
+            Ok(format!("OK closed={id}"))
+        }
+        "STATS" => {
+            let s = svc.stats();
+            Ok(format!(
+                "OK queries={} hits={} misses={} hit_rate={:.4} \
+                 local_search={} progressive={} forward={} online_all={} \
+                 mean_latency_micros={} sessions_opened={} sessions_closed={} \
+                 streamed={} graphs={} cached_entries={}",
+                s.queries,
+                s.cache_hits,
+                s.cache_misses,
+                s.hit_rate(),
+                s.executed[0],
+                s.executed[1],
+                s.executed[2],
+                s.executed[3],
+                s.mean_latency().as_micros(),
+                s.sessions_opened,
+                s.sessions_closed,
+                s.communities_streamed,
+                svc.graphs().len(),
+                svc.cache_len(),
+            ))
+        }
+        "QUIT" => Ok("OK bye".to_string()),
+        other => Err(ServiceError::InvalidQuery(format!(
+            "unknown command {other:?} (try HELP)"
+        ))),
+    }
+}
+
+fn parse_query(verb: &str, args: &[&str]) -> Result<Query, ServiceError> {
+    if args.len() < 3 || args.len() > 4 {
+        return Err(usage(verb, "<graph> <gamma> <k> [mode]"));
+    }
+    let mode = match args.get(3) {
+        Some(s) => parse_mode(s)?,
+        None => Mode::Auto,
+    };
+    Ok(Query {
+        graph: args[0].to_string(),
+        gamma: parse_num("gamma", args[1])?,
+        k: parse_num("k", args[2])?,
+        mode,
+    })
+}
+
+fn format_query_response(resp: &QueryResponse) -> String {
+    let mut out = format!(
+        "OK algo={} cached={} micros={} count={}",
+        resp.explain.algorithm,
+        resp.cached,
+        resp.latency.as_micros(),
+        resp.communities.len()
+    );
+    // translate through the instance the query actually ran against,
+    // never a fresh registry lookup (the name may have been re-registered
+    // to a graph with a different rank space since)
+    push_communities(&mut out, &resp.communities, &resp.graph_instance);
+    out.push_str("\nEND");
+    out
+}
+
+fn push_communities(out: &mut String, communities: &[Community], g: &WeightedGraph) {
+    for c in communities {
+        out.push_str(&format!("\nC influence={} members=", c.influence));
+        // canonical wire form: external ids ascending (rank order is an
+        // internal detail clients should not have to know about)
+        let mut ids = c.external_members(g);
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&id.to_string());
+        }
+    }
+}
+
+fn graph_line(name: &str, n: usize, m: usize, gamma_max: u32) -> String {
+    format!("OK graph={name} n={n} m={m} gamma_max={gamma_max}")
+}
+
+fn expect_args<'a, const N: usize>(
+    verb: &str,
+    args: &[&'a str],
+) -> Result<[&'a str; N], ServiceError> {
+    <[&str; N]>::try_from(args.to_vec())
+        .map_err(|_| usage(verb, &format!("expected {N} argument(s)")))
+}
+
+fn usage(verb: &str, usage: &str) -> ServiceError {
+    ServiceError::InvalidQuery(format!("{verb}: usage {verb} {usage}"))
+}
+
+fn parse_num<T: std::str::FromStr>(field: &str, s: &str) -> Result<T, ServiceError> {
+    s.parse()
+        .map_err(|_| ServiceError::InvalidQuery(format!("{field}: not a valid number: {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use ic_graph::paper::figure3;
+
+    fn svc() -> Arc<Service> {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            cache_shards: 2,
+        });
+        svc.register("fig3", figure3());
+        svc
+    }
+
+    #[test]
+    fn query_reply_lists_paper_communities() {
+        let svc = svc();
+        let reply = handle_line(&svc, "QUERY fig3 3 4");
+        assert!(reply.starts_with("OK "), "{reply}");
+        assert!(reply.contains("count=4"), "{reply}");
+        assert!(reply.contains("influence=18 members=3,11,12,20"), "{reply}");
+        assert!(reply.ends_with("END"), "{reply}");
+    }
+
+    #[test]
+    fn repeat_query_reports_cached() {
+        let svc = svc();
+        let _ = handle_line(&svc, "QUERY fig3 3 4");
+        let reply = handle_line(&svc, "query fig3 3 4"); // verbs case-insensitive
+        assert!(reply.contains("cached=true"), "{reply}");
+    }
+
+    #[test]
+    fn explain_names_algorithm_and_reason() {
+        let svc = svc();
+        let reply = handle_line(&svc, "EXPLAIN fig3 3 10 forward");
+        assert!(reply.contains("algo=forward"), "{reply}");
+        assert!(reply.contains("forced=true"), "{reply}");
+        let auto = handle_line(&svc, "EXPLAIN fig3 3 10");
+        assert!(auto.contains("reason="), "{auto}");
+    }
+
+    #[test]
+    fn session_verbs_round_trip() {
+        let svc = svc();
+        let open = handle_line(&svc, "OPEN fig3 3");
+        assert!(open.starts_with("OK session="), "{open}");
+        let id: u64 = open.trim_start_matches("OK session=").parse().unwrap();
+        let first = handle_line(&svc, &format!("NEXT {id}"));
+        assert!(first.contains("count=1"), "{first}");
+        assert!(first.contains("members=3,11,12,20"), "{first}");
+        let rest = handle_line(&svc, &format!("NEXT {id} 100"));
+        assert!(rest.contains("count="), "{rest}");
+        let close = handle_line(&svc, &format!("CLOSE {id}"));
+        assert!(close.starts_with("OK closed="), "{close}");
+        let gone = handle_line(&svc, &format!("NEXT {id}"));
+        assert!(gone.starts_with("ERR"), "{gone}");
+    }
+
+    #[test]
+    fn gen_graphs_stats_flow() {
+        let svc = svc();
+        let gen = handle_line(&svc, "GEN toy gnm 50 150 7");
+        assert!(gen.contains("graph=toy"), "{gen}");
+        assert!(gen.contains("n=50"), "{gen}");
+        let graphs = handle_line(&svc, "GRAPHS");
+        assert!(graphs.contains("count=2"), "{graphs}");
+        assert!(graphs.contains("name=fig3"), "{graphs}");
+        assert!(graphs.contains("name=toy"), "{graphs}");
+        let _ = handle_line(&svc, "QUERY toy 2 3");
+        let stats = handle_line(&svc, "STATS");
+        assert!(stats.contains("queries=1"), "{stats}");
+        assert!(stats.contains("graphs=2"), "{stats}");
+    }
+
+    #[test]
+    fn next_survives_graph_replacement_mid_session() {
+        // regression: NEXT used to translate the old instance's ranks
+        // through a fresh registry lookup — an out-of-bounds panic once
+        // the name was re-registered to a smaller graph
+        let svc = svc();
+        let open = handle_line(&svc, "OPEN fig3 3");
+        let id: u64 = open.trim_start_matches("OK session=").parse().unwrap();
+        let gen = handle_line(&svc, "GEN fig3 gnm 5 4 1"); // tiny replacement
+        assert!(gen.starts_with("OK"), "{gen}");
+        let next = handle_line(&svc, &format!("NEXT {id} 2"));
+        assert!(next.starts_with("OK count=2"), "{next}");
+        assert!(next.contains("members=3,11,12,20"), "{next}");
+    }
+
+    #[test]
+    fn errors_are_err_lines() {
+        let svc = svc();
+        for bad in [
+            "QUERY nope 3 4",
+            "QUERY fig3 0 4",
+            "QUERY fig3 3",
+            "QUERY fig3 3 4 warp",
+            "NEXT 999",
+            "CLOSE abc",
+            "GEN x unknown 1 2 3",
+            "FROBNICATE",
+        ] {
+            let reply = handle_line(&svc, bad);
+            assert!(reply.starts_with("ERR "), "{bad} -> {reply}");
+        }
+        assert_eq!(handle_line(&svc, ""), "");
+        assert_eq!(handle_line(&svc, "# comment"), "");
+        assert!(handle_line(&svc, "HELP").contains("QUERY"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Named, immutable, shared graphs.
+//!
+//! The service serves many queries against few graphs, so graphs are
+//! loaded once, wrapped in an [`Arc`], and handed out by name. A graph is
+//! never mutated after registration — re-registering a name atomically
+//! replaces the mapping (readers holding the old `Arc` finish their query
+//! against the old graph; the caller is responsible for invalidating any
+//! result cache keyed by the name, see
+//! [`crate::service::Service::register`]).
+//!
+//! Registration also computes the [`GraphStats`] the planner's cost model
+//! consumes (n, m, degeneracy), so per-query planning is O(1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use ic_graph::stats::graph_stats;
+use ic_graph::{GraphStats, WeightedGraph};
+
+use crate::error::ServiceError;
+
+/// A registered graph: the shared instance plus its planning statistics.
+#[derive(Debug, Clone)]
+pub struct RegisteredGraph {
+    pub name: String,
+    pub graph: Arc<WeightedGraph>,
+    pub stats: GraphStats,
+    /// Registry-wide monotone id of this registration. Re-registering a
+    /// name produces a new generation, which the result cache folds into
+    /// its keys: an answer computed against a replaced instance can never
+    /// be served to queries planned against the new one, even if the
+    /// insert lands after the swap.
+    pub generation: u64,
+}
+
+/// Thread-safe name → graph map.
+#[derive(Debug, Default)]
+pub struct GraphRegistry {
+    graphs: RwLock<HashMap<String, RegisteredGraph>>,
+    next_generation: AtomicU64,
+}
+
+impl GraphRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a graph under `name`, computing its
+    /// planning statistics. Returns the registered entry.
+    pub fn register(&self, name: &str, graph: WeightedGraph) -> RegisteredGraph {
+        let entry = RegisteredGraph {
+            name: name.to_string(),
+            stats: graph_stats(&graph),
+            graph: Arc::new(graph),
+            generation: self.next_generation.fetch_add(1, Ordering::Relaxed),
+        };
+        self.graphs
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name.to_string(), entry.clone());
+        entry
+    }
+
+    /// Looks up a graph by name.
+    pub fn get(&self, name: &str) -> Result<RegisteredGraph, ServiceError> {
+        self.graphs
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))
+    }
+
+    /// All registered graphs, sorted by name.
+    pub fn list(&self) -> Vec<RegisteredGraph> {
+        let mut v: Vec<RegisteredGraph> = self
+            .graphs
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.read().expect("registry lock poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::paper::{figure1, figure3};
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = GraphRegistry::new();
+        assert!(reg.is_empty());
+        let entry = reg.register("fig3", figure3());
+        assert_eq!(entry.stats.n, entry.graph.n());
+        let got = reg.get("fig3").unwrap();
+        assert!(Arc::ptr_eq(&entry.graph, &got.graph));
+        assert!(matches!(
+            reg.get("nope"),
+            Err(ServiceError::UnknownGraph(_))
+        ));
+    }
+
+    #[test]
+    fn replace_swaps_instance() {
+        let reg = GraphRegistry::new();
+        let a = reg.register("g", figure3());
+        let held = a.graph.clone();
+        let b = reg.register("g", figure1());
+        assert!(!Arc::ptr_eq(&held, &b.graph));
+        assert!(
+            b.generation > a.generation,
+            "re-registration bumps the generation"
+        );
+        // the old Arc is still fully usable by in-flight queries
+        assert_eq!(held.n(), figure3().n());
+        assert_eq!(reg.get("g").unwrap().graph.n(), figure1().n());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let reg = GraphRegistry::new();
+        reg.register("zeta", figure1());
+        reg.register("alpha", figure1());
+        let names: Vec<String> = reg.list().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

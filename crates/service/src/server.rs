@@ -1,0 +1,116 @@
+//! TCP front-end: one thread per connection, requests handled by
+//! [`crate::protocol::handle_line`].
+//!
+//! Connection threads are deliberately thin — they parse nothing and
+//! compute nothing. Every batch query funnels into the service's fixed
+//! worker pool, so a burst of connections cannot oversubscribe the CPU:
+//! N connections share `workers` execution threads, queueing FIFO behind
+//! them, while session `NEXT` calls ride their own per-session threads.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::protocol::{handle_line, HELP};
+use crate::service::Service;
+
+/// Accepts connections forever, spawning a handler thread per client.
+/// Returns only if the listener fails fatally.
+pub fn serve(listener: TcpListener, svc: Arc<Service>) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let svc = Arc::clone(&svc);
+        std::thread::Builder::new()
+            .name("ic-conn".to_string())
+            .spawn(move || {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?".to_string());
+                if let Err(e) = handle_connection(stream, &svc) {
+                    eprintln!("connection {peer}: {e}");
+                }
+            })?;
+    }
+    Ok(())
+}
+
+/// Serves one client until `QUIT`, EOF, or an I/O error.
+pub fn handle_connection(stream: TcpStream, svc: &Arc<Service>) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "OK ic-service ready; {HELP}")?;
+    writer.flush()?;
+    for line in reader.lines() {
+        let line = line?;
+        let reply = handle_line(svc, &line);
+        if !reply.is_empty() {
+            writeln!(writer, "{reply}")?;
+            writer.flush()?;
+        }
+        if line.trim().eq_ignore_ascii_case("QUIT") {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use ic_graph::paper::figure3;
+    use std::io::BufRead;
+
+    /// End-to-end over a real socket: boot a listener on an ephemeral
+    /// port, speak the protocol, and check the replies.
+    #[test]
+    fn tcp_round_trip() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            cache_shards: 2,
+        });
+        svc.register("fig3", figure3());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc_for_server = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            // accept exactly one client for the test
+            let (stream, _) = listener.accept().unwrap();
+            let _ = handle_connection(stream, &svc_for_server);
+        });
+
+        let client = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut writer = BufWriter::new(client);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // banner
+        assert!(line.starts_with("OK ic-service ready"), "{line}");
+
+        writeln!(writer, "QUERY fig3 3 4").unwrap();
+        writer.flush().unwrap();
+        let mut saw_communities = 0;
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.starts_with("C ") {
+                saw_communities += 1;
+            }
+            if line.trim() == "END" {
+                break;
+            }
+        }
+        assert_eq!(saw_communities, 4);
+
+        writeln!(writer, "QUIT").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK bye");
+        line.clear();
+        // server closes after QUIT: EOF
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+        assert_eq!(svc.stats().queries, 1);
+    }
+}

@@ -1,0 +1,611 @@
+//! The service façade: registry + planner + pool + cache + sessions.
+//!
+//! One [`Service`] owns everything a deployment needs: the named-graph
+//! registry, the cost-model planner, the worker pool batch queries run
+//! on, the sharded result cache in front of them, the table of live
+//! progressive sessions, and the counters behind `STATS`. All methods
+//! take `&self`; the service is designed to sit in an [`Arc`] shared by
+//! every connection handler.
+//!
+//! A batch query flows: validate → look up graph → [`plan`] → probe the
+//! cache keyed by `(graph, γ, k)` → on a miss, execute the planned
+//! algorithm and publish the answer to the cache. [`Service::query`]
+//! pushes that whole pipeline onto the worker pool and blocks on the
+//! reply, so callers on N connection threads share the pool's fixed
+//! parallelism; [`Service::execute_inline`] runs it on the caller's
+//! thread (what the workers themselves, and single-threaded users, call).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ic_core::local_search::SearchStats;
+use ic_core::{forward, local_search, online_all, progressive, Community};
+use ic_graph::generators::{assemble, barabasi_albert, gnm, rmat, RmatParams, WeightKind};
+use ic_graph::{io, WeightedGraph};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::error::ServiceError;
+use crate::planner::{plan, Algorithm, Explain, Query};
+use crate::pool::WorkerPool;
+use crate::registry::{GraphRegistry, RegisteredGraph};
+use crate::session::Session;
+use crate::stats::{ServiceStats, StatsRecorder};
+
+/// Sizing knobs for a [`Service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing batch queries.
+    pub workers: usize,
+    /// Total result-cache entries.
+    pub cache_capacity: usize,
+    /// Cache shards (locks); more shards, less contention.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            cache_capacity: 1024,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// The answer to one batch query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Name of the graph the query ran against.
+    pub graph: String,
+    /// The exact graph instance the query ran against — the rank space
+    /// `communities` lives in. Translate members through *this* instance
+    /// (not a fresh registry lookup, which may have been replaced).
+    pub graph_instance: Arc<WeightedGraph>,
+    /// The top-k communities, highest influence first (shared with the
+    /// cache — cloning the response never copies the communities).
+    pub communities: Arc<Vec<Community>>,
+    /// The plan that produced (or would have produced) the answer.
+    pub explain: Explain,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// Wall-clock time spent answering, excluding queue wait.
+    pub latency: Duration,
+    /// Access statistics when the executed algorithm reports them
+    /// (LocalSearch and progressive); `None` for the global baselines and
+    /// for cache hits.
+    pub search_stats: Option<SearchStats>,
+}
+
+/// A deterministic synthetic-graph recipe, registrable by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticSpec {
+    /// G(n, m) with uniform weights seeded by `seed`.
+    Gnm { n: usize, m: usize, seed: u64 },
+    /// Barabási–Albert with `d` edges per new vertex, PageRank weights.
+    BarabasiAlbert { n: usize, d: usize, seed: u64 },
+    /// R-MAT at `scale` (n = 2^scale), PageRank weights.
+    Rmat {
+        scale: u32,
+        edge_factor: usize,
+        seed: u64,
+    },
+}
+
+impl SyntheticSpec {
+    /// Materializes the recipe into a graph.
+    pub fn build(self) -> WeightedGraph {
+        match self {
+            SyntheticSpec::Gnm { n, m, seed } => {
+                assemble(n, &gnm(n, m, seed), WeightKind::Uniform(seed ^ 0x5EED))
+            }
+            SyntheticSpec::BarabasiAlbert { n, d, seed } => {
+                assemble(n, &barabasi_albert(n, d, seed), WeightKind::PageRank)
+            }
+            SyntheticSpec::Rmat {
+                scale,
+                edge_factor,
+                seed,
+            } => assemble(
+                1usize << scale,
+                &rmat(scale, edge_factor, RmatParams::default(), seed),
+                WeightKind::PageRank,
+            ),
+        }
+    }
+}
+
+/// The concurrent query engine. See the module docs for the data flow.
+#[derive(Debug)]
+pub struct Service {
+    registry: GraphRegistry,
+    cache: ResultCache,
+    stats: StatsRecorder,
+    pool: WorkerPool,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_session_id: AtomicU64,
+}
+
+impl Service {
+    /// Builds a service and wraps it in the [`Arc`] everything downstream
+    /// (pool dispatch, connection handlers) needs.
+    pub fn new(config: ServiceConfig) -> Arc<Self> {
+        Arc::new(Service {
+            registry: GraphRegistry::new(),
+            cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            stats: StatsRecorder::new(),
+            pool: WorkerPool::new(config.workers),
+            sessions: Mutex::new(HashMap::new()),
+            next_session_id: AtomicU64::new(1),
+        })
+    }
+
+    /// A service with [`ServiceConfig::default`] sizing.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(ServiceConfig::default())
+    }
+
+    // ----- graph management --------------------------------------------
+
+    /// Registers (or replaces) `graph` under `name`. Replacement
+    /// invalidates every cached result for the name, so stale answers are
+    /// never served.
+    pub fn register(&self, name: &str, graph: WeightedGraph) -> RegisteredGraph {
+        self.cache.invalidate_graph(name);
+        self.registry.register(name, graph)
+    }
+
+    /// Loads a graph file (binary `ICG1` or the `v`/`e` edge-list text
+    /// format, auto-detected) and registers it under `name`.
+    pub fn load_path(&self, name: &str, path: &str) -> Result<RegisteredGraph, ServiceError> {
+        let bytes =
+            std::fs::read(path).map_err(|e| ServiceError::GraphLoad(format!("{path}: {e}")))?;
+        let graph = if bytes.starts_with(b"ICG1") {
+            io::read_binary(&bytes[..])
+        } else {
+            io::read_text(&bytes[..])
+        }
+        .map_err(|e| ServiceError::GraphLoad(format!("{path}: {e}")))?;
+        Ok(self.register(name, graph))
+    }
+
+    /// Builds a synthetic graph from a recipe and registers it.
+    pub fn register_synthetic(&self, name: &str, spec: SyntheticSpec) -> RegisteredGraph {
+        self.register(name, spec.build())
+    }
+
+    /// All registered graphs, sorted by name.
+    pub fn graphs(&self) -> Vec<RegisteredGraph> {
+        self.registry.list()
+    }
+
+    /// Looks up one registered graph.
+    pub fn graph(&self, name: &str) -> Result<RegisteredGraph, ServiceError> {
+        self.registry.get(name)
+    }
+
+    // ----- batch queries -----------------------------------------------
+
+    /// Plans a query without executing it.
+    pub fn explain(&self, query: &Query) -> Result<Explain, ServiceError> {
+        query.validate()?;
+        let entry = self.registry.get(&query.graph)?;
+        Ok(plan(&entry.stats, query.gamma, query.k, query.mode))
+    }
+
+    /// Answers a query on the calling thread: plan, probe the cache,
+    /// execute on a miss. This is the pipeline the pool workers run.
+    pub fn execute_inline(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
+        query.validate()?;
+        let entry = self.registry.get(&query.graph)?;
+        let explain = plan(&entry.stats, query.gamma, query.k, query.mode);
+        // The key carries the generation of the instance this execution
+        // read, so a result computed against a since-replaced graph is
+        // inserted under the stale generation and never served again.
+        let key = CacheKey {
+            graph: query.graph.clone(),
+            generation: entry.generation,
+            gamma: query.gamma,
+            k: query.k,
+        };
+        let start = Instant::now();
+        if let Some(communities) = self.cache.get(&key) {
+            let latency = start.elapsed();
+            self.stats.record_hit(latency);
+            return Ok(QueryResponse {
+                graph: query.graph.clone(),
+                graph_instance: entry.graph,
+                communities,
+                explain,
+                cached: true,
+                latency,
+                search_stats: None,
+            });
+        }
+        let (communities, search_stats) =
+            run_algorithm(&entry.graph, explain.algorithm, query.gamma, query.k);
+        let communities = Arc::new(communities);
+        self.cache.insert(key, communities.clone());
+        let latency = start.elapsed();
+        self.stats.record_miss(explain.algorithm, latency);
+        Ok(QueryResponse {
+            graph: query.graph.clone(),
+            graph_instance: entry.graph,
+            communities,
+            explain,
+            cached: false,
+            latency,
+            search_stats,
+        })
+    }
+
+    /// Dispatches a query to the worker pool without waiting; the result
+    /// arrives on the returned channel.
+    pub fn query_async(
+        self: &Arc<Self>,
+        query: Query,
+    ) -> Receiver<Result<QueryResponse, ServiceError>> {
+        let (tx, rx) = channel();
+        let svc = Arc::clone(self);
+        let accepted = self.pool.submit(move || {
+            let _ = tx.send(svc.execute_inline(&query));
+        });
+        if !accepted {
+            // The pool only refuses during teardown; surface that as an
+            // immediately-failed receiver rather than a hang.
+            let (tx2, rx2) = channel();
+            let _ = tx2.send(Err(ServiceError::WorkerGone));
+            return rx2;
+        }
+        rx
+    }
+
+    /// Answers a query through the worker pool, blocking until done.
+    pub fn query(self: &Arc<Self>, query: Query) -> Result<QueryResponse, ServiceError> {
+        self.query_async(query)
+            .recv()
+            .map_err(|_| ServiceError::WorkerGone)?
+    }
+
+    // ----- progressive sessions ----------------------------------------
+
+    /// Opens a progressive session on a registered graph; returns its id.
+    pub fn open_session(&self, graph: &str, gamma: u32) -> Result<u64, ServiceError> {
+        let entry = self.registry.get(graph)?;
+        let session = Session::open(graph, entry.graph, gamma)?;
+        let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .insert(id, session);
+        self.stats.record_session_opened();
+        Ok(id)
+    }
+
+    /// Pulls up to `n` further communities from a session. An empty
+    /// vector means the stream is exhausted.
+    pub fn session_next(&self, id: u64, n: usize) -> Result<Vec<Community>, ServiceError> {
+        // Hold the table lock only for the lookup: the batch is pulled
+        // through a detached client so other sessions stay reachable
+        // while this one's iterator works.
+        let client = {
+            let sessions = self.sessions.lock().expect("session table poisoned");
+            let session = sessions.get(&id).ok_or(ServiceError::UnknownSession(id))?;
+            session.client()?
+        };
+        let batch = client.next_batch(n)?;
+        self.stats.record_streamed(batch.len());
+        Ok(batch)
+    }
+
+    /// Closes a session, joining its worker thread.
+    pub fn close_session(&self, id: u64) -> Result<(), ServiceError> {
+        let session = self
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .remove(&id)
+            .ok_or(ServiceError::UnknownSession(id))?;
+        drop(session);
+        self.stats.record_session_closed();
+        Ok(())
+    }
+
+    /// The graph name a session streams from, if the session is open.
+    pub fn session_graph_name(&self, id: u64) -> Option<String> {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .get(&id)
+            .map(|s| s.graph.clone())
+    }
+
+    /// The exact graph instance a session streams from, if the session is
+    /// open. This is the rank space of the session's communities — use it
+    /// for id translation even if the name has since been re-registered.
+    pub fn session_graph_instance(&self, id: u64) -> Option<Arc<WeightedGraph>> {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .get(&id)
+            .map(|s| s.graph_instance())
+    }
+
+    /// Ids of the currently open sessions.
+    pub fn open_session_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    // ----- introspection -----------------------------------------------
+
+    /// A point-in-time snapshot of the hit/miss/latency counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Empties the result cache (all graphs). Used by operators after
+    /// bulk re-loads and by benchmarks to measure the cold path.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Worker threads in the batch pool.
+    pub fn worker_count(&self) -> usize {
+        self.pool.worker_count()
+    }
+
+    /// Test seam: plants a cache entry directly, simulating an in-flight
+    /// worker whose insert lands after a graph replacement.
+    #[cfg(test)]
+    pub(crate) fn cache_insert_for_test(&self, key: CacheKey, value: Arc<Vec<Community>>) {
+        self.cache.insert(key, value);
+    }
+}
+
+/// Executes the planned algorithm. Every branch returns communities in
+/// decreasing influence order; LocalSearch and progressive also report
+/// their access statistics.
+fn run_algorithm(
+    g: &WeightedGraph,
+    algorithm: Algorithm,
+    gamma: u32,
+    k: usize,
+) -> (Vec<Community>, Option<SearchStats>) {
+    match algorithm {
+        Algorithm::LocalSearch => {
+            let r = local_search::top_k(g, gamma, k);
+            (r.communities, Some(r.stats))
+        }
+        Algorithm::Progressive => {
+            let r = progressive::top_k(g, gamma, k);
+            (r.communities, Some(r.stats))
+        }
+        Algorithm::Forward => (forward::top_k(g, gamma, k), None),
+        Algorithm::OnlineAll => (online_all::top_k(g, gamma, k), None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Mode;
+    use ic_graph::paper::{figure1, figure3};
+
+    fn service_with_fig3() -> Arc<Service> {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 32,
+            cache_shards: 4,
+        });
+        svc.register("fig3", figure3());
+        svc
+    }
+
+    #[test]
+    fn query_matches_direct_local_search() {
+        let svc = service_with_fig3();
+        let resp = svc.query(Query::new("fig3", 3, 4)).unwrap();
+        let direct = local_search::top_k(&figure3(), 3, 4);
+        assert_eq!(resp.communities.len(), 4);
+        for (a, b) in resp.communities.iter().zip(&direct.communities) {
+            assert_eq!(a.keynode, b.keynode);
+            assert_eq!(a.members, b.members);
+        }
+        assert!(!resp.cached);
+    }
+
+    #[test]
+    fn repeat_query_hits_cache_with_same_arc() {
+        let svc = service_with_fig3();
+        let first = svc.query(Query::new("fig3", 3, 4)).unwrap();
+        let second = svc.query(Query::new("fig3", 3, 4)).unwrap();
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert!(Arc::ptr_eq(&first.communities, &second.communities));
+        let stats = svc.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn forced_modes_agree_on_answers() {
+        let svc = service_with_fig3();
+        let reference = svc
+            .query(Query::new("fig3", 3, 4).with_mode(Mode::Force(Algorithm::LocalSearch)))
+            .unwrap();
+        for algo in [
+            Algorithm::Progressive,
+            Algorithm::Forward,
+            Algorithm::OnlineAll,
+        ] {
+            // distinct k per algorithm would dodge the cache; same k must
+            // be invalidated instead, so re-register the graph
+            svc.register("fig3", figure3());
+            let resp = svc
+                .query(Query::new("fig3", 3, 4).with_mode(Mode::Force(algo)))
+                .unwrap();
+            assert!(!resp.cached, "{algo}: cache must have been invalidated");
+            assert_eq!(resp.explain.algorithm, algo);
+            assert_eq!(resp.communities.len(), reference.communities.len());
+            for (a, b) in resp.communities.iter().zip(reference.communities.iter()) {
+                assert_eq!(a.members, b.members, "{algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_graph_and_bad_params_error() {
+        let svc = service_with_fig3();
+        assert!(matches!(
+            svc.query(Query::new("nope", 3, 4)),
+            Err(ServiceError::UnknownGraph(_))
+        ));
+        assert!(matches!(
+            svc.query(Query::new("fig3", 0, 4)),
+            Err(ServiceError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            svc.query(Query::new("fig3", 3, 0)),
+            Err(ServiceError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn explain_reports_without_executing() {
+        let svc = service_with_fig3();
+        let e = svc.explain(&Query::new("fig3", 3, 4)).unwrap();
+        assert!(!e.reason.is_empty());
+        assert_eq!(svc.stats().queries, 0);
+    }
+
+    #[test]
+    fn sessions_stream_and_close() {
+        let svc = service_with_fig3();
+        let id = svc.open_session("fig3", 3).unwrap();
+        let first = svc.session_next(id, 1).unwrap();
+        assert_eq!(first.len(), 1);
+        let rest = svc.session_next(id, 100).unwrap();
+        assert!(!rest.is_empty());
+        svc.close_session(id).unwrap();
+        assert!(matches!(
+            svc.session_next(id, 1),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        let stats = svc.stats();
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.sessions_closed, 1);
+        assert_eq!(stats.communities_streamed, 1 + rest.len() as u64);
+    }
+
+    #[test]
+    fn synthetic_registration_is_queryable() {
+        let svc = Service::with_defaults();
+        let entry = svc.register_synthetic(
+            "ba",
+            SyntheticSpec::BarabasiAlbert {
+                n: 120,
+                d: 3,
+                seed: 7,
+            },
+        );
+        assert_eq!(entry.stats.n, 120);
+        let resp = svc.query(Query::new("ba", 2, 3)).unwrap();
+        assert!(!resp.communities.is_empty());
+    }
+
+    #[test]
+    fn multiple_graphs_are_isolated() {
+        let svc = service_with_fig3();
+        svc.register("fig1", figure1());
+        let a = svc.query(Query::new("fig3", 3, 2)).unwrap();
+        let b = svc.query(Query::new("fig1", 3, 2)).unwrap();
+        assert_ne!(
+            a.communities[0].influence, b.communities[0].influence,
+            "answers must come from their own graphs"
+        );
+    }
+
+    #[test]
+    fn stale_generation_insert_is_never_served() {
+        // A worker that read the old registry entry may insert its result
+        // after the graph is replaced; the generation in the key must make
+        // that insert unreachable for new queries.
+        let svc = service_with_fig3();
+        let old = svc.graph("fig3").unwrap();
+        svc.register("fig3", figure1()); // replacement, new generation
+        svc.cache_insert_for_test(
+            crate::cache::CacheKey {
+                graph: "fig3".into(),
+                generation: old.generation,
+                gamma: 3,
+                k: 2,
+            },
+            Arc::new(local_search::top_k(&figure3(), 3, 2).communities),
+        );
+        let resp = svc.query(Query::new("fig3", 3, 2)).unwrap();
+        assert!(!resp.cached, "stale-generation entry must not be a hit");
+        let direct = local_search::top_k(&figure1(), 3, 2);
+        assert_eq!(resp.communities.len(), direct.communities.len());
+        for (a, b) in resp.communities.iter().zip(&direct.communities) {
+            assert_eq!(a.members, b.members);
+        }
+    }
+
+    #[test]
+    fn session_survives_graph_replacement() {
+        // An open session streams from the instance it captured; replacing
+        // the name (even with a smaller graph) must not disturb it.
+        let svc = service_with_fig3();
+        let id = svc.open_session("fig3", 3).unwrap();
+        let instance = svc.session_graph_instance(id).unwrap();
+        let first = svc.session_next(id, 1).unwrap();
+        svc.register("fig3", figure1()); // 10 vertices < fig3's 22
+        let rest = svc.session_next(id, 100).unwrap();
+        // every yielded rank is valid in the captured instance
+        for c in first.iter().chain(&rest) {
+            for &r in &c.members {
+                assert!((r as usize) < instance.n());
+            }
+        }
+        let reference = local_search::top_k(&figure3(), 3, 100).communities;
+        assert_eq!(first.len() + rest.len(), reference.len());
+        svc.close_session(id).unwrap();
+    }
+
+    #[test]
+    fn load_path_round_trips_both_formats() {
+        let dir = std::env::temp_dir().join("ic_service_load_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = figure3();
+        let bin = dir.join("g.icg");
+        io::save(&g, &bin).unwrap();
+        let txt = dir.join("g.txt");
+        io::write_text(&g, std::fs::File::create(&txt).unwrap()).unwrap();
+
+        let svc = Service::with_defaults();
+        let from_bin = svc.load_path("bin", bin.to_str().unwrap()).unwrap();
+        let from_txt = svc.load_path("txt", txt.to_str().unwrap()).unwrap();
+        assert_eq!(from_bin.stats, from_txt.stats);
+        assert!(svc
+            .load_path("missing", dir.join("nope.icg").to_str().unwrap())
+            .is_err());
+        std::fs::remove_file(bin).ok();
+        std::fs::remove_file(txt).ok();
+    }
+}

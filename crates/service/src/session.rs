@@ -1,0 +1,212 @@
+//! Progressive sessions: LS-P's streaming story made service-shaped.
+//!
+//! [`ic_core::ProgressiveSearch`] borrows its graph (`&'g WeightedGraph`),
+//! which a long-lived session handle cannot do across calls. Rather than
+//! a self-referential struct, each session runs its iterator on a
+//! dedicated thread that *owns* a clone of the graph's `Arc`: the
+//! iterator borrows the `Arc`'s contents locally, entirely within safe
+//! Rust, and the handle talks to it over channels. A `NEXT n` request is
+//! one round-trip; the iterator's internal peel state persists between
+//! calls, so a session retains LS-P's incremental cost profile — pulling
+//! the next community only pays for the additional prefix it uncovers.
+//!
+//! Dropping the handle (or `CLOSE`) sends an explicit shutdown command;
+//! the thread drops its iterator and exits, and the handle joins it, so
+//! no session thread outlives the service. Shutdown is a message rather
+//! than a channel disconnect so that an outstanding [`SessionClient`]
+//! (which holds a cloned sender) can never keep the join waiting.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ic_core::{Community, ProgressiveSearch};
+use ic_graph::WeightedGraph;
+
+use crate::error::ServiceError;
+
+struct NextRequest {
+    n: usize,
+    reply: Sender<Vec<Community>>,
+}
+
+enum Command {
+    Next(NextRequest),
+    Shutdown,
+}
+
+/// Handle to one progressive session.
+#[derive(Debug)]
+pub struct Session {
+    /// Name of the graph the session streams from.
+    pub graph: String,
+    /// The session's cohesiveness threshold.
+    pub gamma: u32,
+    /// The exact instance the stream runs over — communities yielded by
+    /// this session live in *its* rank space, which may outlive the name's
+    /// registry entry if the graph is re-registered mid-session.
+    graph_instance: Arc<WeightedGraph>,
+    tx: Option<Sender<Command>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Session {
+    /// Opens a session streaming the influential γ-communities of `graph`
+    /// in decreasing influence order.
+    pub fn open(name: &str, graph: Arc<WeightedGraph>, gamma: u32) -> Result<Self, ServiceError> {
+        if gamma == 0 {
+            return Err(ServiceError::InvalidQuery(
+                "gamma must be at least 1".into(),
+            ));
+        }
+        let (tx, rx) = channel::<Command>();
+        let graph_for_worker = Arc::clone(&graph);
+        let worker = std::thread::Builder::new()
+            .name(format!("ic-session-{name}"))
+            .spawn(move || {
+                let mut stream = ProgressiveSearch::new(&graph_for_worker, gamma);
+                while let Ok(cmd) = rx.recv() {
+                    let req = match cmd {
+                        Command::Next(req) => req,
+                        Command::Shutdown => return,
+                    };
+                    let batch: Vec<Community> = stream.by_ref().take(req.n).collect();
+                    if req.reply.send(batch).is_err() {
+                        return; // requester gone; session is being torn down
+                    }
+                }
+            })
+            .map_err(|e| ServiceError::GraphLoad(format!("spawning session thread: {e}")))?;
+        Ok(Session {
+            graph: name.to_string(),
+            gamma,
+            graph_instance: graph,
+            tx: Some(tx),
+            worker: Some(worker),
+        })
+    }
+
+    /// The graph instance this session streams from. Use it (not a
+    /// registry lookup by name) to translate yielded members to external
+    /// ids.
+    pub fn graph_instance(&self) -> Arc<WeightedGraph> {
+        Arc::clone(&self.graph_instance)
+    }
+
+    /// Pulls up to `n` further communities. An empty vector means the
+    /// stream is exhausted (every community has been delivered).
+    pub fn next_batch(&self, n: usize) -> Result<Vec<Community>, ServiceError> {
+        self.client()?.next_batch(n)
+    }
+
+    /// A detached requester for this session. Cloning the underlying
+    /// sender lets callers issue `NEXT` without keeping any lock on the
+    /// session table while the iterator works.
+    pub fn client(&self) -> Result<SessionClient, ServiceError> {
+        let tx = self.tx.as_ref().ok_or(ServiceError::WorkerGone)?;
+        Ok(SessionClient { tx: tx.clone() })
+    }
+}
+
+/// A cheap, clonable handle issuing `NEXT` requests to a session thread.
+/// Closing the owning [`Session`] terminates the stream even while
+/// clients exist: requests already queued before the shutdown are served,
+/// later ones fail with [`ServiceError::WorkerGone`].
+#[derive(Debug, Clone)]
+pub struct SessionClient {
+    tx: Sender<Command>,
+}
+
+impl SessionClient {
+    /// Pulls up to `n` further communities; empty means exhausted.
+    pub fn next_batch(&self, n: usize) -> Result<Vec<Community>, ServiceError> {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let (reply_tx, reply_rx) = channel();
+        self.tx
+            .send(Command::Next(NextRequest { n, reply: reply_tx }))
+            .map_err(|_| ServiceError::WorkerGone)?;
+        reply_rx.recv().map_err(|_| ServiceError::WorkerGone)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            // Explicit shutdown rather than relying on disconnect: a live
+            // SessionClient clone would keep the channel connected, and
+            // the join below must never wait on one.
+            let _ = tx.send(Command::Shutdown);
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_core::local_search;
+    use ic_graph::paper::figure3;
+
+    #[test]
+    fn streams_across_calls_in_order() {
+        let g = Arc::new(figure3());
+        let reference = local_search::top_k(&g, 3, 100).communities;
+        let session = Session::open("fig3", g.clone(), 3).unwrap();
+        let mut streamed = Vec::new();
+        loop {
+            let batch = session.next_batch(2).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            streamed.extend(batch);
+        }
+        assert_eq!(streamed.len(), reference.len());
+        for (a, b) in streamed.iter().zip(&reference) {
+            assert_eq!(a.keynode, b.keynode);
+            assert_eq!(a.members, b.members);
+        }
+        // exhausted stream keeps returning empty batches
+        assert!(session.next_batch(3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_gamma_rejected() {
+        assert!(Session::open("g", Arc::new(figure3()), 0).is_err());
+    }
+
+    #[test]
+    fn zero_n_is_a_noop() {
+        let session = Session::open("g", Arc::new(figure3()), 3).unwrap();
+        assert!(session.next_batch(0).unwrap().is_empty());
+        assert_eq!(session.next_batch(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drop_joins_the_thread() {
+        let session = Session::open("g", Arc::new(figure3()), 3).unwrap();
+        let _ = session.next_batch(1).unwrap();
+        drop(session); // must not hang or leak
+    }
+
+    #[test]
+    fn drop_does_not_block_on_a_live_client() {
+        let session = Session::open("g", Arc::new(figure3()), 3).unwrap();
+        let client = session.client().unwrap();
+        drop(session); // would deadlock if shutdown relied on disconnect
+        assert!(matches!(
+            client.next_batch(1),
+            Err(ServiceError::WorkerGone)
+        ));
+    }
+
+    #[test]
+    fn graph_instance_is_the_opened_one() {
+        let g = Arc::new(figure3());
+        let session = Session::open("g", g.clone(), 3).unwrap();
+        assert!(Arc::ptr_eq(&g, &session.graph_instance()));
+    }
+}

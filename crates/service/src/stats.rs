@@ -1,0 +1,159 @@
+//! Lock-free service counters and their snapshot type.
+//!
+//! Workers bump relaxed atomics on every query; [`StatsRecorder::snapshot`]
+//! reads them into the plain-old-data [`ServiceStats`] handed to clients
+//! (the `STATS` protocol verb). Relaxed ordering is deliberate: counters
+//! are monotone and independent, and a snapshot only needs to be
+//! *eventually* consistent, never a linearizable cut.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::planner::Algorithm;
+
+/// Internal counter block owned by the service.
+#[derive(Debug, Default)]
+pub struct StatsRecorder {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    executed: [AtomicU64; 4],
+    query_latency_ns: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    communities_streamed: AtomicU64,
+}
+
+impl StatsRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_hit(&self, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.query_latency_ns
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_miss(&self, algorithm: Algorithm, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.executed[algorithm.index()].fetch_add(1, Ordering::Relaxed);
+        self.query_latency_ns
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_session_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_session_closed(&self) {
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_streamed(&self, communities: usize) {
+        self.communities_streamed
+            .fetch_add(communities as u64, Ordering::Relaxed);
+    }
+
+    /// Reads every counter into a plain snapshot.
+    pub fn snapshot(&self) -> ServiceStats {
+        let executed = [
+            self.executed[0].load(Ordering::Relaxed),
+            self.executed[1].load(Ordering::Relaxed),
+            self.executed[2].load(Ordering::Relaxed),
+            self.executed[3].load(Ordering::Relaxed),
+        ];
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            executed,
+            query_latency_ns: self.query_latency_ns.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            communities_streamed: self.communities_streamed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Batch queries answered (hits + misses).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that executed an algorithm.
+    pub cache_misses: u64,
+    /// Executions per algorithm, in [`Algorithm::ALL`] order
+    /// (local_search, progressive, forward, online_all); see
+    /// [`Self::executions`].
+    pub executed: [u64; 4],
+    /// Total wall-clock spent answering batch queries, nanoseconds.
+    pub query_latency_ns: u64,
+    /// Progressive sessions opened.
+    pub sessions_opened: u64,
+    /// Progressive sessions closed.
+    pub sessions_closed: u64,
+    /// Communities delivered through progressive sessions.
+    pub communities_streamed: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of queries answered from cache; 0.0 before any query.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean latency per batch query; zero before any query.
+    pub fn mean_latency(&self) -> Duration {
+        self.query_latency_ns
+            .checked_div(self.queries)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// Executions of one algorithm.
+    pub fn executions(&self, algorithm: Algorithm) -> u64 {
+        self.executed[algorithm.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = StatsRecorder::new();
+        r.record_miss(Algorithm::LocalSearch, Duration::from_micros(10));
+        r.record_miss(Algorithm::Forward, Duration::from_micros(30));
+        r.record_hit(Duration::from_micros(2));
+        r.record_session_opened();
+        r.record_streamed(5);
+        let s = r.snapshot();
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.executions(Algorithm::LocalSearch), 1);
+        assert_eq!(s.executions(Algorithm::Forward), 1);
+        assert_eq!(s.executions(Algorithm::OnlineAll), 0);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.mean_latency(), Duration::from_nanos(42_000 / 3));
+        assert_eq!(s.sessions_opened, 1);
+        assert_eq!(s.communities_streamed, 5);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = StatsRecorder::new().snapshot();
+        assert_eq!(s, ServiceStats::default());
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+    }
+}

@@ -8,6 +8,9 @@ use ic_graph::WeightedGraph;
 use influential_communities::search::{
     backward, forward, local_search, naive, online_all, progressive,
 };
+use influential_communities::service::planner::PROGRESSIVE_K_CUTOFF;
+use influential_communities::service::{plan, Algorithm, Mode, Query, Service, ServiceConfig};
+use proptest::prelude::*;
 
 fn random_graphs() -> Vec<(String, WeightedGraph)> {
     let mut graphs = Vec::new();
@@ -112,6 +115,85 @@ fn progressive_stream_is_complete_and_ordered() {
                 assert_eq!(a.members, b.members, "{name} γ={gamma}");
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The serving layer must never change an answer: whatever algorithm
+    /// the planner dispatches to — through every branch of the cost model
+    /// and every explicit override — the service returns exactly the
+    /// communities the definition-level reference produces.
+    #[test]
+    fn planner_dispatch_agrees_with_reference(
+        (n, density, seed) in (16usize..48, 2usize..5, 0u64..10_000),
+        gamma in 1u32..5,
+    ) {
+        let g = assemble(n, &gnm(n, n * density, seed), WeightKind::Uniform(seed ^ 0xC0FFEE));
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 64,
+            cache_shards: 2,
+        });
+        let stats = svc.register("g", g.clone()).stats;
+
+        // k values crafted to hit every Auto branch of the cost model
+        // (n ≥ 16 and γ ≤ 4 make the small-k branches unambiguous):
+        // γ > γmax → forward; k + γ ≥ n → online_all; k + γ ≥ n/2 →
+        // forward; k ≤ cutoff → progressive; otherwise local_search.
+        prop_assert_eq!(
+            plan(&stats, stats.gamma_max + 1, 1, Mode::Auto).algorithm,
+            Algorithm::Forward
+        );
+        // γ clamped to feasibility so the infeasible-γ rule (checked
+        // above) cannot shadow the k-shaped branches
+        let gamma_ok = gamma.clamp(1, stats.gamma_max.max(1));
+        prop_assert_eq!(plan(&stats, gamma_ok, n, Mode::Auto).algorithm, Algorithm::OnlineAll);
+        prop_assert_eq!(plan(&stats, gamma_ok, n / 2, Mode::Auto).algorithm, Algorithm::Forward);
+        prop_assert_eq!(plan(&stats, gamma_ok, 1, Mode::Auto).algorithm, Algorithm::Progressive);
+        prop_assert_eq!(
+            plan(&stats, gamma_ok, PROGRESSIVE_K_CUTOFF + 1, Mode::Auto).algorithm,
+            Algorithm::LocalSearch
+        );
+
+        let reference = naive::all_communities(&g, gamma);
+        let ks = [1, PROGRESSIVE_K_CUTOFF + 1, n / 2, n];
+        let modes = [
+            ("auto", Mode::Auto),
+            ("local", Mode::Force(Algorithm::LocalSearch)),
+            ("progressive", Mode::Force(Algorithm::Progressive)),
+            ("forward", Mode::Force(Algorithm::Forward)),
+            ("online_all", Mode::Force(Algorithm::OnlineAll)),
+        ];
+        for &k in &ks {
+            for &(label, mode) in &modes {
+                // per-mode graph aliases keep the (graph, γ, k) cache key
+                // distinct, so every mode actually executes its algorithm
+                let name = format!("g-{label}");
+                svc.register(&name, g.clone());
+                let resp = svc
+                    .execute_inline(&Query::new(name, gamma, k).with_mode(mode))
+                    .expect("query succeeds");
+                let expected: Vec<_> = reference.iter().take(k).collect();
+                prop_assert_eq!(
+                    resp.communities.len(),
+                    expected.len(),
+                    "γ={} k={} {}: count", gamma, k, label
+                );
+                for (a, b) in resp.communities.iter().zip(&expected) {
+                    prop_assert_eq!(a.keynode, b.keynode, "γ={} k={} {}", gamma, k, label);
+                    prop_assert_eq!(&a.members, &b.members, "γ={} k={} {}", gamma, k, label);
+                }
+            }
+        }
+
+        // the infeasible-γ branch also returns exactly what naive says
+        let resp = svc
+            .execute_inline(&Query::new("g", stats.gamma_max + 1, 2))
+            .expect("query succeeds");
+        prop_assert_eq!(resp.explain.algorithm, Algorithm::Forward);
+        prop_assert!(resp.communities.is_empty());
     }
 }
 

@@ -1,6 +1,6 @@
-//! Keeps the examples honest: every example must compile, and the two
-//! examples exercised in the docs (`quickstart`, `progressive_stream`)
-//! must run to completion. Without this harness an API change can silently
+//! Keeps the examples honest: every example must compile, and the
+//! examples exercised in the docs (`quickstart`, `progressive_stream`,
+//! `service_demo`) must run to completion. Without this harness an API change can silently
 //! rot `examples/` because `cargo test` alone never builds them.
 
 use std::path::Path;
@@ -34,6 +34,11 @@ fn all_examples_compile() {
 #[test]
 fn quickstart_runs_to_completion() {
     run_ok(&["run", "--quiet", "--example", "quickstart"]);
+}
+
+#[test]
+fn service_demo_runs_to_completion() {
+    run_ok(&["run", "--quiet", "--example", "service_demo"]);
 }
 
 #[test]

@@ -1,0 +1,186 @@
+//! The serving subsystem under concurrent load (the PR's acceptance
+//! test): many client threads issue a mixed workload — planner-dispatched
+//! batch queries, forced-mode queries, and progressive sessions — against
+//! multiple registered graphs, and every answer must match what a
+//! single-threaded `local_search::top_k` says, with the cache visibly
+//! absorbing repeats.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use influential_communities::graph::generators::{assemble, barabasi_albert, gnm, WeightKind};
+use influential_communities::search::local_search;
+use influential_communities::search::Community;
+use influential_communities::service::{Algorithm, Mode, Query, Service, ServiceConfig};
+
+/// Reference answers computed single-threaded, keyed by (graph, γ, k).
+type Reference = HashMap<(String, u32, usize), Vec<Community>>;
+
+fn assert_matches(
+    got: &[Community],
+    reference: &Reference,
+    graph: &str,
+    gamma: u32,
+    k: usize,
+    context: &str,
+) {
+    let expected = &reference[&(graph.to_string(), gamma, k)];
+    assert_eq!(got.len(), expected.len(), "{context}: count");
+    for (a, b) in got.iter().zip(expected) {
+        assert_eq!(a.keynode, b.keynode, "{context}: keynode");
+        assert_eq!(a.members, b.members, "{context}: members");
+        assert_eq!(a.influence, b.influence, "{context}: influence");
+    }
+}
+
+#[test]
+fn concurrent_mixed_workload_matches_single_threaded_search() {
+    let svc = Service::new(ServiceConfig {
+        workers: 4,
+        cache_capacity: 128,
+        cache_shards: 8,
+    });
+    let graphs = [
+        (
+            "gnm",
+            assemble(180, &gnm(180, 700, 11), WeightKind::Uniform(42)),
+        ),
+        (
+            "ba",
+            assemble(200, &barabasi_albert(200, 4, 3), WeightKind::PageRank),
+        ),
+    ];
+    let gammas = [2u32, 3, 4];
+    let ks = [1usize, 3, 8, 250];
+
+    // single-threaded ground truth for every combination in the workload
+    let mut reference: Reference = HashMap::new();
+    for (name, g) in &graphs {
+        for &gamma in &gammas {
+            for &k in &ks {
+                reference.insert(
+                    (name.to_string(), gamma, k),
+                    local_search::top_k(g, gamma, k).communities,
+                );
+            }
+        }
+        svc.register(name, g.clone());
+    }
+    let reference = Arc::new(reference);
+
+    // 8 threads × 13 batch queries = 104 concurrent queries, plus 8
+    // progressive sessions pulled in parallel — every combination hit by
+    // several threads so the cache must absorb repeats.
+    const THREADS: usize = 8;
+    const QUERIES_PER_THREAD: usize = 13;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                for q in 0..QUERIES_PER_THREAD {
+                    let idx = t + q; // overlapping sequences force cache reuse
+                    let (graph, _) = [("gnm", ()), ("ba", ())][idx % 2];
+                    let gamma = [2u32, 3, 4][idx % 3];
+                    let k = [1usize, 3, 8, 250][idx % 4];
+                    // every fourth query pins an algorithm instead of
+                    // letting the planner choose
+                    let mode = match q % 4 {
+                        1 => Mode::Force(Algorithm::Forward),
+                        2 => Mode::Force(Algorithm::OnlineAll),
+                        3 => Mode::Force(Algorithm::Progressive),
+                        _ => Mode::Auto,
+                    };
+                    let resp = svc
+                        .query(Query::new(graph, gamma, k).with_mode(mode))
+                        .expect("query succeeds");
+                    assert_matches(
+                        &resp.communities,
+                        &reference,
+                        graph,
+                        gamma,
+                        k,
+                        &format!("thread {t} query {q} ({graph}, γ={gamma}, k={k})"),
+                    );
+                }
+
+                // one progressive session per thread, interleaved with the
+                // other threads' batch queries
+                let graph = ["gnm", "ba"][t % 2];
+                let gamma = [2u32, 3][t % 2];
+                let id = svc.open_session(graph, gamma).expect("session opens");
+                let mut streamed = Vec::new();
+                loop {
+                    let batch = svc.session_next(id, 3).expect("session next");
+                    if batch.is_empty() {
+                        break;
+                    }
+                    streamed.extend(batch);
+                    if streamed.len() >= 8 {
+                        break; // a client that stops early — LS-P's point
+                    }
+                }
+                svc.close_session(id).expect("session closes");
+                let k = streamed.len().max(1);
+                let truncated: Vec<Community> = streamed.into_iter().take(k).collect();
+                if !truncated.is_empty() {
+                    let full = &reference.get(&(graph.to_string(), gamma, 250));
+                    let expected = &full.expect("combo covered")[..truncated.len()];
+                    for (a, b) in truncated.iter().zip(expected) {
+                        assert_eq!(a.members, b.members, "session thread {t}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no worker panicked");
+    }
+
+    let stats = svc.stats();
+    assert_eq!(stats.queries, (THREADS * QUERIES_PER_THREAD) as u64);
+    assert!(stats.queries >= 100, "acceptance floor: ≥100 queries");
+    assert!(
+        stats.cache_hits > 0,
+        "repeated combinations must hit the cache: {stats:?}"
+    );
+    assert!(stats.hit_rate() > 0.0);
+    assert_eq!(stats.sessions_opened, THREADS as u64);
+    assert_eq!(stats.sessions_closed, THREADS as u64);
+    assert!(stats.communities_streamed > 0);
+    // the mixed modes exercised every algorithm at least once
+    for algo in Algorithm::ALL {
+        assert!(
+            stats.executions(algo) > 0,
+            "{algo} never executed: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn cache_is_coherent_across_graph_replacement() {
+    let svc = Service::with_defaults();
+    let a = assemble(60, &gnm(60, 200, 1), WeightKind::Uniform(1));
+    let b = assemble(80, &gnm(80, 320, 2), WeightKind::Uniform(2));
+    svc.register("g", a.clone());
+    let before = svc.query(Query::new("g", 2, 3)).unwrap();
+    assert_matches_direct(&before.communities, &a, 2, 3);
+    // replacing the graph must invalidate its cached answers
+    svc.register("g", b.clone());
+    let after = svc.query(Query::new("g", 2, 3)).unwrap();
+    assert!(!after.cached, "stale answer served after re-registration");
+    assert_matches_direct(&after.communities, &b, 2, 3);
+}
+
+fn assert_matches_direct(
+    got: &[Community],
+    g: &influential_communities::graph::WeightedGraph,
+    gamma: u32,
+    k: usize,
+) {
+    let expected = local_search::top_k(g, gamma, k).communities;
+    assert_eq!(got.len(), expected.len());
+    for (x, y) in got.iter().zip(&expected) {
+        assert_eq!(x.members, y.members);
+    }
+}
