@@ -1,0 +1,709 @@
+//! Exact incremental k-core maintenance over an adjacency map.
+//!
+//! The static pipeline computes core numbers with one global
+//! Batagelj–Zaveršnik peel (`ic_graph::stats::core_numbers`). Under churn
+//! that pass is the expensive part of re-registering a graph, and almost
+//! all of it is wasted: a single edge update can only move core numbers
+//! at level `K = min(core(u), core(v))`, each by exactly one, and only
+//! near the endpoints (Sarıyüce et al., *Streaming Algorithms for k-Core
+//! Decomposition*, VLDB 2013). [`CoreTracker`] applies the localized
+//! forms of those rules:
+//!
+//! * **Insertion** of `{u, v}`: a vertex can rise to `K + 1` only if its
+//!   *core degree* (count of neighbors with core ≥ K) exceeds `K`, and
+//!   the risers form a region connected to the endpoints through such
+//!   vertices (the *purecore*). The traversal therefore expands only
+//!   through level-`K` vertices whose core degree exceeds `K`, then
+//!   evicts candidates that cannot keep `K + 1` support (neighbors with
+//!   core > K plus surviving candidates); survivors are promoted.
+//!   Vertices that fail the core-degree test are looked at once and never
+//!   expanded through.
+//! * **Deletion**: a level-`K` vertex falls to `K − 1` exactly when its
+//!   count of supporting neighbors (core ≥ K, demoted vertices no longer
+//!   counting) drops below `K`. Only the endpoints can lose support
+//!   directly, so the cascade starts there and visits nothing beyond the
+//!   demoted vertices and their immediate neighborhoods — for most
+//!   deletions that is just the two endpoint adjacency scans.
+//!
+//! Both rules touch a few vertices per typical update instead of
+//! `O(n + m)`; the tracker counts what it evaluates so callers can
+//! report a stale-core fraction and the benchmark can attribute its win.
+//!
+//! Vertices are identified by *external* ids (the mutable state has no
+//! stable rank space). A per-core-value histogram keeps the degeneracy
+//! `γmax` readable in O(1) after every update.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// SplitMix64-finalizer hasher for the crate's `u64` vertex ids. The
+/// default SipHash costs more than the work it guards in these hot
+/// per-edge loops; vertex ids are internal (not attacker-chosen keys for
+/// a long-lived table), so a strong mix without keyed DoS resistance is
+/// the right trade.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VertexHasher(u64);
+
+impl Hasher for VertexHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // generic fallback (FNV-1a); the u64 fast path below is the one
+        // vertex maps actually hit
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+/// Hasher state builder for [`VertexHasher`]-keyed containers.
+pub type VertexBuild = BuildHasherDefault<VertexHasher>;
+/// A `u64`-keyed map using the fast vertex hasher.
+pub type VertexMap<V> = HashMap<u64, V, VertexBuild>;
+/// A `u64` set using the fast vertex hasher.
+pub type VertexSet = HashSet<u64, VertexBuild>;
+
+/// Adjacency state the tracker maintains cores for: external id → sorted
+/// neighbor list. Owned by [`crate::DynamicGraph`]; the tracker only reads
+/// it, *after* the caller has applied the structural change.
+pub type Adjacency = VertexMap<Vec<u64>>;
+
+/// Cumulative counters describing how much work incremental maintenance
+/// did — the evidence behind the update-vs-rebuild benchmark.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Structural update operations processed (edge inserts + deletes,
+    /// including those synthesized by vertex removal).
+    pub ops: u64,
+    /// Adjacency entries scanned by maintenance traversals — the
+    /// incremental cost, in the same unit as one static peel's `n + 2m`.
+    pub visited: u64,
+    /// Core numbers raised by insertions.
+    pub promoted: u64,
+    /// Core numbers lowered by deletions.
+    pub demoted: u64,
+    /// Operations whose traversal exceeded the per-op budget (or arrived
+    /// while the tracker was already stale): maintenance was skipped and
+    /// a full refresh deferred to the next commit.
+    pub abandoned: u64,
+    /// Full bucket-peel refreshes performed (at seeding and whenever a
+    /// commit found the tracker stale).
+    pub refreshes: u64,
+}
+
+/// Incrementally maintained core numbers for a mutable graph.
+///
+/// The tracker is **exact while fresh**. Homogeneous graph regions can
+/// make a single update's affected region approach the whole graph, at
+/// which point incremental maintenance is *slower* than the linear
+/// static peel — so each maintenance call carries an evaluation budget.
+/// Exceeding it flips the tracker to stale ([`CoreTracker::is_fresh`]
+/// returns false): further maintenance is skipped, reads return the last
+/// exact values, and the owner is expected to [`CoreTracker::seed`] a
+/// full recompute at its next commit. The net guarantee is "never worse
+/// than one static peel per commit, much better when churn is local".
+#[derive(Debug, Default, Clone)]
+pub struct CoreTracker {
+    /// Current core number of every vertex (exact iff `fresh`).
+    cores: VertexMap<u32>,
+    /// `hist[c]` = number of vertices with core number `c`.
+    hist: Vec<usize>,
+    /// Largest `c` with `hist[c] > 0` (0 for an empty tracker).
+    gamma_max: u32,
+    /// False once any maintenance call was abandoned; reset by `seed`.
+    fresh: bool,
+    stats: MaintenanceStats,
+}
+
+impl CoreTracker {
+    /// An empty tracker; seed it with [`CoreTracker::seed`] or by adding
+    /// vertices and edges through the maintenance entry points.
+    pub fn new() -> Self {
+        CoreTracker {
+            fresh: true,
+            ..Self::default()
+        }
+    }
+
+    /// Installs externally computed core numbers (the one full peel paid
+    /// when wrapping an existing static graph, or the commit-time refresh
+    /// after maintenance was abandoned). Restores freshness.
+    pub fn seed(&mut self, cores: impl IntoIterator<Item = (u64, u32)>) {
+        self.cores.clear();
+        self.hist.clear();
+        self.gamma_max = 0;
+        for (v, c) in cores {
+            self.cores.insert(v, c);
+            self.bump(c, 1);
+        }
+        self.fresh = true;
+        self.stats.refreshes += 1;
+    }
+
+    /// True while every maintenance call since the last seed stayed
+    /// within budget, i.e. while core numbers are exact.
+    pub fn is_fresh(&self) -> bool {
+        self.fresh
+    }
+
+    /// Explicitly marks the tracker stale. Owners call this when the
+    /// *cumulative* maintenance spend of the current batch has exceeded
+    /// what one commit-time refresh peel would cost — from then on,
+    /// per-op maintenance is wasted motion and is skipped.
+    pub fn abandon(&mut self) {
+        if self.fresh {
+            self.fresh = false;
+            self.stats.abandoned += 1;
+        }
+    }
+
+    /// Core number of `v`, if tracked. Exact iff
+    /// [`CoreTracker::is_fresh`]; otherwise the last exact value.
+    pub fn core(&self, v: u64) -> Option<u32> {
+        self.cores.get(&v).copied()
+    }
+
+    /// The degeneracy: largest `γ` with a non-empty `γ`-core. O(1).
+    pub fn gamma_max(&self) -> u32 {
+        self.gamma_max
+    }
+
+    /// Number of tracked vertices.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True iff no vertex is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Number of vertices with core number ≥ `gamma` — an upper bound on
+    /// how many vertices any influential `γ`-community can draw from.
+    pub fn vertices_in_core(&self, gamma: u32) -> usize {
+        self.hist.iter().skip(gamma as usize).sum::<usize>()
+    }
+
+    /// Cumulative maintenance counters.
+    pub fn stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+
+    /// Starts tracking an isolated vertex (core 0).
+    pub fn add_vertex(&mut self, v: u64) {
+        let prev = self.cores.insert(v, 0);
+        debug_assert!(prev.is_none(), "vertex {v} already tracked");
+        self.bump(0, 1);
+    }
+
+    /// Stops tracking `v`, which must already be isolated (the caller
+    /// deletes incident edges first, so — when fresh — its core is 0).
+    pub fn remove_vertex(&mut self, v: u64) {
+        let c = self.cores.remove(&v).expect("vertex tracked");
+        debug_assert!(!self.fresh || c == 0, "removed vertex must be isolated");
+        self.drop_one(c);
+    }
+
+    /// Maintains cores after the edge `{u, v}` was *added* to `adj`,
+    /// scanning at most `budget` adjacency entries before giving up and
+    /// going stale. `touched` accumulates every vertex evaluated.
+    pub fn after_insert(
+        &mut self,
+        adj: &Adjacency,
+        u: u64,
+        v: u64,
+        budget: usize,
+        touched: &mut VertexSet,
+    ) {
+        self.stats.ops += 1;
+        if !self.fresh {
+            self.stats.abandoned += 1;
+            return;
+        }
+        let (cu, cv) = (self.cores[&u], self.cores[&v]);
+        let k = cu.min(cv);
+        let mut scans: u64 = 0;
+
+        // Purecore traversal: collect vertices that could rise to K+1 —
+        // level-K, core degree > K, reachable from the endpoints through
+        // such vertices. Failing vertices are evaluated once, never
+        // expanded through.
+        let cores = &self.cores;
+        let core_degree = |w: u64, scans: &mut u64| -> u32 {
+            let list = &adj[&w];
+            *scans += list.len() as u64;
+            list.iter().filter(|&&x| cores[&x] >= k).count() as u32
+        };
+        let mut evaluated: VertexMap<bool> = VertexMap::default(); // id → is candidate
+        let mut candidates: Vec<u64> = Vec::new();
+        let mut stack: Vec<u64> = Vec::new();
+        for root in [u, v] {
+            if self.cores[&root] == k && !evaluated.contains_key(&root) {
+                let is_candidate = core_degree(root, &mut scans) > k;
+                evaluated.insert(root, is_candidate);
+                if is_candidate {
+                    candidates.push(root);
+                    stack.push(root);
+                }
+            }
+        }
+        let mut exhausted = false;
+        'traverse: while let Some(w) = stack.pop() {
+            scans += adj[&w].len() as u64;
+            for &x in &adj[&w] {
+                if self.cores[&x] == k && !evaluated.contains_key(&x) {
+                    if scans >= budget as u64 {
+                        exhausted = true;
+                        break 'traverse;
+                    }
+                    let is_candidate = core_degree(x, &mut scans) > k;
+                    evaluated.insert(x, is_candidate);
+                    if is_candidate {
+                        candidates.push(x);
+                        stack.push(x);
+                    }
+                }
+            }
+        }
+        touched.extend(evaluated.keys().copied());
+        if exhausted {
+            self.stats.visited += scans;
+            // budget exhausted mid-traversal: no promotion was applied,
+            // but the region is larger than incremental maintenance is
+            // worth — defer to a full refresh at the next commit
+            self.fresh = false;
+            self.stats.abandoned += 1;
+            return;
+        }
+        if candidates.is_empty() {
+            self.stats.visited += scans;
+            return;
+        }
+
+        // Eviction to the fixpoint: a candidate keeps K+1 support from
+        // neighbors with core > K plus surviving candidates.
+        let mut support: VertexMap<u32> = candidates
+            .iter()
+            .map(|&w| {
+                let list = &adj[&w];
+                scans += list.len() as u64;
+                let s = list
+                    .iter()
+                    .filter(|&&x| self.cores[&x] > k || evaluated.get(&x).copied().unwrap_or(false))
+                    .count() as u32;
+                (w, s)
+            })
+            .collect();
+        let mut queue: Vec<u64> = candidates
+            .iter()
+            .copied()
+            .filter(|w| support[w] <= k)
+            .collect();
+        let mut evicted: VertexSet = queue.iter().copied().collect();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let w = queue[qi];
+            qi += 1;
+            scans += adj[&w].len() as u64;
+            for &x in &adj[&w] {
+                if evaluated.get(&x).copied().unwrap_or(false) && !evicted.contains(&x) {
+                    let s = support.get_mut(&x).expect("candidate has support");
+                    *s -= 1;
+                    if *s <= k {
+                        evicted.insert(x);
+                        queue.push(x);
+                    }
+                }
+            }
+        }
+        self.stats.visited += scans;
+        for &w in &candidates {
+            if !evicted.contains(&w) {
+                self.set_core(w, k + 1);
+                self.stats.promoted += 1;
+            }
+        }
+    }
+
+    /// Maintains cores after the edge `{u, v}` was *removed* from `adj`,
+    /// scanning at most `budget` adjacency entries before giving up and
+    /// going stale. `touched` accumulates every vertex evaluated.
+    pub fn after_delete(
+        &mut self,
+        adj: &Adjacency,
+        u: u64,
+        v: u64,
+        budget: usize,
+        touched: &mut VertexSet,
+    ) {
+        self.stats.ops += 1;
+        if !self.fresh {
+            self.stats.abandoned += 1;
+            return;
+        }
+        let (cu, cv) = (self.cores[&u], self.cores[&v]);
+        let k = cu.min(cv);
+        if k == 0 {
+            // An endpoint with an incident edge has core ≥ 1, so this only
+            // happens for states the caller never produces; nothing to do.
+            return;
+        }
+        let mut scans: u64 = 0;
+
+        // Lazy cascade: only the endpoints lose support directly; every
+        // further demotion is triggered by a neighbor's demotion. Support
+        // counts are computed against the *pre-op* core values on first
+        // evaluation, then decremented once per demoted neighbor (each
+        // demoted vertex is dequeued exactly once).
+        let cores = &self.cores;
+        let core_degree = |w: u64, scans: &mut u64| -> u32 {
+            let list = &adj[&w];
+            *scans += list.len() as u64;
+            list.iter().filter(|&&x| cores[&x] >= k).count() as u32
+        };
+        let mut support: VertexMap<u32> = VertexMap::default();
+        let mut demoted: VertexSet = VertexSet::default();
+        let mut queue: Vec<u64> = Vec::new();
+        for e in [u, v] {
+            if self.cores[&e] == k && !support.contains_key(&e) {
+                let s = core_degree(e, &mut scans);
+                support.insert(e, s);
+                if s < k {
+                    demoted.insert(e);
+                    queue.push(e);
+                }
+            }
+        }
+        let mut exhausted = false;
+        let mut qi = 0;
+        'cascade: while qi < queue.len() {
+            let w = queue[qi];
+            qi += 1;
+            scans += adj[&w].len() as u64;
+            for &x in &adj[&w] {
+                if self.cores[&x] != k || demoted.contains(&x) {
+                    continue;
+                }
+                let s = match support.get_mut(&x) {
+                    Some(s) => {
+                        *s -= 1;
+                        *s
+                    }
+                    None => {
+                        if scans >= budget as u64 {
+                            exhausted = true;
+                            break 'cascade;
+                        }
+                        // first evaluation: count with pre-op cores, then
+                        // apply w's demotion
+                        let cores = &self.cores;
+                        let list = &adj[&x];
+                        scans += list.len() as u64;
+                        let s = list.iter().filter(|&&y| cores[&y] >= k).count() as u32 - 1;
+                        support.insert(x, s);
+                        s
+                    }
+                };
+                if s < k {
+                    demoted.insert(x);
+                    queue.push(x);
+                }
+            }
+        }
+        self.stats.visited += scans;
+        touched.extend(support.keys().copied());
+        if exhausted {
+            // demotions were not applied; cores are stale until the next
+            // commit's full refresh
+            self.fresh = false;
+            self.stats.abandoned += 1;
+            return;
+        }
+        for &w in &demoted {
+            self.set_core(w, k - 1);
+            self.stats.demoted += 1;
+        }
+    }
+
+    fn set_core(&mut self, v: u64, c: u32) {
+        let old = self.cores.insert(v, c).expect("vertex tracked");
+        self.drop_one(old);
+        self.bump(c, 1);
+    }
+
+    fn bump(&mut self, c: u32, by: usize) {
+        if self.hist.len() <= c as usize {
+            self.hist.resize(c as usize + 1, 0);
+        }
+        self.hist[c as usize] += by;
+        if c > self.gamma_max {
+            self.gamma_max = c;
+        }
+    }
+
+    fn drop_one(&mut self, c: u32) {
+        self.hist[c as usize] -= 1;
+        while self.gamma_max > 0 && self.hist[self.gamma_max as usize] == 0 {
+            self.gamma_max -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Tiny mutable graph harness: applies edits to an [`Adjacency`] and
+    /// mirrors them into the tracker, exactly as `DynamicGraph` does.
+    struct Harness {
+        adj: Adjacency,
+        tracker: CoreTracker,
+        touched: crate::cores::VertexSet,
+    }
+
+    impl Harness {
+        fn new(n: u64) -> Self {
+            let mut tracker = CoreTracker::new();
+            let mut adj = Adjacency::default();
+            for v in 0..n {
+                adj.insert(v, Vec::new());
+                tracker.add_vertex(v);
+            }
+            Harness {
+                adj,
+                tracker,
+                touched: crate::cores::VertexSet::default(),
+            }
+        }
+
+        fn insert(&mut self, u: u64, v: u64) {
+            for (a, b) in [(u, v), (v, u)] {
+                let list = self.adj.get_mut(&a).unwrap();
+                let pos = list.binary_search(&b).unwrap_err();
+                list.insert(pos, b);
+            }
+            self.tracker
+                .after_insert(&self.adj, u, v, usize::MAX, &mut self.touched);
+        }
+
+        fn delete(&mut self, u: u64, v: u64) {
+            for (a, b) in [(u, v), (v, u)] {
+                let list = self.adj.get_mut(&a).unwrap();
+                let pos = list.binary_search(&b).unwrap();
+                list.remove(pos);
+            }
+            self.tracker
+                .after_delete(&self.adj, u, v, usize::MAX, &mut self.touched);
+        }
+
+        /// O(n²) reference: repeatedly strip the minimum-degree vertex.
+        fn naive_cores(&self) -> HashMap<u64, u32> {
+            let mut alive: HashSet<u64> = self.adj.keys().copied().collect();
+            let mut deg: HashMap<u64, i64> =
+                self.adj.iter().map(|(&v, l)| (v, l.len() as i64)).collect();
+            let mut core = HashMap::new();
+            let mut k: i64 = 0;
+            while !alive.is_empty() {
+                let &v = alive
+                    .iter()
+                    .min_by_key(|&&v| (deg[&v], v))
+                    .expect("non-empty");
+                k = k.max(deg[&v]);
+                core.insert(v, k as u32);
+                alive.remove(&v);
+                for &w in &self.adj[&v] {
+                    if alive.contains(&w) {
+                        *deg.get_mut(&w).unwrap() -= 1;
+                    }
+                }
+            }
+            core
+        }
+
+        fn assert_exact(&self, context: &str) {
+            let expected = self.naive_cores();
+            for (&v, &c) in &expected {
+                assert_eq!(
+                    self.tracker.core(v),
+                    Some(c),
+                    "{context}: core of vertex {v}"
+                );
+            }
+            let gm = expected.values().copied().max().unwrap_or(0);
+            assert_eq!(self.tracker.gamma_max(), gm, "{context}: gamma_max");
+        }
+    }
+
+    #[test]
+    fn first_edge_promotes_both_endpoints() {
+        let mut h = Harness::new(3);
+        h.insert(0, 1);
+        assert_eq!(h.tracker.core(0), Some(1));
+        assert_eq!(h.tracker.core(1), Some(1));
+        assert_eq!(h.tracker.core(2), Some(0));
+        assert_eq!(h.tracker.gamma_max(), 1);
+    }
+
+    #[test]
+    fn closing_a_triangle_promotes_the_cycle() {
+        let mut h = Harness::new(3);
+        h.insert(0, 1);
+        h.insert(1, 2);
+        assert_eq!(h.tracker.gamma_max(), 1);
+        h.insert(0, 2);
+        for v in 0..3 {
+            assert_eq!(h.tracker.core(v), Some(2), "vertex {v}");
+        }
+        h.assert_exact("triangle");
+    }
+
+    #[test]
+    fn deleting_a_triangle_edge_demotes_the_cycle() {
+        let mut h = Harness::new(3);
+        h.insert(0, 1);
+        h.insert(1, 2);
+        h.insert(0, 2);
+        h.delete(0, 1);
+        for v in 0..3 {
+            assert_eq!(h.tracker.core(v), Some(1), "vertex {v}");
+        }
+        h.assert_exact("broken triangle");
+    }
+
+    #[test]
+    fn star_leaf_removal_is_local() {
+        let mut h = Harness::new(5);
+        for leaf in 1..5 {
+            h.insert(0, leaf);
+        }
+        let visited_before = h.tracker.stats().visited;
+        h.delete(0, 1);
+        assert_eq!(h.tracker.core(1), Some(0));
+        assert_eq!(h.tracker.core(0), Some(1));
+        for leaf in 2..5 {
+            assert_eq!(h.tracker.core(leaf), Some(1));
+        }
+        // the deletion explored the level-1 subcore, not the whole graph
+        assert!(h.tracker.stats().visited > visited_before);
+        h.assert_exact("star");
+    }
+
+    #[test]
+    fn insertion_between_different_core_levels_only_moves_the_lower() {
+        // a 4-clique (core 3) plus a pendant path; attaching the path end
+        // to the clique must not change clique cores
+        let mut h = Harness::new(6);
+        for u in 0..4u64 {
+            for v in u + 1..4 {
+                h.insert(u, v);
+            }
+        }
+        h.insert(3, 4);
+        h.insert(4, 5);
+        h.assert_exact("before");
+        h.insert(5, 0);
+        h.assert_exact("after pendant cycle closure");
+        assert_eq!(h.tracker.core(4), Some(2));
+        assert_eq!(h.tracker.core(5), Some(2));
+        assert_eq!(h.tracker.core(0), Some(3));
+    }
+
+    #[test]
+    fn random_edit_stream_stays_exact() {
+        // deterministic pseudo-random insert/delete stream, checked
+        // against the naive peel after every operation
+        let n = 24u64;
+        let mut h = Harness::new(n);
+        let mut present: Vec<(u64, u64)> = Vec::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for step in 0..300 {
+            let delete = !present.is_empty() && next() % 3 == 0;
+            if delete {
+                let idx = (next() % present.len() as u64) as usize;
+                let (u, v) = present.swap_remove(idx);
+                h.delete(u, v);
+            } else {
+                let u = next() % n;
+                let v = next() % n;
+                if u == v || h.adj[&u].binary_search(&v).is_ok() {
+                    continue;
+                }
+                h.insert(u, v);
+                present.push((u.min(v), u.max(v)));
+            }
+            if step % 10 == 0 {
+                h.assert_exact(&format!("step {step}"));
+            }
+        }
+        h.assert_exact("final");
+        let s = h.tracker.stats();
+        assert!(s.ops > 0 && s.visited > 0);
+        assert!(s.promoted > 0 && s.demoted > 0);
+    }
+
+    #[test]
+    fn exhausted_budget_goes_stale_and_reseeding_recovers() {
+        // build a 6-vertex ring: every vertex core 2 after closure
+        let mut h = Harness::new(6);
+        for v in 0..6u64 {
+            h.insert(v, (v + 1) % 6);
+        }
+        assert!(h.tracker.is_fresh());
+        h.assert_exact("ring");
+
+        // now delete with a budget too small for the cascade
+        for (a, b) in [(0u64, 1u64), (1, 0)] {
+            let list = h.adj.get_mut(&a).unwrap();
+            let pos = list.binary_search(&b).unwrap();
+            list.remove(pos);
+        }
+        h.tracker.after_delete(&h.adj, 0, 1, 1, &mut h.touched);
+        assert!(!h.tracker.is_fresh(), "tiny budget must abandon");
+        assert_eq!(h.tracker.stats().abandoned, 1);
+
+        // further maintenance is skipped (counted, not attempted)
+        for (a, b) in [(2u64, 3u64), (3, 2)] {
+            let list = h.adj.get_mut(&a).unwrap();
+            let pos = list.binary_search(&b).unwrap();
+            list.remove(pos);
+        }
+        h.tracker
+            .after_delete(&h.adj, 2, 3, usize::MAX, &mut h.touched);
+        assert_eq!(h.tracker.stats().abandoned, 2);
+
+        // reseeding with exact values restores freshness and exactness
+        let exact = h.naive_cores();
+        h.tracker.seed(exact);
+        assert!(h.tracker.is_fresh());
+        h.assert_exact("after reseed");
+        assert_eq!(h.tracker.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn histogram_counts_cores_at_or_above_gamma() {
+        let mut h = Harness::new(5);
+        h.insert(0, 1);
+        h.insert(1, 2);
+        h.insert(0, 2);
+        assert_eq!(h.tracker.vertices_in_core(0), 5);
+        assert_eq!(h.tracker.vertices_in_core(1), 3);
+        assert_eq!(h.tracker.vertices_in_core(2), 3);
+        assert_eq!(h.tracker.vertices_in_core(3), 0);
+    }
+}

@@ -162,6 +162,60 @@ impl WeightedGraph {
         *self.weights.first().expect("graph must be non-empty")
     }
 
+    /// Builds a new graph identical to `self` except that the adjacency
+    /// lists of the ranks named in `patches` are replaced. The vertex
+    /// set, weights, and therefore the entire rank order are unchanged —
+    /// this is the compaction fast path for pure *edge* churn, costing
+    /// one linear copy instead of the full sort-and-relabel of
+    /// [`crate::GraphBuilder`].
+    ///
+    /// Each patch list must be sorted ascending by rank, free of self
+    /// loops and duplicates, and the patch set must keep the edge
+    /// relation symmetric (an edge change always patches both
+    /// endpoints); violations are caught by a debug assertion.
+    pub fn with_patched_adjacency(&self, patches: &[(Rank, Vec<Rank>)]) -> WeightedGraph {
+        let n = self.n();
+        let mut patch_of: Vec<Option<&[Rank]>> = vec![None; n];
+        for (r, list) in patches {
+            patch_of[*r as usize] = Some(list.as_slice());
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for (r, patch) in patch_of.iter().enumerate() {
+            acc += match patch {
+                Some(list) => list.len(),
+                None => self.offsets[r + 1] - self.offsets[r],
+            };
+            offsets.push(acc);
+        }
+        let mut adj = Vec::with_capacity(acc);
+        let mut higher_len = Vec::with_capacity(n);
+        for (r, patch) in patch_of.iter().enumerate() {
+            match patch {
+                Some(list) => {
+                    adj.extend_from_slice(list);
+                    higher_len.push(list.partition_point(|&x| (x as usize) < r) as u32);
+                }
+                None => {
+                    adj.extend_from_slice(self.neighbors(r as Rank));
+                    higher_len.push(self.higher_len[r]);
+                }
+            }
+        }
+        debug_assert_eq!(acc % 2, 0, "patched edge relation must stay symmetric");
+        let g = WeightedGraph {
+            offsets,
+            adj,
+            higher_len,
+            weights: self.weights.clone(),
+            ext_ids: self.ext_ids.clone(),
+            m: acc / 2,
+        };
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
     /// Internal consistency check used by tests and debug assertions:
     /// offsets monotone, lists sorted and symmetric, weights non-increasing.
     pub fn validate(&self) -> Result<(), String> {
@@ -273,6 +327,65 @@ mod tests {
         for (a, b) in all {
             assert!(a < b, "edges() must emit (higher weight, lower weight)");
             assert!(g.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn patched_adjacency_equals_rebuilt_graph() {
+        use crate::GraphBuilder;
+        let g = figure1();
+        // remove edge (0, 1) and add edge (0, 9) — in rank space
+        let drop = (0u32, 1u32);
+        let add = (0u32, 9u32);
+        let mut lists: Vec<Vec<u32>> = (0..g.n() as u32).map(|r| g.neighbors(r).to_vec()).collect();
+        for (a, b) in [(drop.0, drop.1), (drop.1, drop.0)] {
+            let pos = lists[a as usize].binary_search(&b).unwrap();
+            lists[a as usize].remove(pos);
+        }
+        for (a, b) in [(add.0, add.1), (add.1, add.0)] {
+            let pos = lists[a as usize].binary_search(&b).unwrap_err();
+            lists[a as usize].insert(pos, b);
+        }
+        let patches: Vec<(u32, Vec<u32>)> = [drop.0, drop.1, add.1]
+            .iter()
+            .map(|&r| (r, lists[r as usize].clone()))
+            .collect();
+        let patched = g.with_patched_adjacency(&patches);
+        patched.validate().unwrap();
+        assert_eq!(patched.m(), g.m());
+        assert!(!patched.has_edge(drop.0, drop.1));
+        assert!(patched.has_edge(add.0, add.1));
+        // identical to a from-scratch rebuild of the same edge set
+        let mut b = GraphBuilder::new();
+        for r in 0..g.n() as u32 {
+            b.set_weight(g.external_id(r), g.weight(r));
+            b.add_vertex(g.external_id(r));
+        }
+        for r in 0..patched.n() as u32 {
+            for &x in patched.neighbors(r) {
+                if r < x {
+                    b.add_edge(patched.external_id(r), patched.external_id(x));
+                }
+            }
+        }
+        let rebuilt = b.build().unwrap();
+        assert_eq!(rebuilt.n(), patched.n());
+        assert_eq!(rebuilt.m(), patched.m());
+        for r in 0..patched.n() as u32 {
+            assert_eq!(rebuilt.neighbors(r), patched.neighbors(r));
+            assert_eq!(rebuilt.weight(r), patched.weight(r));
+            assert_eq!(rebuilt.external_id(r), patched.external_id(r));
+        }
+    }
+
+    #[test]
+    fn empty_patch_set_is_a_plain_copy() {
+        let g = figure1();
+        let copy = g.with_patched_adjacency(&[]);
+        copy.validate().unwrap();
+        assert_eq!(copy.m(), g.m());
+        for r in 0..g.n() as u32 {
+            assert_eq!(copy.neighbors(r), g.neighbors(r));
         }
     }
 

@@ -15,6 +15,9 @@ pub enum ServiceError {
     InvalidQuery(String),
     /// A graph failed to load or generate.
     GraphLoad(String),
+    /// A dynamic update was rejected (unknown vertex, duplicate edge,
+    /// non-finite weight, …); the graph state is unchanged.
+    Update(String),
     /// The worker pool or a session worker shut down mid-request.
     WorkerGone,
 }
@@ -26,6 +29,7 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServiceError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             ServiceError::GraphLoad(msg) => write!(f, "graph load failed: {msg}"),
+            ServiceError::Update(msg) => write!(f, "update rejected: {msg}"),
             ServiceError::WorkerGone => write!(f, "worker shut down while serving the request"),
         }
     }

@@ -20,9 +20,15 @@
 //! * [`session::Session`] — progressive sessions: pull communities one
 //!   batch at a time across calls, each session backed by a thread owning
 //!   its `ProgressiveSearch` iterator.
+//! * dynamic updates — [`Service::update`] buffers edge/vertex churn in a
+//!   per-graph [`ic_dynamic::DynamicGraph`] overlay (incremental core
+//!   maintenance, no global peel) and [`Service::commit_updates`] swaps
+//!   the compacted snapshot in under a new registry generation, so the
+//!   result cache invalidates by construction; the planner consults the
+//!   overlay's stale-core fraction ([`planner::plan_dynamic`]).
 //! * [`protocol`] / [`server`] — a line-oriented text protocol (`LOAD`,
-//!   `QUERY`, `NEXT`, `STATS`, `EXPLAIN`, …) and the TCP front-end behind
-//!   the `serve` binary.
+//!   `QUERY`, `UPDATE`, `COMMIT`, `NEXT`, `STATS`, `EXPLAIN`, …) and the
+//!   TCP front-end behind the `serve` binary.
 //!
 //! # Example
 //!
@@ -58,10 +64,11 @@ pub mod stats;
 
 pub use cache::{CacheKey, ResultCache};
 pub use error::ServiceError;
-pub use planner::{plan, Algorithm, Explain, Mode, Query};
+pub use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
+pub use planner::{plan, plan_dynamic, Algorithm, Explain, Mode, Query};
 pub use pool::WorkerPool;
 pub use registry::{GraphRegistry, RegisteredGraph};
 pub use server::serve;
-pub use service::{QueryResponse, Service, ServiceConfig, SyntheticSpec};
+pub use service::{QueryResponse, Service, ServiceConfig, SyntheticSpec, UpdateStatus};
 pub use session::Session;
 pub use stats::ServiceStats;

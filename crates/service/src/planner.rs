@@ -142,7 +142,7 @@ impl Query {
 }
 
 /// Why a plan was chosen — returned by [`plan`] and printed by `EXPLAIN`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Explain {
     /// The chosen algorithm.
     pub algorithm: Algorithm,
@@ -154,18 +154,42 @@ pub struct Explain {
     pub n: usize,
     pub m: usize,
     pub gamma_max: u32,
+    /// Fraction of the registered snapshot's core numbers touched by
+    /// uncommitted dynamic updates (0.0 for static graphs). High values
+    /// mean `gamma_max` no longer describes what the graph will look like
+    /// after the next `COMMIT`; see [`STALE_CORE_CUTOFF`].
+    pub stale_core_fraction: f64,
 }
 
 /// k at or below which the progressive stream's latency-to-first-result
 /// beats the batch algorithms outright (Figure 14 regime).
 pub const PROGRESSIVE_K_CUTOFF: usize = 2;
 
-/// Picks the algorithm for `(γ, k)` on a graph with the given statistics.
+/// Stale-core fraction above which the planner stops trusting the
+/// registered `γmax` for regime decisions: under a heavy uncommitted
+/// update burst, the degeneracy measured at registration no longer
+/// predicts the structure clients are querying about.
+pub const STALE_CORE_CUTOFF: f64 = 0.25;
+
+/// Picks the algorithm for `(γ, k)` on a graph with the given statistics,
+/// assuming the statistics are fresh. Equivalent to [`plan_dynamic`] with
+/// a stale-core fraction of 0.
+pub fn plan(stats: &GraphStats, gamma: u32, k: usize, mode: Mode) -> Explain {
+    plan_dynamic(stats, gamma, k, mode, 0.0)
+}
+
+/// Picks the algorithm for `(γ, k)` on a graph with the given statistics
+/// and the given stale-core fraction (how much of the registered
+/// snapshot's core structure uncommitted dynamic updates have touched).
 ///
 /// The `Auto` branches, in order:
 ///
-/// 1. `γ > γmax` — no γ-core exists; **Forward**'s single global counting
-///    pass is the cheapest proof of emptiness.
+/// 1. `γ > γmax` and cores are fresh — no γ-core exists; **Forward**'s
+///    single global counting pass is the cheapest proof of emptiness.
+///    When more than [`STALE_CORE_CUTOFF`] of the cores are stale the
+///    shortcut is distrusted: **LocalSearch** verifies emptiness in time
+///    proportional to its accessed prefix and stays the right plan once
+///    the pending updates commit and shift `γmax`.
 /// 2. `k + γ ≥ n` — the heuristic initial prefix already spans the whole
 ///    graph; **OnlineAll**'s single sweep enumerates everything without
 ///    LocalSearch's growth rounds.
@@ -175,7 +199,13 @@ pub const PROGRESSIVE_K_CUTOFF: usize = 2;
 /// 4. `k ≤ `[`PROGRESSIVE_K_CUTOFF`] — a tiny result set; the
 ///    **progressive** stream stops after the minimal prefix.
 /// 5. otherwise — **LocalSearch**, the instance-optimal default.
-pub fn plan(stats: &GraphStats, gamma: u32, k: usize, mode: Mode) -> Explain {
+pub fn plan_dynamic(
+    stats: &GraphStats,
+    gamma: u32,
+    k: usize,
+    mode: Mode,
+    stale_core_fraction: f64,
+) -> Explain {
     let base = |algorithm: Algorithm, reason: &'static str, forced: bool| Explain {
         algorithm,
         reason,
@@ -183,6 +213,7 @@ pub fn plan(stats: &GraphStats, gamma: u32, k: usize, mode: Mode) -> Explain {
         n: stats.n,
         m: stats.m,
         gamma_max: stats.gamma_max,
+        stale_core_fraction,
     };
     if let Mode::Force(algorithm) = mode {
         return base(algorithm, "explicit mode override", true);
@@ -190,12 +221,22 @@ pub fn plan(stats: &GraphStats, gamma: u32, k: usize, mode: Mode) -> Explain {
     let n = stats.n;
     let reach = k.saturating_add(gamma as usize);
     if gamma > stats.gamma_max {
-        base(
-            Algorithm::Forward,
-            "gamma exceeds the graph's degeneracy: no gamma-core exists, so one \
-             global counting pass proves the answer empty",
-            false,
-        )
+        if stale_core_fraction > STALE_CORE_CUTOFF {
+            base(
+                Algorithm::LocalSearch,
+                "gamma exceeds the registered degeneracy, but uncommitted updates \
+                 have touched too many cores to trust it: instance-optimal search \
+                 verifies the (possibly empty) answer on its accessed prefix only",
+                false,
+            )
+        } else {
+            base(
+                Algorithm::Forward,
+                "gamma exceeds the graph's degeneracy: no gamma-core exists, so one \
+                 global counting pass proves the answer empty",
+                false,
+            )
+        }
     } else if reach >= n {
         base(
             Algorithm::OnlineAll,
@@ -260,6 +301,31 @@ mod tests {
         let e = plan(&stats(1000, 5000, 8), 9, 5, Mode::Auto);
         assert_eq!(e.algorithm, Algorithm::Forward);
         assert!(e.reason.contains("degeneracy"));
+        assert_eq!(e.stale_core_fraction, 0.0);
+    }
+
+    #[test]
+    fn stale_cores_distrust_the_degeneracy_shortcut() {
+        let s = stats(1000, 5000, 8);
+        // fresh (or mildly stale) cores: the emptiness proof stands
+        for stale in [0.0, STALE_CORE_CUTOFF] {
+            let e = plan_dynamic(&s, 9, 5, Mode::Auto, stale);
+            assert_eq!(e.algorithm, Algorithm::Forward, "stale={stale}");
+        }
+        // heavily stale cores: fall back to the instance-optimal search
+        let e = plan_dynamic(&s, 9, 5, Mode::Auto, 0.5);
+        assert_eq!(e.algorithm, Algorithm::LocalSearch);
+        assert!(e.reason.contains("uncommitted"));
+        assert_eq!(e.stale_core_fraction, 0.5);
+        // staleness never disturbs the feasible-gamma branches
+        for (k, fresh) in [(5, Algorithm::LocalSearch), (2, Algorithm::Progressive)] {
+            let a = plan_dynamic(&s, 3, k, Mode::Auto, 0.9).algorithm;
+            assert_eq!(a, fresh, "k={k}");
+        }
+        // nor an explicit override
+        let forced = plan_dynamic(&s, 9, 5, Mode::Force(Algorithm::OnlineAll), 0.9);
+        assert_eq!(forced.algorithm, Algorithm::OnlineAll);
+        assert!(forced.forced);
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //! GRAPHS                                 list registered graphs
 //! QUERY <graph> <gamma> <k> [mode]       top-k (mode: auto|local_search|…)
 //! EXPLAIN <graph> <gamma> <k> [mode]     plan only, with the reason
+//! UPDATE <graph> ADD <u> <v> [w]         buffer an edge insert (w creates
+//!                                        missing endpoints with that weight)
+//! UPDATE <graph> DEL <u> <v>             buffer an edge delete
+//! UPDATE <graph> ADDV <v> <w>            buffer a vertex add
+//! UPDATE <graph> DELV <v>                buffer a vertex remove
+//! UPDATE <graph> REWEIGHT <v> <w>        buffer an influence change
+//! COMMIT <graph>                         fold pending updates into a fresh
+//!                                        snapshot (bumps the generation)
 //! OPEN <graph> <gamma>                   open a progressive session
 //! NEXT <session> [n]                     pull up to n communities (default 1)
 //! CLOSE <session>                        close a session
@@ -21,6 +29,10 @@
 //! HELP                                   this listing
 //! QUIT                                   close the connection
 //! ```
+//!
+//! Updates apply to a per-graph overlay and become visible to queries
+//! atomically at `COMMIT`, which re-registers the compacted snapshot
+//! under a new generation (invalidating cached results by construction).
 //!
 //! [`handle_line`] is a pure request → reply function over an
 //! [`Arc<Service>`]; the TCP front-end ([`crate::server`]) and the
@@ -30,6 +42,7 @@
 use std::sync::Arc;
 
 use ic_core::Community;
+use ic_dynamic::UpdateOp;
 use ic_graph::WeightedGraph;
 
 use crate::error::ServiceError;
@@ -39,7 +52,9 @@ use crate::service::{QueryResponse, Service, SyntheticSpec};
 /// Help text returned by `HELP` (and useful as a banner).
 pub const HELP: &str = "commands: LOAD <name> <path> | GEN <name> gnm|ba|rmat <args> <seed> | \
 GRAPHS | QUERY <graph> <gamma> <k> [mode] | EXPLAIN <graph> <gamma> <k> [mode] | \
-OPEN <graph> <gamma> | NEXT <session> [n] | CLOSE <session> | STATS | HELP | QUIT";
+UPDATE <graph> ADD|DEL <u> <v> [w] | UPDATE <graph> ADDV|DELV|REWEIGHT <v> [w] | \
+COMMIT <graph> | OPEN <graph> <gamma> | NEXT <session> [n] | CLOSE <session> | \
+STATS | HELP | QUIT";
 
 /// Handles one request line, returning the full (possibly multi-line)
 /// reply without a trailing newline. Empty and `#`-comment lines get an
@@ -125,8 +140,30 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             let query = parse_query(&verb, &args)?;
             let e = svc.explain(&query)?;
             Ok(format!(
-                "OK algo={} forced={} n={} m={} gamma_max={} reason={}",
-                e.algorithm, e.forced, e.n, e.m, e.gamma_max, e.reason
+                "OK algo={} forced={} n={} m={} gamma_max={} stale_core={:.4} reason={}",
+                e.algorithm, e.forced, e.n, e.m, e.gamma_max, e.stale_core_fraction, e.reason
+            ))
+        }
+        "UPDATE" => {
+            let op = parse_update(&verb, &args)?;
+            let st = svc.update(args[0], op)?;
+            Ok(format!(
+                "OK graph={} pending={} stale_core={:.4} n={} m={} gamma_max={}",
+                args[0], st.pending, st.stale_core_fraction, st.n, st.m, st.gamma_max
+            ))
+        }
+        "COMMIT" => {
+            let [name] = expect_args::<1>(&verb, &args)?;
+            let (entry, receipt) = svc.commit_updates(name)?;
+            Ok(format!(
+                "OK graph={} generation={} ops={} cores_visited={} n={} m={} gamma_max={}",
+                entry.name,
+                entry.generation,
+                receipt.ops_applied,
+                receipt.cores_visited,
+                entry.stats.n,
+                entry.stats.m,
+                entry.stats.gamma_max
             ))
         }
         "OPEN" => {
@@ -206,6 +243,62 @@ fn parse_query(verb: &str, args: &[&str]) -> Result<Query, ServiceError> {
         k: parse_num("k", args[2])?,
         mode,
     })
+}
+
+/// Parses the argument tail of an `UPDATE` line:
+/// `<graph> ADD|DEL <u> <v> [w]` or `<graph> ADDV|DELV|REWEIGHT <v> [w]`.
+fn parse_update(verb: &str, args: &[&str]) -> Result<UpdateOp, ServiceError> {
+    const USAGE: &str = "<graph> ADD|DEL <u> <v> [w], or <graph> ADDV|DELV|REWEIGHT <v> [w]";
+    if args.len() < 2 {
+        return Err(usage(verb, USAGE));
+    }
+    let action = args[1].to_ascii_uppercase();
+    let rest = &args[2..];
+    match action.as_str() {
+        "ADD" => {
+            if rest.len() < 2 || rest.len() > 3 {
+                return Err(usage(verb, "<graph> ADD <u> <v> [w]"));
+            }
+            Ok(UpdateOp::InsertEdge {
+                u: parse_num("u", rest[0])?,
+                v: parse_num("v", rest[1])?,
+                default_weight: match rest.get(2) {
+                    Some(s) => Some(parse_num::<f64>("w", s)?),
+                    None => None,
+                },
+            })
+        }
+        "DEL" => {
+            let [u, v] = expect_args::<2>(verb, rest)?;
+            Ok(UpdateOp::DeleteEdge {
+                u: parse_num("u", u)?,
+                v: parse_num("v", v)?,
+            })
+        }
+        "ADDV" => {
+            let [v, w] = expect_args::<2>(verb, rest)?;
+            Ok(UpdateOp::AddVertex {
+                v: parse_num("v", v)?,
+                weight: parse_num("w", w)?,
+            })
+        }
+        "DELV" => {
+            let [v] = expect_args::<1>(verb, rest)?;
+            Ok(UpdateOp::RemoveVertex {
+                v: parse_num("v", v)?,
+            })
+        }
+        "REWEIGHT" => {
+            let [v, w] = expect_args::<2>(verb, rest)?;
+            Ok(UpdateOp::Reweight {
+                v: parse_num("v", v)?,
+                weight: parse_num("w", w)?,
+            })
+        }
+        other => Err(ServiceError::InvalidQuery(format!(
+            "unknown update action {other:?} (expected ADD, DEL, ADDV, DELV, REWEIGHT)"
+        ))),
+    }
 }
 
 fn format_query_response(resp: &QueryResponse) -> String {
@@ -351,6 +444,87 @@ mod tests {
         let next = handle_line(&svc, &format!("NEXT {id} 2"));
         assert!(next.starts_with("OK count=2"), "{next}");
         assert!(next.contains("members=3,11,12,20"), "{next}");
+    }
+
+    #[test]
+    fn update_commit_round_trip_changes_answers() {
+        let svc = svc();
+        let before = handle_line(&svc, "QUERY fig3 3 1");
+        assert!(before.contains("members=3,11,12,20"), "{before}");
+
+        // delete the top clique's cheapest edge; not visible before COMMIT
+        let upd = handle_line(&svc, "UPDATE fig3 DEL 3 11");
+        assert!(upd.starts_with("OK graph=fig3 pending=1"), "{upd}");
+        assert!(upd.contains("stale_core=0."), "{upd}");
+        let mid = handle_line(&svc, "QUERY fig3 3 1");
+        assert!(mid.contains("members=3,11,12,20"), "{mid}");
+
+        let commit = handle_line(&svc, "COMMIT fig3");
+        assert!(commit.starts_with("OK graph=fig3 generation="), "{commit}");
+        assert!(commit.contains("ops=1"), "{commit}");
+        let after = handle_line(&svc, "QUERY fig3 3 1");
+        assert!(after.starts_with("OK"), "{after}");
+        assert!(!after.contains("members=3,11,12,20"), "{after}");
+
+        // growing a new clique through ADD with on-the-fly vertices
+        for line in [
+            "UPDATE fig3 ADD 50 51 30",
+            "UPDATE fig3 ADD 52 50 30",
+            "UPDATE fig3 ADD 52 51 30",
+            "UPDATE fig3 ADD 53 50 30",
+            "UPDATE fig3 ADD 53 51 30",
+            "UPDATE fig3 ADD 53 52 30",
+        ] {
+            let reply = handle_line(&svc, line);
+            assert!(reply.starts_with("OK"), "{line} -> {reply}");
+        }
+        // 6 edge inserts plus 4 on-the-fly vertex creations
+        let commit2 = handle_line(&svc, "COMMIT fig3");
+        assert!(commit2.contains("ops=10"), "{commit2}");
+        let top = handle_line(&svc, "QUERY fig3 3 1");
+        assert!(top.contains("influence=30 members=50,51,52,53"), "{top}");
+    }
+
+    #[test]
+    fn explain_reports_staleness() {
+        let svc = svc();
+        let fresh = handle_line(&svc, "EXPLAIN fig3 3 4");
+        assert!(fresh.contains("stale_core=0.0000"), "{fresh}");
+        let _ = handle_line(&svc, "UPDATE fig3 DEL 3 11");
+        let stale = handle_line(&svc, "EXPLAIN fig3 3 4");
+        assert!(!stale.contains("stale_core=0.0000"), "{stale}");
+    }
+
+    #[test]
+    fn malformed_updates_are_err_lines() {
+        let svc = svc();
+        for bad in [
+            "UPDATE",
+            "UPDATE fig3",
+            "UPDATE fig3 ADD",
+            "UPDATE fig3 ADD 1",
+            "UPDATE fig3 ADD 1 2 3 4",
+            "UPDATE fig3 ADD x 2",
+            "UPDATE fig3 DEL 1",
+            "UPDATE fig3 DEL 0 9",     // edge does not exist
+            "UPDATE fig3 ADD 3 11",    // edge already exists
+            "UPDATE fig3 ADD 90 91",   // endpoints missing, no weight
+            "UPDATE fig3 ADDV 3 1.0",  // vertex exists
+            "UPDATE fig3 ADDV 90 NaN", // non-finite weight
+            "UPDATE fig3 DELV 404",
+            "UPDATE fig3 REWEIGHT 404 2.0",
+            "UPDATE fig3 WARP 1 2",
+            "UPDATE nope ADD 1 2 1.0",
+            "COMMIT",
+            "COMMIT nope",
+            "COMMIT fig3 extra",
+        ] {
+            let reply = handle_line(&svc, bad);
+            assert!(reply.starts_with("ERR "), "{bad} -> {reply}");
+        }
+        // the graph still answers correctly after all those rejections
+        let ok = handle_line(&svc, "QUERY fig3 3 4");
+        assert!(ok.contains("count=4"), "{ok}");
     }
 
     #[test]

@@ -49,10 +49,28 @@ impl GraphRegistry {
     /// Registers (or replaces) a graph under `name`, computing its
     /// planning statistics. Returns the registered entry.
     pub fn register(&self, name: &str, graph: WeightedGraph) -> RegisteredGraph {
+        let stats = graph_stats(&graph);
+        self.register_prepared(name, Arc::new(graph), stats)
+    }
+
+    /// Registers (or replaces) a graph whose statistics the caller already
+    /// holds, skipping the full core decomposition that [`graph_stats`]
+    /// would pay. This is the commit path of the dynamic-update subsystem:
+    /// `ic-dynamic` maintains the degeneracy incrementally, so a commit
+    /// hands over exact stats in O(1). The caller vouches that `stats`
+    /// describes `graph`.
+    pub fn register_prepared(
+        &self,
+        name: &str,
+        graph: Arc<WeightedGraph>,
+        stats: GraphStats,
+    ) -> RegisteredGraph {
+        debug_assert_eq!(stats.n, graph.n(), "stats must describe the graph");
+        debug_assert_eq!(stats.m, graph.m(), "stats must describe the graph");
         let entry = RegisteredGraph {
             name: name.to_string(),
-            stats: graph_stats(&graph),
-            graph: Arc::new(graph),
+            stats,
+            graph,
             generation: self.next_generation.fetch_add(1, Ordering::Relaxed),
         };
         self.graphs
@@ -128,6 +146,16 @@ mod tests {
         // the old Arc is still fully usable by in-flight queries
         assert_eq!(held.n(), figure3().n());
         assert_eq!(reg.get("g").unwrap().graph.n(), figure1().n());
+    }
+
+    #[test]
+    fn register_prepared_skips_recompute_but_matches() {
+        let reg = GraphRegistry::new();
+        let via_full = reg.register("a", figure3());
+        let entry = reg.register_prepared("b", Arc::new(figure3()), via_full.stats);
+        assert_eq!(entry.stats, via_full.stats);
+        assert!(entry.generation > via_full.generation);
+        assert_eq!(reg.get("b").unwrap().stats, via_full.stats);
     }
 
     #[test]

@@ -7,12 +7,19 @@
 //! N connections share `workers` execution threads, queueing FIFO behind
 //! them, while session `NEXT` calls ride their own per-session threads.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
 use crate::protocol::{handle_line, HELP};
 use crate::service::Service;
+
+/// Hard cap on one request line. A well-formed request is tens of bytes;
+/// anything beyond this is a client bug or abuse, and answering it would
+/// require buffering unbounded attacker-controlled input. Oversized lines
+/// get a one-line `ERR`, are drained without buffering, and the
+/// connection stays usable.
+pub const MAX_LINE_BYTES: u64 = 64 * 1024;
 
 /// Accepts connections forever, spawning a handler thread per client.
 /// Returns only if the listener fails fatally.
@@ -37,12 +44,32 @@ pub fn serve(listener: TcpListener, svc: Arc<Service>) -> std::io::Result<()> {
 
 /// Serves one client until `QUIT`, EOF, or an I/O error.
 pub fn handle_connection(stream: TcpStream, svc: &Arc<Service>) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     writeln!(writer, "OK ic-service ready; {HELP}")?;
     writer.flush()?;
-    for line in reader.lines() {
-        let line = line?;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        // Bound each read so a newline-free flood cannot grow the buffer
+        // past MAX_LINE_BYTES. Reading *bytes* (not `read_line`) matters:
+        // the cap can land mid-way through a multibyte character, which
+        // must count as an oversized line, not an I/O error that drops
+        // the connection.
+        let n = reader
+            .by_ref()
+            .take(MAX_LINE_BYTES)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break; // EOF
+        }
+        if n as u64 >= MAX_LINE_BYTES && buf.last() != Some(&b'\n') {
+            drain_line(&mut reader)?;
+            writeln!(writer, "ERR line exceeds {MAX_LINE_BYTES} bytes")?;
+            writer.flush()?;
+            continue;
+        }
+        let line = String::from_utf8_lossy(&buf);
         let reply = handle_line(svc, &line);
         if !reply.is_empty() {
             writeln!(writer, "{reply}")?;
@@ -53,6 +80,19 @@ pub fn handle_connection(stream: TcpStream, svc: &Arc<Service>) -> std::io::Resu
         }
     }
     Ok(())
+}
+
+/// Discards input up to and including the next newline, in bounded
+/// chunks (never holding more than one chunk in memory).
+fn drain_line(reader: &mut impl BufRead) -> std::io::Result<()> {
+    let mut chunk = Vec::with_capacity(4096);
+    loop {
+        chunk.clear();
+        let n = reader.by_ref().take(4096).read_until(b'\n', &mut chunk)?;
+        if n == 0 || chunk.last() == Some(&b'\n') {
+            return Ok(());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +152,64 @@ mod tests {
         // server closes after QUIT: EOF
         assert_eq!(reader.read_line(&mut line).unwrap(), 0);
         assert_eq!(svc.stats().queries, 1);
+    }
+
+    /// An oversized request line is rejected with one `ERR` line, drained
+    /// without buffering, and the connection keeps serving.
+    #[test]
+    fn oversized_line_is_rejected_not_buffered() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 4,
+            cache_shards: 1,
+        });
+        svc.register("fig3", figure3());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc_for_server = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let _ = handle_connection(stream, &svc_for_server);
+        });
+
+        let client = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut writer = BufWriter::new(client);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // banner
+
+        // a 1 MiB line of garbage, far past MAX_LINE_BYTES
+        let huge = "A".repeat(1024 * 1024);
+        writeln!(writer, "QUERY {huge} 3 4").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR line exceeds"), "{line}");
+
+        // multibyte flood: the byte cap lands mid-character ('€' is three
+        // bytes and the prefix offsets it), which must still be a clean
+        // oversized rejection, not an InvalidData connection drop
+        let multibyte = "€".repeat(40_000);
+        writeln!(writer, "QUERY {multibyte} 3 4").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR line exceeds"), "{line}");
+
+        // the same connection still answers real requests afterwards
+        writeln!(writer, "QUERY fig3 3 4").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK "), "{line}");
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.trim() == "END" {
+                break;
+            }
+        }
+        writeln!(writer, "QUIT").unwrap();
+        writer.flush().unwrap();
     }
 }

@@ -7,9 +7,11 @@
 //! take `&self`; the service is designed to sit in an [`Arc`] shared by
 //! every connection handler.
 //!
-//! A batch query flows: validate → look up graph → [`plan`] → probe the
-//! cache keyed by `(graph, γ, k)` → on a miss, execute the planned
-//! algorithm and publish the answer to the cache. [`Service::query`]
+//! A batch query flows: validate → look up graph →
+//! [`plan_dynamic`] (fed the graph's
+//! stale-core fraction) → probe the cache keyed by `(graph, γ, k)` → on
+//! a miss, execute the planned algorithm and publish the answer to the
+//! cache. [`Service::query`]
 //! pushes that whole pipeline onto the worker pool and blocks on the
 //! reply, so callers on N connection threads share the pool's fixed
 //! parallelism; [`Service::execute_inline`] runs it on the caller's
@@ -18,17 +20,18 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use ic_core::local_search::SearchStats;
 use ic_core::{forward, local_search, online_all, progressive, Community};
+use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
 use ic_graph::generators::{assemble, barabasi_albert, gnm, rmat, RmatParams, WeightKind};
 use ic_graph::{io, WeightedGraph};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::ServiceError;
-use crate::planner::{plan, Algorithm, Explain, Query};
+use crate::planner::{plan_dynamic, Algorithm, Explain, Query};
 use crate::pool::WorkerPool;
 use crate::registry::{GraphRegistry, RegisteredGraph};
 use crate::session::Session;
@@ -117,6 +120,34 @@ impl SyntheticSpec {
     }
 }
 
+/// What one accepted dynamic update left behind — echoed by the
+/// protocol's `UPDATE` reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStatus {
+    /// Updates accepted (and not yet committed) for the graph.
+    pub pending: u64,
+    /// Fraction of the registered snapshot's cores the pending updates
+    /// have touched (the planner's distrust signal).
+    pub stale_core_fraction: f64,
+    /// Vertices in the live (uncommitted) state.
+    pub n: usize,
+    /// Edges in the live (uncommitted) state.
+    pub m: usize,
+    /// Exact degeneracy of the live state, maintained incrementally.
+    pub gamma_max: u32,
+}
+
+/// A per-graph dynamic overlay plus the registry generation it was
+/// seeded from (updated at every commit). The tag lets `update` detect a
+/// wholesale replacement that raced with an overlay it built outside the
+/// dynamics lock — committing an overlay whose base generation is not
+/// the registered one would resurrect a superseded graph.
+#[derive(Debug)]
+struct DynamicOverlay {
+    base_generation: u64,
+    graph: DynamicGraph,
+}
+
 /// The concurrent query engine. See the module docs for the data flow.
 #[derive(Debug)]
 pub struct Service {
@@ -126,6 +157,9 @@ pub struct Service {
     pool: WorkerPool,
     sessions: Mutex<HashMap<u64, Session>>,
     next_session_id: AtomicU64,
+    /// Per-name dynamic overlays, created lazily by the first update.
+    /// Queries only take the cheap read path (absent for static graphs).
+    dynamics: RwLock<HashMap<String, DynamicOverlay>>,
 }
 
 impl Service {
@@ -139,6 +173,7 @@ impl Service {
             pool: WorkerPool::new(config.workers),
             sessions: Mutex::new(HashMap::new()),
             next_session_id: AtomicU64::new(1),
+            dynamics: RwLock::new(HashMap::new()),
         })
     }
 
@@ -151,8 +186,16 @@ impl Service {
 
     /// Registers (or replaces) `graph` under `name`. Replacement
     /// invalidates every cached result for the name, so stale answers are
-    /// never served.
+    /// never served, and discards any uncommitted dynamic updates — a
+    /// wholesale replacement supersedes the overlay they were edits of.
+    ///
+    /// The dynamics write lock is held across overlay removal *and* the
+    /// registry swap: a concurrent [`Service::update`] must not observe
+    /// the gap between them, or it would rebuild an overlay from the
+    /// superseded snapshot and a later commit would resurrect it.
     pub fn register(&self, name: &str, graph: WeightedGraph) -> RegisteredGraph {
+        let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
+        dynamics.remove(name);
         self.cache.invalidate_graph(name);
         self.registry.register(name, graph)
     }
@@ -186,13 +229,138 @@ impl Service {
         self.registry.get(name)
     }
 
+    // ----- dynamic updates ---------------------------------------------
+
+    /// Applies one dynamic update to `name`'s overlay, creating the
+    /// overlay from the registered snapshot on first use. The update is
+    /// visible to queries only after [`Service::commit_updates`]; until
+    /// then queries keep answering from the registered snapshot while the
+    /// planner sees a growing stale-core fraction.
+    pub fn update(&self, name: &str, op: UpdateOp) -> Result<UpdateStatus, ServiceError> {
+        // Seeding an overlay pays a full core peel plus an adjacency
+        // copy, so a missing overlay is built *outside* the write lock —
+        // queries (which read this lock on their hot path) keep flowing
+        // while an overlay for a large graph is prepared.
+        let prebuilt = {
+            let dynamics = self.dynamics.read().expect("dynamics table poisoned");
+            if dynamics.contains_key(name) {
+                None
+            } else {
+                drop(dynamics);
+                let entry = self.registry.get(name)?;
+                Some(DynamicOverlay {
+                    base_generation: entry.generation,
+                    graph: DynamicGraph::from_arc(entry.graph),
+                })
+            }
+        };
+        let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
+        // The registry mapping for `name` cannot change while this lock
+        // is held — register() and commit_updates() both take it — so one
+        // generation check decides whether the prebuilt overlay (or any
+        // overlay another thread inserted meanwhile) is still current.
+        let entry = self.registry.get(name)?;
+        if !dynamics.contains_key(name) {
+            let overlay = match prebuilt {
+                Some(ov) if ov.base_generation == entry.generation => ov,
+                // raced with a wholesale replacement between the read and
+                // write locks: rebuild from the current snapshot
+                _ => DynamicOverlay {
+                    base_generation: entry.generation,
+                    graph: DynamicGraph::from_arc(Arc::clone(&entry.graph)),
+                },
+            };
+            dynamics.insert(name.to_string(), overlay);
+        }
+        let overlay = dynamics.get_mut(name).expect("overlay just ensured");
+        debug_assert_eq!(
+            overlay.base_generation, entry.generation,
+            "an overlay can only drift from its registration if register() \
+             bypassed the dynamics lock"
+        );
+        let dg = &mut overlay.graph;
+        dg.apply(op)
+            .map_err(|e| ServiceError::Update(e.to_string()))?;
+        Ok(UpdateStatus {
+            pending: dg.pending_updates(),
+            stale_core_fraction: dg.stale_core_fraction(),
+            n: dg.n(),
+            m: dg.m(),
+            gamma_max: dg.gamma_max(),
+        })
+    }
+
+    /// Commits `name`'s pending updates: compacts the overlay into a
+    /// fresh CSR snapshot and re-registers it under a new generation, so
+    /// the result cache invalidates by construction (generation-keyed
+    /// entries for the old snapshot become unreachable). Registration
+    /// reuses the overlay's incrementally maintained statistics — no
+    /// global core peel. With no overlay or no pending updates this is a
+    /// no-op returning the current registration.
+    pub fn commit_updates(
+        &self,
+        name: &str,
+    ) -> Result<(RegisteredGraph, CommitReceipt), ServiceError> {
+        let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
+        let Some(overlay) = dynamics.get_mut(name) else {
+            // no overlay: nothing to fold in
+            let entry = self.registry.get(name)?;
+            let receipt = CommitReceipt {
+                graph: Arc::clone(&entry.graph),
+                stats: entry.stats,
+                ops_applied: 0,
+                cores_visited: 0,
+                refreshed_cores: false,
+            };
+            return Ok((entry, receipt));
+        };
+        let receipt = overlay.graph.commit();
+        if receipt.ops_applied == 0 {
+            let entry = self.registry.get(name)?;
+            return Ok((entry, receipt));
+        }
+        self.cache.invalidate_graph(name);
+        let entry =
+            self.registry
+                .register_prepared(name, Arc::clone(&receipt.graph), receipt.stats);
+        // the overlay now tracks the registration it just produced
+        overlay.base_generation = entry.generation;
+        Ok((entry, receipt))
+    }
+
+    /// The stale-core fraction of `name`'s registered snapshot under its
+    /// pending updates; 0.0 for graphs without a dynamic overlay.
+    pub fn stale_core_fraction(&self, name: &str) -> f64 {
+        self.dynamics
+            .read()
+            .expect("dynamics table poisoned")
+            .get(name)
+            .map_or(0.0, |ov| ov.graph.stale_core_fraction())
+    }
+
+    /// Pending (uncommitted) updates for `name`; 0 without an overlay.
+    pub fn pending_updates(&self, name: &str) -> u64 {
+        self.dynamics
+            .read()
+            .expect("dynamics table poisoned")
+            .get(name)
+            .map_or(0, |ov| ov.graph.pending_updates())
+    }
+
     // ----- batch queries -----------------------------------------------
 
     /// Plans a query without executing it.
     pub fn explain(&self, query: &Query) -> Result<Explain, ServiceError> {
         query.validate()?;
         let entry = self.registry.get(&query.graph)?;
-        Ok(plan(&entry.stats, query.gamma, query.k, query.mode))
+        let stale = self.stale_core_fraction(&query.graph);
+        Ok(plan_dynamic(
+            &entry.stats,
+            query.gamma,
+            query.k,
+            query.mode,
+            stale,
+        ))
     }
 
     /// Answers a query on the calling thread: plan, probe the cache,
@@ -200,7 +368,8 @@ impl Service {
     pub fn execute_inline(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
         query.validate()?;
         let entry = self.registry.get(&query.graph)?;
-        let explain = plan(&entry.stats, query.gamma, query.k, query.mode);
+        let stale = self.stale_core_fraction(&query.graph);
+        let explain = plan_dynamic(&entry.stats, query.gamma, query.k, query.mode, stale);
         // The key carries the generation of the instance this execution
         // read, so a result computed against a since-replaced graph is
         // inserted under the stale generation and never served again.
@@ -586,6 +755,111 @@ mod tests {
         let reference = local_search::top_k(&figure3(), 3, 100).communities;
         assert_eq!(first.len() + rest.len(), reference.len());
         svc.close_session(id).unwrap();
+    }
+
+    #[test]
+    fn updates_are_invisible_until_commit_then_swap_atomically() {
+        let svc = service_with_fig3();
+        let before = svc.query(Query::new("fig3", 3, 4)).unwrap();
+        let old_generation = svc.graph("fig3").unwrap().generation;
+
+        // sever the top clique's keynode edge; nothing visible yet
+        let st = svc
+            .update("fig3", UpdateOp::DeleteEdge { u: 3, v: 11 })
+            .unwrap();
+        assert_eq!(st.pending, 1);
+        assert!(st.stale_core_fraction > 0.0);
+        assert_eq!(svc.stale_core_fraction("fig3"), st.stale_core_fraction);
+        let mid = svc.query(Query::new("fig3", 3, 4)).unwrap();
+        assert_eq!(mid.communities.len(), before.communities.len());
+        assert!(mid.cached, "pre-commit answers still come from the cache");
+
+        // commit: new generation, cache invalidated, updated answer
+        let (entry, receipt) = svc.commit_updates("fig3").unwrap();
+        assert!(entry.generation > old_generation);
+        assert_eq!(receipt.ops_applied, 1);
+        assert_eq!(svc.stale_core_fraction("fig3"), 0.0);
+        let after = svc.query(Query::new("fig3", 3, 4)).unwrap();
+        assert!(!after.cached, "commit must invalidate cached answers");
+        let direct = {
+            let mut dg = ic_dynamic::DynamicGraph::new(figure3());
+            dg.delete_edge(3, 11).unwrap();
+            local_search::top_k(&dg.commit().graph, 3, 4)
+        };
+        assert_eq!(after.communities.len(), direct.communities.len());
+        for (a, b) in after.communities.iter().zip(&direct.communities) {
+            assert_eq!(a.members, b.members);
+        }
+    }
+
+    #[test]
+    fn commit_without_updates_is_a_noop() {
+        let svc = service_with_fig3();
+        let before = svc.graph("fig3").unwrap();
+        let (entry, receipt) = svc.commit_updates("fig3").unwrap();
+        assert_eq!(entry.generation, before.generation);
+        assert_eq!(receipt.ops_applied, 0);
+        assert!(Arc::ptr_eq(&entry.graph, &before.graph));
+        // same once an overlay exists but holds nothing pending
+        svc.update(
+            "fig3",
+            UpdateOp::AddVertex {
+                v: 900,
+                weight: 1.0,
+            },
+        )
+        .unwrap();
+        svc.commit_updates("fig3").unwrap();
+        let committed = svc.graph("fig3").unwrap();
+        let (entry2, receipt2) = svc.commit_updates("fig3").unwrap();
+        assert_eq!(receipt2.ops_applied, 0);
+        assert_eq!(entry2.generation, committed.generation);
+    }
+
+    #[test]
+    fn rejected_updates_surface_and_change_nothing() {
+        let svc = service_with_fig3();
+        assert!(matches!(
+            svc.update("nope", UpdateOp::DeleteEdge { u: 1, v: 2 }),
+            Err(ServiceError::UnknownGraph(_))
+        ));
+        assert!(matches!(
+            svc.update("fig3", UpdateOp::DeleteEdge { u: 0, v: 9 }),
+            Err(ServiceError::Update(_))
+        ));
+        assert_eq!(svc.pending_updates("fig3"), 0);
+        assert_eq!(svc.stale_core_fraction("fig3"), 0.0);
+    }
+
+    #[test]
+    fn wholesale_registration_discards_pending_updates() {
+        let svc = service_with_fig3();
+        svc.update("fig3", UpdateOp::DeleteEdge { u: 3, v: 11 })
+            .unwrap();
+        assert_eq!(svc.pending_updates("fig3"), 1);
+        svc.register("fig3", figure3());
+        assert_eq!(svc.pending_updates("fig3"), 0);
+        let (_, receipt) = svc.commit_updates("fig3").unwrap();
+        assert_eq!(receipt.ops_applied, 0, "overlay was superseded");
+    }
+
+    #[test]
+    fn stale_cores_flip_the_infeasible_gamma_plan() {
+        let svc = service_with_fig3();
+        let gamma_max = svc.graph("fig3").unwrap().stats.gamma_max;
+        let fresh = svc.explain(&Query::new("fig3", gamma_max + 1, 4)).unwrap();
+        assert_eq!(fresh.algorithm, Algorithm::Forward);
+        // churn enough edges to cross STALE_CORE_CUTOFF
+        for (u, v) in [(3u64, 11u64), (1, 6), (9, 12), (10, 13)] {
+            svc.update("fig3", UpdateOp::DeleteEdge { u, v }).unwrap();
+        }
+        let stale = svc.explain(&Query::new("fig3", gamma_max + 1, 4)).unwrap();
+        assert!(stale.stale_core_fraction > crate::planner::STALE_CORE_CUTOFF);
+        assert_eq!(stale.algorithm, Algorithm::LocalSearch);
+        // committing restores trust
+        svc.commit_updates("fig3").unwrap();
+        let after = svc.explain(&Query::new("fig3", gamma_max + 1, 4)).unwrap();
+        assert_eq!(after.stale_core_fraction, 0.0);
     }
 
     #[test]

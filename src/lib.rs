@@ -1,12 +1,13 @@
 //! Facade crate for the influential-communities workspace.
 //!
 //! Re-exports the graph substrates ([`graph`]), the community-search
-//! algorithms ([`search`]), and the concurrent query-serving subsystem
-//! ([`service`]) so that examples and downstream users need a single
-//! dependency. See the README for a quickstart and for the
-//! paper-to-module map.
+//! algorithms ([`search`]), the dynamic-update subsystem ([`dynamic`]),
+//! and the concurrent query-serving subsystem ([`service`]) so that
+//! examples and downstream users need a single dependency. See the
+//! README for a quickstart and for the paper-to-module map.
 
 pub use ic_core as search;
+pub use ic_dynamic as dynamic;
 pub use ic_graph as graph;
 pub use ic_service as service;
 
@@ -19,13 +20,16 @@ pub mod prelude {
     //! [`Prefix`]); the search side exposes the batch entry point
     //! ([`top_k`] / [`LocalSearch`] returning [`SearchResult`]), the
     //! streaming entry point ([`ProgressiveSearch`]), and the result /
-    //! parameter types ([`Community`], [`Params`]); the serving side
-    //! exposes the engine ([`Service`], [`ServiceConfig`]) and its query
-    //! type ([`Query`], [`QueryMode`]).
+    //! parameter types ([`Community`], [`Params`]); the dynamic side
+    //! exposes the mutable overlay ([`DynamicGraph`]) and its update
+    //! vocabulary ([`UpdateOp`]); the serving side exposes the engine
+    //! ([`Service`], [`ServiceConfig`]) and its query type ([`Query`],
+    //! [`QueryMode`]).
     pub use ic_core::community::Community;
     pub use ic_core::local_search::{top_k, LocalSearch, SearchResult};
     pub use ic_core::progressive::ProgressiveSearch;
     pub use ic_core::Params;
+    pub use ic_dynamic::{DynamicGraph, UpdateOp};
     pub use ic_graph::generators::{assemble, WeightKind};
     pub use ic_graph::{GraphBuilder, Prefix, WeightedGraph};
     pub use ic_service::{Mode as QueryMode, Query, Service, ServiceConfig};

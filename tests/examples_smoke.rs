@@ -42,6 +42,11 @@ fn service_demo_runs_to_completion() {
 }
 
 #[test]
+fn dynamic_updates_runs_to_completion() {
+    run_ok(&["run", "--quiet", "--example", "dynamic_updates"]);
+}
+
+#[test]
 fn progressive_stream_runs_to_completion() {
     // Release profile: the example synthesizes a scale-15 R-MAT graph and
     // runs PageRank over it, which is needlessly slow unoptimized.

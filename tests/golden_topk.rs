@@ -1,0 +1,111 @@
+//! Golden regression tests: the exact top-k community outputs for the
+//! paper's worked example and the Small-suite serving datasets are pinned
+//! in checked-in files, so a refactor of the search stack (or of the
+//! graph substrate underneath it) cannot silently change answers.
+//!
+//! On mismatch the assertion prints both versions; if a change is
+//! *intended* (e.g. the suite generators were deliberately re-seeded),
+//! regenerate with:
+//!
+//! ```sh
+//! GOLDEN_REGENERATE=1 cargo test --test golden_topk
+//! ```
+//!
+//! Influence values are printed with Rust's shortest-round-trip `f64`
+//! formatting, which is exact: two outputs compare equal iff every
+//! community and influence value is bit-identical.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use influential_communities::graph::paper::figure3;
+use influential_communities::graph::suite::small_dataset;
+use influential_communities::graph::WeightedGraph;
+use influential_communities::search::local_search;
+
+/// One pinned dataset: file stem, graph, and the (γ, k) queries whose
+/// answers are frozen.
+type GoldenCase = (&'static str, WeightedGraph, Vec<(u32, usize)>);
+
+/// The pinned corpus.
+fn corpus() -> Vec<GoldenCase> {
+    vec![
+        ("figure3", figure3(), vec![(3, 4), (3, 100), (2, 6)]),
+        ("email", small_dataset("email"), vec![(4, 8), (8, 8)]),
+        ("wiki", small_dataset("wiki"), vec![(4, 8), (8, 8)]),
+    ]
+}
+
+/// Renders the queries' answers in the stable golden format.
+fn render(g: &WeightedGraph, queries: &[(u32, usize)]) -> String {
+    let mut out = String::new();
+    for &(gamma, k) in queries {
+        let result = local_search::top_k(g, gamma, k);
+        writeln!(
+            out,
+            "QUERY gamma={gamma} k={k} count={}",
+            result.communities.len()
+        )
+        .unwrap();
+        for c in &result.communities {
+            let mut ids = c.external_members(g);
+            ids.sort_unstable();
+            let members = ids
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            writeln!(out, "C influence={} members={members}", c.influence).unwrap();
+        }
+        writeln!(out, "END").unwrap();
+    }
+    out
+}
+
+fn golden_path(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{stem}.topk.txt"))
+}
+
+#[test]
+fn answers_match_checked_in_goldens() {
+    let regenerate = std::env::var_os("GOLDEN_REGENERATE").is_some();
+    for (stem, graph, queries) in corpus() {
+        let actual = render(&graph, &queries);
+        let path = golden_path(stem);
+        if regenerate {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: cannot read golden file ({e}); run with GOLDEN_REGENERATE=1 \
+                 to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            actual,
+            expected,
+            "{stem}: top-k output drifted from {}; if intended, regenerate with \
+             GOLDEN_REGENERATE=1",
+            path.display()
+        );
+    }
+}
+
+/// The golden corpus must stay non-trivial: every file pins at least one
+/// real community, so an accidental always-empty regression cannot
+/// silently re-pin itself via regeneration.
+#[test]
+fn goldens_are_non_trivial() {
+    for (stem, graph, queries) in corpus() {
+        let rendered = render(&graph, &queries);
+        assert!(
+            rendered.lines().filter(|l| l.starts_with("C ")).count() >= 4,
+            "{stem}: suspiciously few communities:\n{rendered}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Protocol robustness: `handle_line` must survive anything a client can
+//! type — malformed verbs, truncated argument lists, numeric garbage,
+//! oversized payloads, and hostile `UPDATE`/`COMMIT` sequences — by
+//! replying `ERR …` (or `OK` for accidentally valid input), never by
+//! panicking. A panic inside a connection thread would poison the shared
+//! registry/session locks and take the whole service down, so after the
+//! barrage the service must still answer real queries correctly.
+
+use std::sync::Arc;
+
+use influential_communities::graph::paper::figure3;
+use influential_communities::graph::Pcg32;
+use influential_communities::search::local_search;
+use influential_communities::service::protocol::handle_line;
+use influential_communities::service::{Query, Service, ServiceConfig};
+
+fn svc() -> Arc<Service> {
+    let svc = Service::new(ServiceConfig {
+        workers: 2,
+        cache_capacity: 32,
+        cache_shards: 2,
+    });
+    svc.register("fig3", figure3());
+    svc
+}
+
+/// Every reply is a full string starting `OK`/`ERR` (or empty for
+/// comments); nothing may panic.
+fn feed(svc: &Arc<Service>, line: &str) -> String {
+    let reply = handle_line(svc, line);
+    assert!(
+        reply.is_empty() || reply.starts_with("OK") || reply.starts_with("ERR "),
+        "unexpected reply shape for {line:?}: {reply:?}"
+    );
+    reply
+}
+
+#[test]
+fn malformed_and_truncated_lines_error_cleanly() {
+    let svc = svc();
+    let cases: &[&str] = &[
+        // truncated forms of every verb
+        "LOAD",
+        "LOAD x",
+        "GEN",
+        "GEN a",
+        "GEN a gnm",
+        "GEN a gnm 10",
+        "GEN a gnm 10 20",
+        "QUERY",
+        "QUERY fig3",
+        "QUERY fig3 3",
+        "EXPLAIN",
+        "EXPLAIN fig3 3",
+        "OPEN",
+        "OPEN fig3",
+        "NEXT",
+        "CLOSE",
+        "UPDATE",
+        "UPDATE fig3",
+        "UPDATE fig3 ADD",
+        "UPDATE fig3 ADD 1",
+        "UPDATE fig3 DEL 1",
+        "UPDATE fig3 ADDV",
+        "UPDATE fig3 ADDV 1",
+        "UPDATE fig3 DELV",
+        "UPDATE fig3 REWEIGHT 1",
+        "COMMIT",
+        // surplus arguments
+        "QUERY fig3 3 4 auto extra",
+        "OPEN fig3 3 4",
+        "CLOSE 1 2",
+        "COMMIT fig3 now",
+        "UPDATE fig3 ADD 1 2 3.0 4",
+        // numeric garbage and overflow
+        "QUERY fig3 -1 4",
+        "QUERY fig3 3 -4",
+        "QUERY fig3 99999999999999999999 4",
+        "QUERY fig3 3 99999999999999999999999999",
+        "NEXT not-a-number",
+        "NEXT 18446744073709551616",
+        "UPDATE fig3 ADD 1e3 2",
+        "UPDATE fig3 ADD 1 2 not-a-float",
+        "UPDATE fig3 ADDV 7 inf-inity",
+        "UPDATE fig3 REWEIGHT 3 1.0.0",
+        // unknown verbs / modes / actions / generators
+        "FROBNICATE the graph",
+        "QUERY fig3 3 4 warp",
+        "GEN x unknown 1 2 3",
+        "UPDATE fig3 MERGE 1 2",
+        // semantic rejections that must not disturb state
+        "UPDATE fig3 DEL 0 9",
+        "UPDATE fig3 ADD 3 11",
+        "UPDATE fig3 ADD 777 778",
+        "UPDATE fig3 DELV 777",
+        "UPDATE nope ADD 1 2 1.0",
+        "COMMIT nope",
+        "LOAD ghost /nonexistent/path/graph.icg",
+    ];
+    for &line in cases {
+        let reply = feed(&svc, line);
+        assert!(reply.starts_with("ERR "), "{line:?} -> {reply:?}");
+    }
+    // comments and blanks produce no reply at all
+    assert_eq!(feed(&svc, ""), "");
+    assert_eq!(feed(&svc, "   "), "");
+    assert_eq!(feed(&svc, "# QUERY fig3 3 4"), "");
+}
+
+#[test]
+fn oversized_inputs_do_not_panic_or_allocate_absurdly() {
+    let svc = svc();
+    // a graph name of a megabyte, a megabyte of digits, huge whitespace
+    let long_name = "g".repeat(1 << 20);
+    let digits = "9".repeat(1 << 20);
+    let many_tokens = "x ".repeat(200_000);
+    for line in [
+        format!("QUERY {long_name} 3 4"),
+        format!("QUERY fig3 {digits} 4"),
+        format!("UPDATE fig3 ADD {digits} {digits}"),
+        format!("UPDATE {long_name} ADD 1 2 1.0"),
+        format!("COMMIT {long_name}"),
+        many_tokens.clone(),
+        format!("QUERY fig3 3 4 {many_tokens}"),
+    ] {
+        let reply = feed(&svc, &line);
+        assert!(reply.starts_with("ERR "), "oversized line -> {reply:?}");
+    }
+}
+
+#[test]
+fn seeded_token_fuzzing_never_panics() {
+    let svc = svc();
+    let verbs = [
+        "LOAD", "GEN", "GRAPHS", "QUERY", "EXPLAIN", "UPDATE", "COMMIT", "OPEN", "NEXT", "CLOSE",
+        "STATS", "HELP", "QUIT", "update", "Commit", "",
+    ];
+    let tokens = [
+        "fig3",
+        "nope",
+        "ADD",
+        "DEL",
+        "ADDV",
+        "DELV",
+        "REWEIGHT",
+        "gnm",
+        "ba",
+        "rmat",
+        "auto",
+        "forward",
+        "0",
+        "1",
+        "3",
+        "4",
+        "-1",
+        "1.5",
+        "NaN",
+        "inf",
+        "9999999999999999999999",
+        "\u{1F4A5}",
+        "..",
+        "--",
+        "x",
+    ];
+    let mut rng = Pcg32::new(0xF422);
+    for _ in 0..3000 {
+        let mut line = String::from(verbs[rng.gen_index(verbs.len())]);
+        for _ in 0..rng.gen_index(6) {
+            line.push(' ');
+            line.push_str(tokens[rng.gen_index(tokens.len())]);
+        }
+        feed(&svc, &line); // shape-checked inside; must not panic
+    }
+}
+
+#[test]
+fn service_still_answers_correctly_after_the_barrage() {
+    let svc = svc();
+    // throw the full hostile corpus at it first
+    for line in [
+        "UPDATE fig3 ADD 3 11",
+        "UPDATE fig3 DEL 0 9",
+        "COMMIT nope",
+        "QUERY fig3 0 0",
+        "FROBNICATE",
+        "NEXT 42",
+    ] {
+        let _ = feed(&svc, line);
+    }
+    // interleave a *valid* update cycle to prove state is not wedged
+    assert!(feed(&svc, "UPDATE fig3 DEL 3 11").starts_with("OK"));
+    assert!(feed(&svc, "COMMIT fig3").starts_with("OK"));
+
+    // the service must answer exactly like a single-threaded reference
+    let mut dg = influential_communities::dynamic::DynamicGraph::new(figure3());
+    dg.delete_edge(3, 11).unwrap();
+    let reference = dg.commit().graph;
+    let expected = local_search::top_k(&reference, 3, 4).communities;
+    let resp = svc.query(Query::new("fig3", 3, 4)).unwrap();
+    assert_eq!(resp.communities.len(), expected.len());
+    for (a, b) in resp.communities.iter().zip(&expected) {
+        assert_eq!(
+            a.external_members(&resp.graph_instance),
+            b.external_members(&reference)
+        );
+    }
+    // sessions also still work end to end
+    let open = feed(&svc, "OPEN fig3 3");
+    assert!(open.starts_with("OK session="), "{open}");
+    let id: u64 = open.trim_start_matches("OK session=").parse().unwrap();
+    assert!(feed(&svc, &format!("NEXT {id} 2")).contains("count=2"));
+    assert!(feed(&svc, &format!("CLOSE {id}")).starts_with("OK"));
+}

@@ -6,8 +6,10 @@
 //! absorbing repeats.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use influential_communities::dynamic::UpdateOp;
 use influential_communities::graph::generators::{assemble, barabasi_albert, gnm, WeightKind};
 use influential_communities::search::local_search;
 use influential_communities::search::Community;
@@ -148,7 +150,23 @@ fn concurrent_mixed_workload_matches_single_threaded_search() {
     assert_eq!(stats.sessions_opened, THREADS as u64);
     assert_eq!(stats.sessions_closed, THREADS as u64);
     assert!(stats.communities_streamed > 0);
-    // the mixed modes exercised every algorithm at least once
+
+    // Every algorithm must execute at least once. The concurrent phase
+    // cannot guarantee that by itself — mode is deliberately not part of
+    // the cache key, so under some interleavings every forced-mode query
+    // lands on a hit another algorithm populated. Drive one guaranteed
+    // miss per algorithm (fresh k values no thread used) and check the
+    // answers against the single-threaded search while we're at it.
+    for (i, algo) in Algorithm::ALL.into_iter().enumerate() {
+        let k = 11 + i; // distinct, uncached (γ, k) per algorithm
+        let resp = svc
+            .query(Query::new("gnm", 2, k).with_mode(Mode::Force(algo)))
+            .expect("post-pass query succeeds");
+        assert!(!resp.cached, "{algo}: key must be fresh");
+        assert_eq!(resp.explain.algorithm, algo);
+        assert_matches_direct(&resp.communities, &graphs[0].1, 2, k);
+    }
+    let stats = svc.stats();
     for algo in Algorithm::ALL {
         assert!(
             stats.executions(algo) > 0,
@@ -183,4 +201,147 @@ fn assert_matches_direct(
     for (x, y) in got.iter().zip(&expected) {
         assert_eq!(x.members, y.members);
     }
+}
+
+/// The invalidation guarantee under *concurrent* load: while reader
+/// threads hammer one graph name, the main thread replaces the graph
+/// twice — once wholesale (`register`) and once through the dynamic
+/// update path (`update` + `commit_updates`). Every answer must match one
+/// of the three reference states, per-thread answers must only move
+/// forward through those states, and any query issued after a swap
+/// completed must see that swap: across a generation bump, a stale
+/// answer is never served. (The pre-existing concurrency test asserted a
+/// positive hit-rate but never exercised invalidation at all.)
+#[test]
+fn replace_graph_mid_flight_never_serves_stale_answers() {
+    const GAMMA: u32 = 2;
+    const K: usize = 3;
+    let graph_a = assemble(60, &gnm(60, 200, 21), WeightKind::Uniform(5));
+    let graph_b = assemble(90, &gnm(90, 360, 22), WeightKind::Uniform(6));
+
+    let svc = Service::new(ServiceConfig {
+        workers: 4,
+        cache_capacity: 64,
+        cache_shards: 4,
+    });
+    svc.register("g", graph_a.clone());
+
+    // stage 0 = A, stage 1 = B, stage 2 = B with its top community's
+    // keynode removed via the dynamic-update path (filled in below)
+    let references: Arc<std::sync::Mutex<Vec<Vec<Community>>>> =
+        Arc::new(std::sync::Mutex::new(vec![
+            local_search::top_k(&graph_a, GAMMA, K).communities,
+            local_search::top_k(&graph_b, GAMMA, K).communities,
+        ]));
+    let stage = Arc::new(AtomicUsize::new(0));
+
+    const THREADS: usize = 6;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let references = Arc::clone(&references);
+            let stage = Arc::clone(&stage);
+            std::thread::spawn(move || {
+                let mut floor = 0usize; // lowest stage this thread may still see
+                let mut after_final_swap = 0usize;
+                for q in 0..1_000_000 {
+                    // keep querying until well past the last swap, so the
+                    // reads genuinely interleave with both replacements
+                    let issued_at = stage.load(Ordering::SeqCst);
+                    if issued_at == 2 {
+                        after_final_swap += 1;
+                        if after_final_swap > 16 {
+                            break;
+                        }
+                    }
+                    assert!(q < 999_999, "swaps never observed");
+                    let resp = svc.query(Query::new("g", GAMMA, K)).expect("query");
+                    let refs = references.lock().unwrap();
+                    let matched = refs.iter().enumerate().position(|(_, expected)| {
+                        resp.communities.len() == expected.len()
+                            && resp
+                                .communities
+                                .iter()
+                                .zip(expected)
+                                .all(|(a, b)| a.members == b.members)
+                    });
+                    drop(refs);
+                    let matched = matched.unwrap_or_else(|| {
+                        panic!("thread {t} query {q}: answer matches no reference state")
+                    });
+                    assert!(
+                        matched >= issued_at,
+                        "thread {t} query {q}: stale answer (stage {matched}) served \
+                         after stage {issued_at} swap completed"
+                    );
+                    assert!(
+                        matched >= floor,
+                        "thread {t} query {q}: answer regressed from stage {floor} \
+                         to stage {matched}"
+                    );
+                    floor = matched;
+                }
+            })
+        })
+        .collect();
+
+    // swap 1: wholesale replacement A → B
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    svc.register("g", graph_b.clone());
+    stage.store(1, Ordering::SeqCst);
+
+    // swap 2: dynamic-update replacement B → C (remove the top keynode).
+    // C's expected answer is computed on a private DynamicGraph replica
+    // and published to the reference table *before* the live swap, so a
+    // reader can never observe an answer ahead of its reference.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let keynode_ext = {
+        let top = &references.lock().unwrap()[1][0];
+        graph_b.external_id(top.keynode)
+    };
+    let ref_c = {
+        let mut replica = influential_communities::dynamic::DynamicGraph::new(graph_b.clone());
+        replica.remove_vertex(keynode_ext).expect("replica removal");
+        local_search::top_k(&replica.commit().graph, GAMMA, K).communities
+    };
+    {
+        let mut refs = references.lock().unwrap();
+        // each stage must be observably different from its predecessor,
+        // or the stale checks would be vacuous
+        for (i, j) in [(0usize, 1usize), (1, 2usize)] {
+            let next = if j == 2 { &ref_c } else { &refs[j] };
+            assert!(
+                refs[i].len() != next.len()
+                    || refs[i]
+                        .iter()
+                        .zip(next)
+                        .any(|(a, b)| a.influence != b.influence),
+                "stage {j} must be observably different from stage {i}"
+            );
+        }
+        refs.push(ref_c);
+    }
+    svc.update("g", UpdateOp::RemoveVertex { v: keynode_ext })
+        .expect("update accepted");
+    let (_, receipt) = svc.commit_updates("g").expect("commit succeeds");
+    assert_eq!(receipt.ops_applied, 1);
+    stage.store(2, Ordering::SeqCst);
+
+    for h in handles {
+        h.join().expect("no reader panicked");
+    }
+
+    // after everything settled: the final answer is stage 2's, uncached
+    // answers were actually recomputed (three generations existed)
+    let final_resp = svc.query(Query::new("g", GAMMA, K)).unwrap();
+    let refs = references.lock().unwrap();
+    assert_eq!(final_resp.communities.len(), refs[2].len());
+    for (a, b) in final_resp.communities.iter().zip(&refs[2]) {
+        assert_eq!(a.members, b.members);
+    }
+    let stats = svc.stats();
+    assert!(
+        stats.cache_misses >= 3,
+        "each generation must have computed at least once: {stats:?}"
+    );
 }
