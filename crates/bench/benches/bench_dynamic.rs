@@ -23,6 +23,7 @@ use std::collections::HashSet;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ic_bench::{dataset, Scale};
+use ic_core::query::Algorithm as _;
 use ic_dynamic::DynamicGraph;
 use ic_graph::stats::graph_stats;
 use ic_graph::{GraphBuilder, Pcg32, WeightedGraph};
@@ -156,8 +157,11 @@ fn bench(c: &mut Criterion) {
                 let mut st = baseline.clone();
                 st.apply(&batch);
                 let full = st.rebuild();
-                let a = ic_core::local_search::top_k(&inc.graph, GAMMA, K).communities;
-                let b = ic_core::local_search::top_k(&full, GAMMA, K).communities;
+                let q = ic_core::TopKQuery::new(GAMMA).k(K);
+                let a = ic_core::query::exec::LocalSearch
+                    .run(&inc.graph, &q)
+                    .communities;
+                let b = ic_core::query::exec::LocalSearch.run(&full, &q).communities;
                 assert_eq!(a.len(), b.len(), "{name} {churn_pct}%: differential");
                 assert_eq!(inc.stats, graph_stats(&full), "{name} {churn_pct}%: stats");
             }
@@ -167,7 +171,10 @@ fn bench(c: &mut Criterion) {
                     let mut dg = seeded.clone();
                     apply_to_dynamic(&mut dg, &batch);
                     let receipt = dg.commit();
-                    black_box(ic_core::local_search::top_k(&receipt.graph, GAMMA, K))
+                    black_box(
+                        ic_core::query::exec::LocalSearch
+                            .run(&receipt.graph, &ic_core::TopKQuery::new(GAMMA).k(K)),
+                    )
                 })
             });
             group.bench_function(format!("{name}_churn{churn_pct}pct_rebuild"), |b| {
@@ -177,7 +184,10 @@ fn bench(c: &mut Criterion) {
                     let full = st.rebuild();
                     let stats = graph_stats(&full); // what register() pays
                     black_box(stats);
-                    black_box(ic_core::local_search::top_k(&full, GAMMA, K))
+                    black_box(
+                        ic_core::query::exec::LocalSearch
+                            .run(&full, &ic_core::TopKQuery::new(GAMMA).k(K)),
+                    )
                 })
             });
         }

@@ -2,7 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ic_bench::{dataset, Scale};
-use ic_core::{forward, online_all, progressive};
+use ic_core::query::{exec, Algorithm as _};
+use ic_core::{progressive, TopKQuery};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -19,11 +20,13 @@ fn bench(c: &mut Criterion) {
             // infeasible)
             if name == "email" {
                 group.bench_function(format!("online_all/{name}/k{k}"), |b| {
-                    b.iter(|| online_all::top_k(g, gamma, k))
+                    let q = TopKQuery::new(gamma).k(k);
+                    b.iter(|| exec::OnlineAll.run(g, &q))
                 });
             }
             group.bench_function(format!("forward/{name}/k{k}"), |b| {
-                b.iter(|| forward::top_k(g, gamma, k))
+                let q = TopKQuery::new(gamma).k(k);
+                b.iter(|| exec::Forward.run(g, &q))
             });
             group.bench_function(format!("local_search_p/{name}/k{k}"), |b| {
                 b.iter(|| {

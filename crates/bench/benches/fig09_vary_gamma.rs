@@ -2,7 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ic_bench::{dataset, Scale};
-use ic_core::{forward, progressive};
+use ic_core::query::{exec, Algorithm as _};
+use ic_core::{progressive, TopKQuery};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -16,7 +17,8 @@ fn bench(c: &mut Criterion) {
         let g = dataset(name, Scale::Small);
         for gamma in [5u32, 10, 20] {
             group.bench_function(format!("forward/{name}/g{gamma}"), |b| {
-                b.iter(|| forward::top_k(g, gamma, k))
+                let q = TopKQuery::new(gamma).k(k);
+                b.iter(|| exec::Forward.run(g, &q))
             });
             group.bench_function(format!("local_search_p/{name}/g{gamma}"), |b| {
                 b.iter(|| {

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ic_bench::{dataset, Scale};
-use ic_core::{forward, progressive};
+use ic_core::query::{exec, Algorithm as _};
+use ic_core::{progressive, TopKQuery};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -15,7 +16,8 @@ fn bench(c: &mut Criterion) {
     let g = dataset("twitter", Scale::Small);
     for (gamma, k) in [(20u32, 50usize), (20, 200), (30, 100)] {
         group.bench_function(format!("forward/twitter/g{gamma}k{k}"), |b| {
-            b.iter(|| forward::top_k(g, gamma, k))
+            let q = TopKQuery::new(gamma).k(k);
+            b.iter(|| exec::Forward.run(g, &q))
         });
         group.bench_function(format!("local_search_p/twitter/g{gamma}k{k}"), |b| {
             b.iter(|| {

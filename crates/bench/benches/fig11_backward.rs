@@ -2,7 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ic_bench::{dataset, Scale};
-use ic_core::{backward, progressive};
+use ic_core::query::{exec, Algorithm as _};
+use ic_core::{progressive, TopKQuery};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -15,7 +16,8 @@ fn bench(c: &mut Criterion) {
         let g = dataset(name, Scale::Small);
         for k in [10usize, 100] {
             group.bench_function(format!("backward/{name}/k{k}"), |b| {
-                b.iter(|| backward::top_k(g, 10, k))
+                let q = TopKQuery::new(10).k(k);
+                b.iter(|| exec::Backward.run(g, &q))
             });
             group.bench_function(format!("local_search_p/{name}/k{k}"), |b| {
                 b.iter(|| progressive::ProgressiveSearch::new(g, 10).take(k).count())

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ic_bench::{dataset, Scale};
-use ic_core::{local_search, progressive::ProgressiveSearch};
+use ic_core::progressive::ProgressiveSearch;
+use ic_core::query::{exec, Algorithm as _};
+use ic_core::TopKQuery;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -18,7 +20,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| ProgressiveSearch::new(g, 10).next())
     });
     group.bench_function("batch_all_128", |b| {
-        b.iter(|| local_search::top_k(g, 10, k))
+        let q = TopKQuery::new(10).k(k);
+        b.iter(|| exec::LocalSearch.run(g, &q))
     });
     group.finish();
 }

@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ic_bench::{dataset, Scale};
-use ic_core::{local_search, progressive::ProgressiveSearch};
+use ic_core::progressive::ProgressiveSearch;
+use ic_core::query::{exec, Algorithm as _};
+use ic_core::TopKQuery;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -15,7 +17,8 @@ fn bench(c: &mut Criterion) {
         let g = dataset(name, Scale::Small);
         for k in [10usize, 100] {
             group.bench_function(format!("local_search/{name}/k{k}"), |b| {
-                b.iter(|| local_search::top_k(g, 10, k))
+                let q = TopKQuery::new(10).k(k);
+                b.iter(|| exec::LocalSearch.run(g, &q))
             });
             group.bench_function(format!("local_search_p/{name}/k{k}"), |b| {
                 b.iter(|| ProgressiveSearch::new(g, 10).take(k).count())

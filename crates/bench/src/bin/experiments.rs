@@ -12,8 +12,9 @@
 
 use ic_bench::{avg_ms, cell, dataset, header, suite_names, time_once_ms, Scale};
 use ic_core::local_search::{CountStrategy, LocalSearch, LocalSearchOptions};
+use ic_core::query::{exec, Algorithm as _};
 use ic_core::semi_external::{local_search_se_top_k, online_all_se_top_k};
-use ic_core::{backward, forward, local_search, noncontainment, online_all, progressive, truss};
+use ic_core::{noncontainment, progressive, truss, TopKQuery};
 use ic_graph::generators::{assemble, collaboration, WeightKind};
 use ic_graph::stats::graph_stats;
 use ic_graph::DiskGraph;
@@ -128,12 +129,16 @@ fn fig8(scale: Scale, runs: usize) {
         );
         let oa_once = ONLINE_ALL_GRAPHS
             .contains(&name)
-            .then(|| time_once_ms(|| online_all::top_k(g, gamma, 10)));
+            .then(|| time_once_ms(|| exec::OnlineAll.run(g, &TopKQuery::new(gamma).k(10))));
         let oa: Vec<Option<f64>> = K_SWEEP.iter().map(|_| oa_once).collect();
         print_series("OnlineAll", &oa);
         let fw: Vec<Option<f64>> = K_SWEEP
             .iter()
-            .map(|&k| Some(avg_ms(runs, || forward::top_k(g, gamma, k))))
+            .map(|&k| {
+                Some(avg_ms(runs, || {
+                    exec::Forward.run(g, &TopKQuery::new(gamma).k(k))
+                }))
+            })
             .collect();
         print_series("Forward", &fw);
         let lsp: Vec<Option<f64>> = K_SWEEP
@@ -179,13 +184,17 @@ fn fig9(scale: Scale, runs: usize) {
             .map(|&gamma| {
                 ONLINE_ALL_GRAPHS
                     .contains(&name)
-                    .then(|| time_once_ms(|| online_all::top_k(g, gamma, k)))
+                    .then(|| time_once_ms(|| exec::OnlineAll.run(g, &TopKQuery::new(gamma).k(k))))
             })
             .collect();
         print_series("OnlineAll", &oa);
         let fw: Vec<Option<f64>> = GAMMA_SWEEP
             .iter()
-            .map(|&gamma| Some(avg_ms(runs, || forward::top_k(g, gamma, k))))
+            .map(|&gamma| {
+                Some(avg_ms(runs, || {
+                    exec::Forward.run(g, &TopKQuery::new(gamma).k(k))
+                }))
+            })
             .collect();
         print_series("Forward", &fw);
         let lsp: Vec<Option<f64>> = GAMMA_SWEEP
@@ -215,7 +224,11 @@ fn fig10(scale: Scale, runs: usize) {
         print_series(
             "Forward",
             &ks.iter()
-                .map(|&k| Some(avg_ms(runs, || forward::top_k(g, 100, k))))
+                .map(|&k| {
+                    Some(avg_ms(runs, || {
+                        exec::Forward.run(g, &TopKQuery::new(100).k(k))
+                    }))
+                })
                 .collect::<Vec<_>>(),
         );
         print_series(
@@ -237,7 +250,11 @@ fn fig10(scale: Scale, runs: usize) {
             "Forward",
             &gammas
                 .iter()
-                .map(|&gamma| Some(avg_ms(runs, || forward::top_k(g, gamma, 100))))
+                .map(|&gamma| {
+                    Some(avg_ms(runs, || {
+                        exec::Forward.run(g, &TopKQuery::new(gamma).k(100))
+                    }))
+                })
                 .collect::<Vec<_>>(),
         );
         print_series(
@@ -271,7 +288,11 @@ fn fig11(scale: Scale, runs: usize) {
             "Backward",
             &K_SWEEP
                 .iter()
-                .map(|&k| Some(avg_ms(runs, || backward::top_k(g, gamma, k))))
+                .map(|&k| {
+                    Some(avg_ms(runs, || {
+                        exec::Backward.run(g, &TopKQuery::new(gamma).k(k))
+                    }))
+                })
                 .collect::<Vec<_>>(),
         );
         print_series(
@@ -378,7 +399,7 @@ fn fig14(scale: Scale) {
         );
         // batch LocalSearch reports everything at the end: its per-i
         // latency is the (constant) total runtime
-        let total = time_once_ms(|| local_search::top_k(g, gamma, k));
+        let total = time_once_ms(|| exec::LocalSearch.run(g, &TopKQuery::new(gamma).k(k)));
         print_series(
             "LocalSearch",
             &tops.iter().map(|_| Some(total)).collect::<Vec<_>>(),
@@ -414,7 +435,11 @@ fn fig15(scale: Scale, runs: usize) {
             "LocalSearch",
             &K_SWEEP
                 .iter()
-                .map(|&k| Some(avg_ms(runs, || local_search::top_k(g, gamma, k))))
+                .map(|&k| {
+                    Some(avg_ms(runs, || {
+                        exec::LocalSearch.run(g, &TopKQuery::new(gamma).k(k))
+                    }))
+                })
                 .collect::<Vec<_>>(),
         );
         print_series(
@@ -551,7 +576,7 @@ fn fig20() {
     let (n, edges) = collaboration(600, 77);
     let g = assemble(n, &edges, WeightKind::PageRank);
     println!("{} researchers, {} co-authorship edges", g.n(), g.m());
-    let core = local_search::top_k(&g, 5, 1);
+    let core = exec::LocalSearch.run(&g, &TopKQuery::new(5).k(1));
     let trs = truss::local_top_k(&g, 6, 1);
     if let (Some(c), Some(t)) = (core.communities.first(), trs.communities.first()) {
         println!(
@@ -570,7 +595,7 @@ fn fig20() {
         );
         // Figure 21: the 5-core community of the top core keynode is much
         // larger than the influential community itself
-        let full_core = local_search::top_k(&g, 5, usize::MAX / 2);
+        let full_core = exec::LocalSearch.run(&g, &TopKQuery::new(5).k(usize::MAX / 2));
         if let Some(last) = full_core.communities.last() {
             println!(
                 "largest (lowest-influence) 5-community has {} members — the \

@@ -11,15 +11,21 @@
 //! quantify; we intentionally do not optimize it away.
 
 use crate::community::Community;
+use crate::local_search::{SearchResult, SearchStats};
+use crate::query::{flat_result, TopKQuery};
 use ic_graph::{Rank, WeightedGraph};
 
-/// Top-k influential γ-communities via Backward (highest influence
-/// first). Communities are discovered one by one in decreasing influence
-/// order, so unlike OnlineAll/Forward this baseline *can* stop early —
-/// but pays a quadratic price per prefix.
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
-    assert!(gamma >= 1 && k >= 1);
+/// Uniform entry point for the [`crate::query::Algorithm`] trait. Stats
+/// expose Backward's signature quadratic profile: `rounds` counts the
+/// per-insertion from-scratch core computations and
+/// `total_counted_size` accumulates the size of every prefix peeled.
+pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+    let (gamma, k) = (q.gamma_value(), q.k_value());
+    debug_assert!(gamma >= 1 && k >= 1, "query must be validated");
     let n = g.n();
+    let mut stats = SearchStats::default();
+    // size(G≥τ) of the growing prefix, maintained in O(1) per insertion
+    let mut prefix_size = 0u64;
     let mut results: Vec<Community> = Vec::with_capacity(k.min(n));
     // reusable scratch (sized to full graph once; contents re-filled per t)
     let mut deg = vec![0u32; n];
@@ -27,6 +33,12 @@ pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
     let mut queue: Vec<Rank> = Vec::new();
 
     for t in 1..=n {
+        // the new vertex plus its edges into the prefix
+        prefix_size += 1 + g.degree_in_prefix((t - 1) as Rank, t) as u64;
+        stats.rounds += 1;
+        stats.total_counted_size += prefix_size;
+        stats.final_prefix_len = t;
+        stats.final_prefix_size = prefix_size;
         // from-scratch γ-core of the prefix 0..t — Backward's signature
         // quadratic step
         for r in 0..t {
@@ -80,11 +92,28 @@ pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
                 members,
             });
             if results.len() == k {
-                return results;
+                return flat_result(results, stats);
             }
         }
     }
-    results
+    flat_result(results, stats)
+}
+
+/// Top-k influential γ-communities via Backward (highest influence
+/// first). Communities are discovered one by one in decreasing influence
+/// order, so unlike OnlineAll/Forward this baseline *can* stop early —
+/// but pays a quadratic price per prefix.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::Backward` \
+            (or `query::exec::Backward`)"
+)]
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+    let q = TopKQuery::new(gamma).k(k);
+    match q.validate() {
+        Ok(()) => query_top_k(g, &q),
+        Err(e) => panic!("invalid query: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -93,13 +122,18 @@ mod tests {
     use crate::community::verify;
     use ic_graph::paper::{figure1, figure3};
 
+    fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+        query_top_k(g, &TopKQuery::new(gamma).k(k)).communities
+    }
+
     #[test]
     fn agrees_with_online_all() {
         for g in [figure1(), figure3()] {
             for gamma in 1..=4u32 {
                 for k in [1usize, 2, 5, 50] {
                     let a = top_k(&g, gamma, k);
-                    let b = crate::online_all::top_k(&g, gamma, k);
+                    let q = TopKQuery::new(gamma).k(k);
+                    let b = crate::online_all::query_top_k(&g, &q).communities;
                     assert_eq!(a.len(), b.len(), "gamma={gamma} k={k}");
                     for (x, y) in a.iter().zip(&b) {
                         assert_eq!(x.members, y.members, "gamma={gamma} k={k}");
@@ -107,6 +141,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stats_expose_the_quadratic_profile_and_early_stop() {
+        let g = figure3();
+        let one = query_top_k(&g, &TopKQuery::new(3).k(1));
+        let all = query_top_k(&g, &TopKQuery::new(3).k(50));
+        // early termination touches a strictly smaller prefix
+        assert!(one.stats.final_prefix_len < all.stats.final_prefix_len);
+        assert!(one.stats.final_prefix_size < all.stats.final_prefix_size);
+        // the re-peel accumulation dominates the final prefix size
+        assert!(all.stats.total_counted_size > all.stats.final_prefix_size);
+        assert_eq!(all.stats.rounds, all.stats.final_prefix_len);
+        assert_eq!(all.stats.final_prefix_size, g.size());
     }
 
     #[test]

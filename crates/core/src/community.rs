@@ -150,10 +150,33 @@ impl CommunityForest {
         (0..self.len()).map(|i| self.community(i)).collect()
     }
 
-    /// Total stored size (group entries + links); `O(size(g))` by
-    /// construction, independent of the total materialized output size.
+    /// Total stored size (group entries + links). For forests built by
+    /// EnumIC / EnumIC-P this is `O(size(g))` by construction,
+    /// independent of the total materialized output size; a flat forest
+    /// from [`CommunityForest::from_communities`] instead stores every
+    /// member of every entry (no sharing).
     pub fn stored_size(&self) -> usize {
         self.groups.len() + self.children.len()
+    }
+
+    /// A *flat* forest over already-materialized communities (no nesting
+    /// links; each entry's group is its full member set, keynode first).
+    /// This is how algorithms that materialize their answers directly —
+    /// the global baselines, non-containment and truss search — fit the
+    /// uniform [`crate::local_search::SearchResult`] shape. Storage is
+    /// the sum of the community sizes (one copy of the input), not the
+    /// `O(size(g))` shared representation EnumIC builds — acceptable for
+    /// answers that were materialized anyway.
+    pub fn from_communities(communities: &[Community]) -> Self {
+        let mut forest = CommunityForest::new();
+        let mut group: Vec<Rank> = Vec::new();
+        for c in communities {
+            group.clear();
+            group.push(c.keynode);
+            group.extend(c.members.iter().copied().filter(|&m| m != c.keynode));
+            forest.push(c.keynode, c.influence, &group, &[]);
+        }
+        forest
     }
 }
 

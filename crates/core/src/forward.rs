@@ -11,29 +11,59 @@
 
 use crate::community::Community;
 use crate::count::count_ic;
+use crate::local_search::{SearchResult, SearchStats};
 use crate::peel::PeelGraph;
+use crate::query::{flat_result, TopKQuery};
 use ic_graph::{Prefix, Rank, WeightedGraph};
 
-/// Top-k influential γ-communities via Forward (highest influence first).
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
-    assert!(k >= 1);
+/// Uniform entry point for the [`crate::query::Algorithm`] trait. Stats
+/// report Forward's fixed cost profile: both passes touch the entire
+/// graph, so the accessed prefix is all of `g` and the counted size is
+/// one full pass per round.
+pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+    let (gamma, k) = (q.gamma_value(), q.k_value());
+    debug_assert!(gamma >= 1 && k >= 1, "query must be validated");
     let prefix = Prefix::with_len(g, g.n());
+    let mut stats = SearchStats {
+        rounds: 1,
+        final_prefix_len: g.n(),
+        final_prefix_size: prefix.size(),
+        total_counted_size: prefix.size(),
+    };
     // pass 1: global counting peel
     let total = count_ic(&prefix, gamma);
     if total == 0 {
-        return Vec::new();
+        return flat_result(Vec::new(), stats);
     }
     let skip = total.saturating_sub(k);
     // pass 2: global peel, materializing components for iterations ≥ skip
+    stats.rounds = 2;
+    stats.total_counted_size += prefix.size();
     let mut out = run_with_components(&prefix, gamma, skip);
     out.reverse(); // last identified = top-1
-    out.into_iter()
+    let communities = out
+        .into_iter()
         .map(|(keynode, members)| Community {
             keynode,
             influence: g.weight(keynode),
             members,
         })
-        .collect()
+        .collect();
+    flat_result(communities, stats)
+}
+
+/// Top-k influential γ-communities via Forward (highest influence first).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::Forward` \
+            (or `query::exec::Forward`)"
+)]
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+    let q = TopKQuery::new(gamma).k(k);
+    match q.validate() {
+        Ok(()) => query_top_k(g, &q),
+        Err(e) => panic!("invalid query: {e}"),
+    }
 }
 
 /// The second pass: peels `g`, returning `(keynode, sorted members)` for
@@ -128,13 +158,18 @@ mod tests {
         v
     }
 
+    fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+        query_top_k(g, &TopKQuery::new(gamma).k(k)).communities
+    }
+
     #[test]
     fn agrees_with_online_all_on_paper_graphs() {
         for g in [figure1(), figure3()] {
             for gamma in 1..=4u32 {
                 for k in [1usize, 2, 3, 10] {
                     let a = top_k(&g, gamma, k);
-                    let b = crate::online_all::top_k(&g, gamma, k);
+                    let q = TopKQuery::new(gamma).k(k);
+                    let b = crate::online_all::query_top_k(&g, &q).communities;
                     assert_eq!(a.len(), b.len(), "gamma={gamma} k={k}");
                     for (x, y) in a.iter().zip(&b) {
                         assert_eq!(x.keynode, y.keynode);
@@ -157,5 +192,21 @@ mod tests {
     #[test]
     fn empty_when_gamma_too_large() {
         assert!(top_k(&figure1(), 9, 2).is_empty());
+    }
+
+    #[test]
+    fn stats_report_the_global_cost_profile() {
+        let g = figure3();
+        let res = query_top_k(&g, &TopKQuery::new(3).k(2));
+        assert_eq!(res.stats.rounds, 2, "counting pass + materializing pass");
+        assert_eq!(res.stats.final_prefix_len, g.n());
+        assert_eq!(res.stats.final_prefix_size, g.size());
+        assert_eq!(res.stats.total_counted_size, 2 * g.size());
+        assert_eq!(res.forest.len(), res.communities.len());
+        // the empty answer still reports the counting pass it paid for
+        let empty = query_top_k(&g, &TopKQuery::new(9).k(2));
+        assert!(empty.communities.is_empty());
+        assert_eq!(empty.stats.rounds, 1);
+        assert_eq!(empty.stats.total_counted_size, g.size());
     }
 }

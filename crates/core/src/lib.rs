@@ -10,9 +10,43 @@
 //! it). A query `(γ, k)` returns the k such communities with the highest
 //! influence values.
 //!
-//! # Entry points
+//! # The unified query API
 //!
-//! * [`local_search::top_k`] — the paper's **LocalSearch** (Algorithm 1):
+//! Every search entry point is reachable through one typed request: build
+//! a [`TopKQuery`], validate once, dispatch to any algorithm through the
+//! [`query::Algorithm`] trait (all of them return the uniform
+//! [`SearchResult`] with populated [`SearchStats`]), or consume the
+//! answer as a standard iterator via [`TopKQuery::stream`].
+//!
+//! ```
+//! use ic_graph::generators::{assemble, barabasi_albert, WeightKind};
+//! use ic_core::{AlgorithmId, Selection, TopKQuery};
+//!
+//! let edges = barabasi_albert(500, 4, 7);
+//! let g = assemble(500, &edges, WeightKind::PageRank);
+//!
+//! let q = TopKQuery::new(3).k(5);
+//! let result = q.run(&g).unwrap();
+//! for c in &result.communities {
+//!     assert!(c.members.len() >= 4); // a 3-community has ≥ γ+1 members
+//! }
+//! // communities arrive in decreasing influence order
+//! for w in result.communities.windows(2) {
+//!     assert!(w[0].influence > w[1].influence);
+//! }
+//!
+//! // same query, pinned to a baseline: identical answer
+//! let forced = q.algorithm(Selection::Forced(AlgorithmId::OnlineAll));
+//! assert_eq!(forced.run(&g).unwrap().communities, result.communities);
+//!
+//! // or streamed — stop whenever, k need not be chosen
+//! let first = TopKQuery::new(3).stream(&g).unwrap().next().unwrap();
+//! assert_eq!(first.influence, result.communities[0].influence);
+//! ```
+//!
+//! # The algorithms behind it
+//!
+//! * [`local_search`] — the paper's **LocalSearch** (Algorithm 1):
 //!   instance-optimal, index-free, touches only a prefix of the
 //!   weight-sorted graph.
 //! * [`progressive::ProgressiveSearch`] — **LocalSearch-P** (Algorithm 4):
@@ -21,31 +55,17 @@
 //! * [`online_all`], [`forward`], [`backward`] — the published baselines
 //!   the paper compares against, implemented with their original cost
 //!   profiles.
-//! * [`noncontainment`] — top-k *non-containment* communities (§5.1).
+//! * [`noncontainment`] — top-k *non-containment* communities (§5.1);
+//!   reachable via [`TopKQuery::non_containment`].
 //! * [`truss`] — the γ-truss instantiation of the generalized framework
-//!   (§5.2, Algorithms 6–7).
+//!   (§5.2, Algorithms 6–7); reachable via [`AlgorithmId::Truss`].
 //! * [`semi_external`] — disk-resident variants (LocalSearch-SE,
-//!   OnlineAll-SE) over [`ic_graph::DiskGraph`].
+//!   OnlineAll-SE) over [`ic_graph::DiskGraph`]; these run on a different
+//!   substrate and keep their own entry points.
 //! * [`naive`] — definition-level reference implementations used to verify
 //!   all of the above.
-//!
-//! # Example
-//!
-//! ```
-//! use ic_graph::generators::{assemble, barabasi_albert, WeightKind};
-//! use ic_core::local_search::top_k;
-//!
-//! let edges = barabasi_albert(500, 4, 7);
-//! let g = assemble(500, &edges, WeightKind::PageRank);
-//! let result = top_k(&g, 3, 5);
-//! for c in &result.communities {
-//!     assert!(c.members.len() >= 4); // a 3-community has ≥ γ+1 members
-//! }
-//! // communities arrive in decreasing influence order
-//! for w in result.communities.windows(2) {
-//!     assert!(w[0].influence > w[1].influence);
-//! }
-//! ```
+//! * [`query_weights`] — ad-hoc query-dependent weights (closest
+//!   community search), parameterized by the same [`TopKQuery`].
 
 pub mod backward;
 pub mod community;
@@ -59,15 +79,22 @@ pub mod noncontainment;
 pub mod online_all;
 pub mod peel;
 pub mod progressive;
+pub mod query;
 pub mod query_weights;
 pub mod semi_external;
 pub mod truss;
 
 pub use community::{Community, CommunityForest};
-pub use local_search::{
-    top_k, CountStrategy, LocalSearch, LocalSearchOptions, SearchResult, SearchStats,
-};
+pub use local_search::{CountStrategy, LocalSearch, LocalSearchOptions, SearchResult, SearchStats};
 pub use progressive::ProgressiveSearch;
+pub use query::{
+    Algorithm, AlgorithmId, AnswerFamily, CommunityStream, QueryError, Selection, TopKQuery,
+};
+
+/// Deprecated alias of [`local_search::top_k`], kept for one release.
+#[allow(deprecated)]
+#[deprecated(since = "0.2.0", note = "use `TopKQuery::new(gamma).k(k).run(&g)`")]
+pub use local_search::top_k;
 
 /// Validated query parameters shared by every algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

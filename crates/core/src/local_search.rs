@@ -52,7 +52,14 @@ impl Default for LocalSearchOptions {
 
 /// Diagnostics of one query — used by the instance-optimality tests and
 /// the paper's Figure 13/17-style measurements.
+///
+/// Every algorithm behind the unified API ([`crate::query::Algorithm`])
+/// populates these uniformly: the global baselines report the whole
+/// graph as their accessed prefix, local algorithms report the prefix
+/// they actually grew. `#[non_exhaustive]` so future measurement axes
+/// (I/O, aggregation work) can be added without breaking consumers.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
 pub struct SearchStats {
     /// Number of counting rounds executed.
     pub rounds: usize,
@@ -139,10 +146,25 @@ impl LocalSearch {
     }
 }
 
+/// Uniform entry point for the [`crate::query::Algorithm`] trait: runs
+/// LocalSearch with the query's options (δ, counting strategy). The
+/// query must be pre-validated.
+pub(crate) fn query_top_k(g: &WeightedGraph, q: &crate::query::TopKQuery) -> SearchResult {
+    LocalSearch::with_options(q.local_search_options()).run(g, q.gamma_value(), q.k_value())
+}
+
 /// One-shot convenience: top-k influential γ-communities via LocalSearch
 /// with default options (δ = 2, CountIC).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TopKQuery::new(gamma).k(k).run(&g)` (or `query::exec::LocalSearch`)"
+)]
 pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
-    LocalSearch::new().run(g, gamma, k)
+    let q = crate::query::TopKQuery::new(gamma).k(k);
+    match q.validate() {
+        Ok(()) => query_top_k(g, &q),
+        Err(e) => panic!("invalid query: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +178,12 @@ mod tests {
         let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
         v.sort_unstable();
         v
+    }
+
+    /// Non-deprecated stand-in for the old free function (shadows the
+    /// glob-imported shim for these tests).
+    fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+        LocalSearch::new().run(g, gamma, k)
     }
 
     #[test]
@@ -201,7 +229,8 @@ mod tests {
             for gamma in 1..=4u32 {
                 for k in [1usize, 2, 3, 7, 100] {
                     let local = top_k(&g, gamma, k);
-                    let global = crate::online_all::top_k(&g, gamma, k);
+                    let q = crate::query::TopKQuery::new(gamma).k(k);
+                    let global = crate::online_all::query_top_k(&g, &q).communities;
                     assert_eq!(local.communities.len(), global.len());
                     for (a, b) in local.communities.iter().zip(&global) {
                         assert_eq!(a.keynode, b.keynode, "gamma={gamma} k={k}");

@@ -8,6 +8,8 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::community::Community;
+use crate::local_search::{SearchResult, SearchStats};
+use crate::query::{flat_result, TopKQuery};
 use ic_graph::{Rank, WeightedGraph};
 
 /// All influential γ-communities of `g`, highest influence first.
@@ -32,11 +34,38 @@ pub fn all_communities(g: &WeightedGraph, gamma: u32) -> Vec<Community> {
     out
 }
 
+/// Uniform entry point for the [`crate::query::Algorithm`] trait. The
+/// reference implementation examines the whole graph per candidate, so
+/// the stats simply report the full graph as the accessed prefix.
+pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+    debug_assert!(
+        q.gamma_value() >= 1 && q.k_value() >= 1,
+        "query must be validated"
+    );
+    let mut all = all_communities(g, q.gamma_value());
+    all.truncate(q.k_value());
+    let stats = SearchStats {
+        rounds: 1,
+        final_prefix_len: g.n(),
+        final_prefix_size: g.size(),
+        total_counted_size: g.size(),
+    };
+    flat_result(all, stats)
+}
+
 /// Top-k influential γ-communities, highest influence first.
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
-    let mut all = all_communities(g, gamma);
-    all.truncate(k);
-    all
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::Naive` \
+            (or `query::exec::Naive`; `all_communities` remains the \
+            reference API)"
+)]
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+    let q = TopKQuery::new(gamma).k(k);
+    match q.validate() {
+        Ok(()) => query_top_k(g, &q),
+        Err(e) => panic!("invalid query: {e}"),
+    }
 }
 
 fn community_of_candidate(g: &WeightedGraph, u: Rank, gamma: u32) -> Option<Vec<Rank>> {

@@ -11,7 +11,9 @@
 //! comparison of Eval-VII / Figure 18).
 
 use crate::community::Community;
+use crate::local_search::{SearchResult, SearchStats};
 use crate::peel::{PeelConfig, PeelEngine, PeelOutput};
+use crate::query::{flat_result, TopKQuery};
 use crate::Params;
 use ic_graph::{Prefix, Rank, WeightedGraph};
 
@@ -23,6 +25,35 @@ pub struct NcResult {
     /// `size(G≥τ)` of the final accessed prefix (full graph size for the
     /// global baseline).
     pub accessed_size: u64,
+    /// Vertices in the final accessed prefix.
+    pub accessed_len: usize,
+    /// Counting rounds executed (1 for the global baseline).
+    pub rounds: usize,
+}
+
+impl NcResult {
+    /// Re-expresses this result in the uniform [`SearchResult`] shape
+    /// (flat forest — NC communities are disjoint by definition).
+    pub fn into_search_result(self) -> SearchResult {
+        let stats = SearchStats {
+            rounds: self.rounds,
+            final_prefix_len: self.accessed_len,
+            final_prefix_size: self.accessed_size,
+            total_counted_size: self.accessed_size,
+        };
+        flat_result(self.communities, stats)
+    }
+}
+
+/// Uniform NC entry point for the local-search framework
+/// ([`crate::query::Algorithm`] with [`TopKQuery::non_containment`]).
+pub(crate) fn query_local_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+    local_top_k(g, q.gamma_value(), q.k_value()).into_search_result()
+}
+
+/// Uniform NC entry point for the Forward-style global baseline.
+pub(crate) fn query_forward_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+    forward_top_k(g, q.gamma_value(), q.k_value()).into_search_result()
 }
 
 fn collect_last_k_nc(g: &WeightedGraph, out: &PeelOutput, k: usize) -> Vec<Community> {
@@ -61,7 +92,9 @@ pub fn local_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> NcResult {
         stop_before: 0,
         track_nc: true,
     };
+    let mut rounds = 0usize;
     loop {
+        rounds += 1;
         engine.peel(&prefix, cfg, &mut out);
         let nc_count = out.nc.iter().filter(|&&b| b).count();
         if nc_count >= k || prefix.is_full() {
@@ -73,6 +106,8 @@ pub fn local_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> NcResult {
     NcResult {
         communities: collect_last_k_nc(g, &out, k),
         accessed_size: prefix.size(),
+        accessed_len: prefix.len(),
+        rounds,
     }
 }
 
@@ -95,6 +130,8 @@ pub fn forward_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> NcResult {
     NcResult {
         communities: collect_last_k_nc(g, &out, k),
         accessed_size: prefix.size(),
+        accessed_len: prefix.len(),
+        rounds: 1,
     }
 }
 

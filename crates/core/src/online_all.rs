@@ -15,7 +15,9 @@
 use std::collections::VecDeque;
 
 use crate::community::Community;
+use crate::local_search::{SearchResult, SearchStats};
 use crate::peel::PeelGraph;
+use crate::query::{flat_result, TopKQuery};
 use ic_graph::{Prefix, Rank, WeightedGraph};
 
 /// Result of a full OnlineAll sweep.
@@ -26,6 +28,10 @@ pub struct OnlineAllRun {
     /// The last `keep_last` communities as `(keynode, members)`, in
     /// identification order (increasing influence).
     pub kept: VecDeque<(Rank, Vec<Rank>)>,
+    /// Sum of the per-iteration component sizes — the work the
+    /// unconditional component extraction performed (the cost CountIC
+    /// eliminates).
+    pub component_work: u64,
 }
 
 /// Runs OnlineAll over any peelable graph, retaining the last `keep_last`
@@ -50,6 +56,7 @@ pub fn online_all_core(g: &impl PeelGraph, gamma: u32, keep_last: usize) -> Onli
 
     let mut kept: VecDeque<(Rank, Vec<Rank>)> = VecDeque::new();
     let mut count = 0usize;
+    let mut component_work = 0u64;
     // component BFS bookkeeping: epoch stamps avoid clearing per iteration
     let mut stamp = vec![0u32; t];
     let mut epoch = 0u32;
@@ -60,7 +67,11 @@ pub fn online_all_core(g: &impl PeelGraph, gamma: u32, keep_last: usize) -> Onli
         // minimum-weight alive vertex = maximum alive rank
         let u = loop {
             if cursor == 0 {
-                return OnlineAllRun { count, kept };
+                return OnlineAllRun {
+                    count,
+                    kept,
+                    component_work,
+                };
             }
             cursor -= 1;
             if alive[cursor] {
@@ -86,6 +97,7 @@ pub fn online_all_core(g: &impl PeelGraph, gamma: u32, keep_last: usize) -> Onli
             }
         }
         count += 1;
+        component_work += comp.len() as u64;
         if keep_last > 0 {
             if kept.len() == keep_last {
                 kept.pop_front();
@@ -127,14 +139,22 @@ fn cascade(
     queue.clear();
 }
 
-/// Top-k influential γ-communities via OnlineAll: traverses the entire
-/// graph and reports the k communities with the highest influence values,
-/// highest first.
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
-    assert!(k >= 1);
+/// Uniform entry point for the [`crate::query::Algorithm`] trait. Stats
+/// report the single global sweep plus the per-iteration component work
+/// that defines OnlineAll's cost profile.
+pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+    let (gamma, k) = (q.gamma_value(), q.k_value());
+    debug_assert!(gamma >= 1 && k >= 1, "query must be validated");
     let prefix = Prefix::with_len(g, g.n());
     let run = online_all_core(&prefix, gamma, k);
-    run.kept
+    let stats = SearchStats {
+        rounds: 1,
+        final_prefix_len: g.n(),
+        final_prefix_size: prefix.size(),
+        total_counted_size: prefix.size() + run.component_work,
+    };
+    let communities = run
+        .kept
         .into_iter()
         .rev() // last identified = highest influence = top-1
         .map(|(keynode, members)| Community {
@@ -142,7 +162,24 @@ pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
             influence: g.weight(keynode),
             members,
         })
-        .collect()
+        .collect();
+    flat_result(communities, stats)
+}
+
+/// Top-k influential γ-communities via OnlineAll: traverses the entire
+/// graph and reports the k communities with the highest influence values,
+/// highest first.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::OnlineAll` \
+            (or `query::exec::OnlineAll`)"
+)]
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+    let q = TopKQuery::new(gamma).k(k);
+    match q.validate() {
+        Ok(()) => query_top_k(g, &q),
+        Err(e) => panic!("invalid query: {e}"),
+    }
 }
 
 /// Counts communities the OnlineAll way (with the per-iteration component
@@ -161,6 +198,22 @@ mod tests {
         let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
         v.sort_unstable();
         v
+    }
+
+    fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+        query_top_k(g, &TopKQuery::new(gamma).k(k)).communities
+    }
+
+    #[test]
+    fn stats_include_component_work() {
+        let g = figure3();
+        let res = query_top_k(&g, &TopKQuery::new(3).k(4));
+        assert_eq!(res.stats.rounds, 1);
+        assert_eq!(res.stats.final_prefix_size, g.size());
+        assert!(
+            res.stats.total_counted_size > g.size(),
+            "per-iteration component extraction must be accounted"
+        );
     }
 
     #[test]

@@ -156,19 +156,33 @@ impl Iterator for ProgressiveSearch<'_> {
     }
 }
 
-/// Convenience: the top-k communities via the progressive algorithm
-/// (consumes the stream up to k items). Returns the same [`SearchResult`]
-/// shape as [`crate::local_search::top_k`] so callers can dispatch between
-/// the batch and progressive algorithms uniformly.
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
-    assert!(k >= 1);
-    let mut search = ProgressiveSearch::new(g, gamma);
-    let communities: Vec<Community> = search.by_ref().take(k).collect();
+/// Uniform entry point for the [`crate::query::Algorithm`] trait:
+/// consumes the progressive stream up to k items, honoring the query's
+/// growth ratio δ.
+pub(crate) fn query_top_k(g: &WeightedGraph, q: &crate::query::TopKQuery) -> SearchResult {
+    debug_assert!(q.k_value() >= 1, "query must be validated");
+    let mut search = ProgressiveSearch::with_delta(g, q.gamma_value(), q.delta_value());
+    let communities: Vec<Community> = search.by_ref().take(q.k_value()).collect();
     let stats = search.stats();
     SearchResult {
         communities,
         forest: search.builder.into_forest(),
         stats,
+    }
+}
+
+/// One-shot convenience shim over the unified query path, kept for one
+/// release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::Progressive`, \
+            `TopKQuery::stream`, or `ProgressiveSearch` directly"
+)]
+pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+    let q = crate::query::TopKQuery::new(gamma).k(k);
+    match q.validate() {
+        Ok(()) => query_top_k(g, &q),
+        Err(e) => panic!("invalid query: {e}"),
     }
 }
 
@@ -183,6 +197,14 @@ mod tests {
         let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
         v.sort_unstable();
         v
+    }
+
+    fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+        query_top_k(g, &crate::query::TopKQuery::new(gamma).k(k))
+    }
+
+    fn reference_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+        crate::local_search::query_top_k(g, &crate::query::TopKQuery::new(gamma).k(k))
     }
 
     #[test]
@@ -203,7 +225,7 @@ mod tests {
     fn agrees_with_local_search_for_every_k() {
         for g in [figure1(), figure2a(), figure3()] {
             for gamma in 1..=4u32 {
-                let reference = crate::local_search::top_k(&g, gamma, 100).communities;
+                let reference = reference_top_k(&g, gamma, 100).communities;
                 let streamed: Vec<Community> = ProgressiveSearch::new(&g, gamma).collect();
                 assert_eq!(streamed.len(), reference.len(), "gamma={gamma}");
                 for (a, b) in streamed.iter().zip(&reference) {
@@ -251,7 +273,7 @@ mod tests {
     fn top_k_matches_local_search_result_shape() {
         let g = figure3();
         let a = top_k(&g, 3, 4);
-        let b = crate::local_search::top_k(&g, 3, 4);
+        let b = reference_top_k(&g, 3, 4);
         assert_eq!(a.communities.len(), b.communities.len());
         for (x, y) in a.communities.iter().zip(&b.communities) {
             assert_eq!(x.keynode, y.keynode);

@@ -14,6 +14,7 @@
 
 use crate::community::Community;
 use crate::local_search::LocalSearch;
+use crate::query::{QueryError, TopKQuery};
 use ic_graph::{GraphBuilder, Rank, WeightedGraph};
 
 /// Result of a closest-community query.
@@ -50,18 +51,60 @@ pub fn bfs_distances(g: &WeightedGraph, sources: &[Rank]) -> Vec<u32> {
 }
 
 /// Top-k influential γ-communities under the **closest-community
-/// weighting**: `ω(v) = 1 / (1 + d(v, Q))` for query vertex set `Q`.
-/// Communities therefore gather around the query vertices; the influence
-/// value of a community is determined by its member *farthest* from `Q`.
+/// weighting**: `ω(v) = 1 / (1 + d(v, Q))` for source vertex set
+/// `sources`. Communities therefore gather around the query vertices;
+/// the influence value of a community is determined by its member
+/// *farthest* from the sources.
 ///
-/// `query` contains ranks of `g`; unreachable vertices never join a
+/// `sources` contains ranks of `g`; unreachable vertices never join a
 /// community (weight 0 puts them at the very end of the order, and any
-/// community containing one would have influence 0).
+/// community containing one would have influence 0). The `(γ, k)` pair,
+/// δ, and counting strategy come from the unified [`TopKQuery`]; the
+/// re-ranked graph always runs the local-search framework (index-free
+/// search is the whole point of ad-hoc weights).
+pub fn closest(
+    g: &WeightedGraph,
+    sources: &[Rank],
+    q: &TopKQuery,
+) -> Result<ClosestResult, QueryError> {
+    if sources.is_empty() {
+        return Err(QueryError::EmptySourceSet);
+    }
+    q.validate()?;
+    // The re-ranked search is the local-search framework by construction;
+    // knobs that would silently change the answer family or algorithm are
+    // rejected rather than ignored.
+    if q.is_non_containment() {
+        return Err(QueryError::Unsupported {
+            algorithm: crate::query::AlgorithmId::LocalSearch,
+            feature: "non-containment search under query-dependent weights",
+        });
+    }
+    if let crate::query::Selection::Forced(id) = q.selection() {
+        if id != crate::query::AlgorithmId::LocalSearch {
+            return Err(QueryError::Unsupported {
+                algorithm: id,
+                feature: "query-dependent weighting (closest community search \
+                          runs the local-search framework)",
+            });
+        }
+    }
+    Ok(closest_impl(g, sources, q))
+}
+
+/// One-shot convenience shim over [`closest`], kept for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `closest(&g, sources, &TopKQuery::new(gamma).k(k))`"
+)]
 pub fn closest_top_k(g: &WeightedGraph, query: &[Rank], gamma: u32, k: usize) -> ClosestResult {
-    assert!(
-        !query.is_empty(),
-        "closest community search needs query vertices"
-    );
+    match closest(g, query, &TopKQuery::new(gamma).k(k)) {
+        Ok(res) => res,
+        Err(e) => panic!("invalid query: {e}"),
+    }
+}
+
+fn closest_impl(g: &WeightedGraph, query: &[Rank], q: &TopKQuery) -> ClosestResult {
     let distances = bfs_distances(g, query);
     // Rebuild the weight-sorted view under the ad-hoc weights. External
     // ids are reused so results translate back to the caller's ids; ties
@@ -80,7 +123,8 @@ pub fn closest_top_k(g: &WeightedGraph, query: &[Rank], gamma: u32, k: usize) ->
     }
     let gq = b.build().expect("reweighted graph is well formed");
 
-    let res = LocalSearch::new().run(&gq, gamma, k);
+    let res =
+        LocalSearch::with_options(q.local_search_options()).run(&gq, q.gamma_value(), q.k_value());
     // translate members back to the original graph's ranks
     let communities = res
         .communities
@@ -121,6 +165,10 @@ mod tests {
         let mut v: Vec<u64> = ranks.iter().map(|&r| g.external_id(r)).collect();
         v.sort_unstable();
         v
+    }
+
+    fn closest_top_k(g: &WeightedGraph, query: &[Rank], gamma: u32, k: usize) -> ClosestResult {
+        closest(g, query, &TopKQuery::new(gamma).k(k)).expect("valid query")
     }
 
     #[test]
@@ -194,9 +242,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn empty_query_rejected() {
         let g = figure3();
-        closest_top_k(&g, &[], 3, 1);
+        assert_eq!(
+            closest(&g, &[], &TopKQuery::new(3)).unwrap_err(),
+            QueryError::EmptySourceSet
+        );
+        assert!(closest(&g, &[0], &TopKQuery::new(0)).is_err());
+    }
+
+    #[test]
+    fn unsupported_knobs_rejected_not_ignored() {
+        use crate::query::{AlgorithmId, Selection};
+        let g = figure3();
+        // asking for a different answer family or algorithm must error,
+        // never silently run plain LocalSearch
+        assert!(matches!(
+            closest(&g, &[0], &TopKQuery::new(3).non_containment(true)).unwrap_err(),
+            QueryError::Unsupported { .. }
+        ));
+        assert!(matches!(
+            closest(
+                &g,
+                &[0],
+                &TopKQuery::new(3).algorithm(Selection::Forced(AlgorithmId::OnlineAll))
+            )
+            .unwrap_err(),
+            QueryError::Unsupported { .. }
+        ));
+        // an explicitly forced LocalSearch is exactly what runs anyway
+        let forced = TopKQuery::new(3).algorithm(Selection::Forced(AlgorithmId::LocalSearch));
+        assert!(closest(&g, &[0], &forced).is_ok());
     }
 }

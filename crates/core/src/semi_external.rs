@@ -207,7 +207,8 @@ mod tests {
         let dg = disk(&g, "fig3.bin");
         for gamma in 1..=4u32 {
             for k in [1usize, 2, 4] {
-                let reference = crate::local_search::top_k(&g, gamma, k).communities;
+                let q = crate::query::TopKQuery::new(gamma).k(k);
+                let reference = crate::local_search::query_top_k(&g, &q).communities;
                 let (ls, _) = local_search_se_top_k(&dg, gamma, k).unwrap();
                 let (oa, _) = online_all_se_top_k(&dg, gamma, k).unwrap();
                 assert_eq!(ls.len(), reference.len(), "LS-SE gamma={gamma} k={k}");
@@ -255,7 +256,8 @@ mod tests {
         let g = figure3();
         let dg = disk(&g, "all.bin");
         let (cs, st) = local_search_se_top_k(&dg, 3, 1000).unwrap();
-        let reference = crate::local_search::top_k(&g, 3, 1000).communities;
+        let q = crate::query::TopKQuery::new(3).k(1000);
+        let reference = crate::local_search::query_top_k(&g, &q).communities;
         assert_eq!(cs.len(), reference.len());
         assert_eq!(st.io.edges_read(), g.m() as u64);
     }

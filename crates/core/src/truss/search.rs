@@ -12,6 +12,8 @@ use super::enumerate::{enum_icc, TrussForest};
 use super::peel::{count_icc, TrussPeelOutput};
 use super::subgraph::EdgeSubgraph;
 use crate::community::Community;
+use crate::local_search::{SearchResult, SearchStats};
+use crate::query::{flat_result, TopKQuery};
 use crate::Params;
 use ic_graph::{Prefix, WeightedGraph};
 
@@ -24,8 +26,31 @@ pub struct TrussResult {
     pub forest: TrussForest,
     /// `size(G≥τ)` of the final accessed prefix.
     pub accessed_size: u64,
+    /// Vertices in the final accessed prefix.
+    pub accessed_len: usize,
     /// Number of counting rounds.
     pub rounds: usize,
+}
+
+impl TrussResult {
+    /// Re-expresses this result in the uniform [`SearchResult`] shape
+    /// (flat vertex forest; keep [`TrussResult::forest`] when you need
+    /// the edge groups).
+    pub fn into_search_result(self) -> SearchResult {
+        let stats = SearchStats {
+            rounds: self.rounds,
+            final_prefix_len: self.accessed_len,
+            final_prefix_size: self.accessed_size,
+            total_counted_size: self.accessed_size,
+        };
+        flat_result(self.communities, stats)
+    }
+}
+
+/// Uniform entry point for the [`crate::query::Algorithm`] trait:
+/// LocalSearch-Truss in the shared [`SearchResult`] shape.
+pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+    local_top_k(g, q.gamma_value(), q.k_value()).into_search_result()
 }
 
 /// Top-k influential γ-truss communities via LocalSearch-Truss (γ ≥ 2).
@@ -51,6 +76,7 @@ pub fn local_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> TrussResult {
         communities,
         forest,
         accessed_size: prefix.size(),
+        accessed_len: prefix.len(),
         rounds,
     }
 }
@@ -69,6 +95,7 @@ pub fn global_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> TrussResult {
         communities,
         forest,
         accessed_size: prefix.size(),
+        accessed_len: prefix.len(),
         rounds: 1,
     }
 }
@@ -144,7 +171,8 @@ mod tests {
         let g = figure3();
         for gamma in 3..=4u32 {
             let trusses = global_top_k(&g, gamma, usize::MAX).communities;
-            let cores = crate::local_search::top_k(&g, gamma - 1, usize::MAX).communities;
+            let q = TopKQuery::new(gamma - 1).k(TopKQuery::MAX_K);
+            let cores = crate::local_search::query_top_k(&g, &q).communities;
             for t in &trusses {
                 let parent = cores
                     .iter()

@@ -303,6 +303,34 @@ impl DynamicGraph {
         Arc::clone(&self.snapshot)
     }
 
+    /// Answers a unified-API query ([`ic_core::TopKQuery`]) against the
+    /// last committed snapshot — the same request/response surface every
+    /// other consumer uses. Pending (uncommitted) updates are invisible,
+    /// exactly as they are to service queries; call
+    /// [`DynamicGraph::commit`] first to fold them in.
+    ///
+    /// ```
+    /// use ic_core::TopKQuery;
+    /// use ic_dynamic::DynamicGraph;
+    /// use ic_graph::paper::figure3;
+    ///
+    /// let mut dg = DynamicGraph::new(figure3());
+    /// let before = dg.query(&TopKQuery::new(3).k(1)).unwrap();
+    /// dg.delete_edge(3, 11).unwrap();
+    /// // invisible until commit
+    /// let mid = dg.query(&TopKQuery::new(3).k(1)).unwrap();
+    /// assert_eq!(mid.communities, before.communities);
+    /// dg.commit();
+    /// let after = dg.query(&TopKQuery::new(3).k(1)).unwrap();
+    /// assert_ne!(after.communities, before.communities);
+    /// ```
+    pub fn query(
+        &self,
+        q: &ic_core::TopKQuery,
+    ) -> Result<ic_core::SearchResult, ic_core::QueryError> {
+        q.run(&self.snapshot)
+    }
+
     /// Statistics of the last committed snapshot.
     pub fn snapshot_stats(&self) -> GraphStats {
         self.snapshot_stats
@@ -794,7 +822,10 @@ mod tests {
         let mut dg = DynamicGraph::new(g);
         for gamma in 1..=4u32 {
             let bound = dg.influence_upper_bound(gamma);
-            let top = ic_core::local_search::top_k(&dg.commit().graph, gamma, 1)
+            dg.commit();
+            let top = dg
+                .query(&ic_core::TopKQuery::new(gamma))
+                .unwrap()
                 .communities
                 .first()
                 .map(|c| c.influence);
@@ -860,7 +891,9 @@ mod tests {
                 let mut clone = dg.clone();
                 clone.commit().graph
             };
-            if let Some(top) = ic_core::local_search::top_k(&snapshot_now, 3, 1)
+            if let Some(top) = ic_core::TopKQuery::new(3)
+                .run(&snapshot_now)
+                .unwrap()
                 .communities
                 .first()
             {

@@ -25,6 +25,9 @@
 //! * [`DynamicGraph::stale_core_fraction`] quantifies how far the
 //!   published snapshot's planning statistics have drifted from the live
 //!   state, a signal the service planner folds into its dispatch rules.
+//! * [`DynamicGraph::query`] answers `ic-core`'s unified
+//!   [`ic_core::TopKQuery`] against the committed snapshot, so dynamic
+//!   graphs speak the same request/response surface as everything else.
 //!
 //! # Example
 //!

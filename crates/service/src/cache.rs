@@ -1,9 +1,12 @@
 //! Sharded LRU result cache.
 //!
-//! Queries are keyed by `(graph, γ, k)` — the community set they return is
-//! a pure function of that triple, whatever algorithm computed it — so a
-//! repeat query is answered in O(1) with a shared `Arc` to the first
-//! answer. Sharding by key hash keeps lock contention off the hot path:
+//! Queries are keyed by `(graph, γ, k, answer-family)` — within one
+//! [`AnswerFamily`] the community set is a pure function of the triple,
+//! whatever algorithm computed it (the interchangeable core algorithms
+//! all agree), while the γ-truss family answers differently and gets its
+//! own lane — so a repeat query is answered in O(1) with a shared `Arc`
+//! to the first answer. Sharding by key hash keeps lock contention off
+//! the hot path:
 //! each shard is an independent `Mutex` around a small map, so concurrent
 //! hits on different keys rarely collide.
 //!
@@ -17,13 +20,20 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
-use ic_core::Community;
+use ic_core::{AnswerFamily, Community};
 
-/// Cache key: the query triple that determines the answer, plus the
-/// registration generation of the graph instance it was computed against.
-/// The generation makes replacement races benign: a result computed
-/// against a superseded instance is inserted under the old generation and
-/// is unreachable from queries planned against the new one (see
+/// Cache key: the query triple that determines the answer, the *answer
+/// family* the executed algorithm belongs to, plus the registration
+/// generation of the graph instance it was computed against.
+///
+/// The family matters because the interchangeable core algorithms all
+/// return the same communities for a `(γ, k)` pair, but a forced `truss`
+/// query answers a different community family entirely
+/// ([`AnswerFamily::Truss`]) — without the discriminator a truss answer
+/// could be served to a core query or vice versa. The generation makes
+/// replacement races benign: a result computed against a superseded
+/// instance is inserted under the old generation and is unreachable from
+/// queries planned against the new one (see
 /// [`crate::registry::RegisteredGraph::generation`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -31,6 +41,7 @@ pub struct CacheKey {
     pub generation: u64,
     pub gamma: u32,
     pub k: usize,
+    pub family: AnswerFamily,
 }
 
 #[derive(Debug)]
@@ -148,6 +159,7 @@ mod tests {
             generation: 0,
             gamma,
             k,
+            family: AnswerFamily::Core,
         }
     }
 
@@ -195,6 +207,24 @@ mod tests {
         c.insert(key("g", 1, 2), value(2));
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&key("g", 1, 2)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn families_never_collide() {
+        let c = ResultCache::new(8, 2);
+        let core = key("g", 4, 1);
+        let truss = CacheKey {
+            family: AnswerFamily::Truss,
+            ..core.clone()
+        };
+        c.insert(core.clone(), value(1));
+        assert!(
+            c.get(&truss).is_none(),
+            "truss query must miss a core entry"
+        );
+        c.insert(truss.clone(), value(2));
+        assert_eq!(c.get(&core).unwrap().len(), 1);
+        assert_eq!(c.get(&truss).unwrap().len(), 2);
     }
 
     #[test]

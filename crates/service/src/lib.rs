@@ -9,14 +9,18 @@
 //! * [`registry::GraphRegistry`] — named, immutable `Arc`-shared graphs,
 //!   loaded from files or synthesized, with planning statistics captured
 //!   at registration.
-//! * [`planner`] — a [`planner::Query`] type and a cost model choosing
-//!   between LocalSearch, progressive, Forward, and OnlineAll per query,
-//!   with an explicit override and an explainable decision
-//!   ([`planner::Explain`]).
+//! * [`planner`] — a [`planner::Query`] type (validated through
+//!   `ic-core`'s central [`ic_core::TopKQuery`] builder) and a cost model
+//!   choosing between LocalSearch, progressive, Forward, and OnlineAll
+//!   per query, with an explicit override (any [`planner::Algorithm`],
+//!   including the `backward`/`naive` baselines and the `truss` family)
+//!   and an explainable decision ([`planner::Explain`]). The planner's
+//!   output is consumed through the [`ic_core::query::Algorithm`] trait —
+//!   the service contains no per-algorithm dispatch of its own.
 //! * [`service::Service`] — the engine: a fixed worker pool executing
 //!   queries against shared graphs behind a sharded LRU [`cache`] keyed
-//!   by `(graph, γ, k)`, with hit/miss/latency counters snapshotted as
-//!   [`stats::ServiceStats`].
+//!   by `(graph, γ, k, answer-family)`, with hit/miss/latency counters
+//!   snapshotted as [`stats::ServiceStats`].
 //! * [`session::Session`] — progressive sessions: pull communities one
 //!   batch at a time across calls, each session backed by a thread owning
 //!   its `ProgressiveSearch` iterator.

@@ -1,7 +1,10 @@
 //! The query planner: picks which search algorithm answers a query.
 //!
-//! The repo implements four interchangeable top-k algorithms with very
-//! different cost profiles (§6 of the paper):
+//! The algorithm vocabulary is `ic-core`'s unified query API: the planner
+//! emits an [`Algorithm`] (= [`ic_core::AlgorithmId`]) selection that the
+//! service consumes through the [`ic_core::query::Algorithm`] trait — no
+//! hand-rolled dispatch. The repo implements four *interchangeable* top-k
+//! algorithms with very different cost profiles (§6 of the paper):
 //!
 //! * **LocalSearch** — instance-optimal; touches `O(size(G≥τ*))`, tiny
 //!   when k is small relative to the graph.
@@ -13,7 +16,12 @@
 //! * **OnlineAll** — one global sweep that enumerates *every* community;
 //!   the right tool when k exceeds any possible community count.
 //!
-//! The planner encodes these regimes as a cost model over the O(1)
+//! The remaining algorithms are reachable by explicit override only:
+//! `backward` and `naive` are comparison baselines the cost model never
+//! prefers, and `truss` answers a *different community family*
+//! ([`ic_core::AnswerFamily::Truss`]) the caller must ask for by name.
+//!
+//! The planner encodes the regimes as a cost model over the O(1)
 //! [`GraphStats`] captured at registration time. Every decision is
 //! explainable: [`plan`] returns an [`Explain`] naming the chosen
 //! algorithm and the rule that fired, and the `EXPLAIN` protocol verb
@@ -21,79 +29,28 @@
 //! model (the escape hatch the consistency proptests use to exercise each
 //! branch directly).
 
-use std::fmt;
-
+use ic_core::query::Selection;
+use ic_core::TopKQuery;
 use ic_graph::GraphStats;
 
 use crate::error::ServiceError;
 
-/// How the client wants the query dispatched.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Mode {
-    /// Let the cost model decide (the default).
-    #[default]
-    Auto,
-    /// Force a specific algorithm.
-    Force(Algorithm),
-}
+/// The algorithm identifier the planner plans in — `ic-core`'s typed id.
+pub use ic_core::AlgorithmId as Algorithm;
 
-/// The four executable plans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    LocalSearch,
-    Progressive,
-    Forward,
-    OnlineAll,
-}
+/// How the client wants the query dispatched: [`Mode::Auto`] consults the
+/// cost model, [`Mode::Forced`] pins an algorithm. This is `ic-core`'s
+/// [`Selection`] — the service shares the library's request vocabulary.
+pub use ic_core::query::Selection as Mode;
 
-impl Algorithm {
-    /// All algorithms, in display order.
-    pub const ALL: [Algorithm; 4] = [
-        Algorithm::LocalSearch,
-        Algorithm::Progressive,
-        Algorithm::Forward,
-        Algorithm::OnlineAll,
-    ];
-
-    /// Stable lower-case name used by the wire protocol and stats.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::LocalSearch => "local_search",
-            Algorithm::Progressive => "progressive",
-            Algorithm::Forward => "forward",
-            Algorithm::OnlineAll => "online_all",
-        }
-    }
-
-    /// Index into per-algorithm counter arrays.
-    pub(crate) fn index(self) -> usize {
-        match self {
-            Algorithm::LocalSearch => 0,
-            Algorithm::Progressive => 1,
-            Algorithm::Forward => 2,
-            Algorithm::OnlineAll => 3,
-        }
-    }
-}
-
-impl fmt::Display for Algorithm {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+/// k at or below which the progressive stream's latency-to-first-result
+/// beats the batch algorithms outright (Figure 14 regime). Shared with
+/// the in-library auto-selection rule.
+pub use ic_core::query::PROGRESSIVE_K_CUTOFF;
 
 /// Parses the protocol's mode token (`auto`, `local_search`, …).
 pub fn parse_mode(s: &str) -> Result<Mode, ServiceError> {
-    match s.to_ascii_lowercase().as_str() {
-        "auto" => Ok(Mode::Auto),
-        "local_search" | "local" => Ok(Mode::Force(Algorithm::LocalSearch)),
-        "progressive" => Ok(Mode::Force(Algorithm::Progressive)),
-        "forward" => Ok(Mode::Force(Algorithm::Forward)),
-        "online_all" | "onlineall" => Ok(Mode::Force(Algorithm::OnlineAll)),
-        other => Err(ServiceError::InvalidQuery(format!(
-            "unknown mode {other:?} (expected auto, local_search, progressive, forward, online_all)"
-        ))),
-    }
+    Selection::parse(s).map_err(|e| ServiceError::InvalidQuery(e.to_string()))
 }
 
 /// A top-k query against a registered graph.
@@ -126,29 +83,35 @@ impl Query {
         self
     }
 
-    /// Rejects degenerate parameters up front so executors can rely on
-    /// `γ ≥ 1`, `k ≥ 1` (the panicking `Params::new` contract).
+    /// The core-library request this service query corresponds to,
+    /// validated once by the central [`TopKQuery::validate`] — the one
+    /// place that rejects degenerate parameters (γ = 0, k = 0, k caps,
+    /// truss with γ < 2).
+    pub fn to_core(&self) -> Result<TopKQuery, ServiceError> {
+        let q = TopKQuery::new(self.gamma).k(self.k).algorithm(self.mode);
+        q.validate()
+            .map_err(|e| ServiceError::InvalidQuery(e.to_string()))?;
+        Ok(q)
+    }
+
+    /// Rejects degenerate parameters up front so executors can rely on a
+    /// validated query.
     pub fn validate(&self) -> Result<(), ServiceError> {
-        if self.gamma == 0 {
-            return Err(ServiceError::InvalidQuery(
-                "gamma must be at least 1".into(),
-            ));
-        }
-        if self.k == 0 {
-            return Err(ServiceError::InvalidQuery("k must be at least 1".into()));
-        }
-        Ok(())
+        self.to_core().map(|_| ())
     }
 }
 
 /// Why a plan was chosen — returned by [`plan`] and printed by `EXPLAIN`.
+/// `#[non_exhaustive]` so future planning signals can be added without
+/// breaking consumers.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct Explain {
     /// The chosen algorithm.
     pub algorithm: Algorithm,
     /// The cost-model rule (or override) that selected it.
     pub reason: &'static str,
-    /// Whether the choice came from an explicit [`Mode::Force`].
+    /// Whether the choice came from an explicit [`Mode::Forced`].
     pub forced: bool,
     /// Graph statistics the decision consulted.
     pub n: usize,
@@ -160,10 +123,6 @@ pub struct Explain {
     /// after the next `COMMIT`; see [`STALE_CORE_CUTOFF`].
     pub stale_core_fraction: f64,
 }
-
-/// k at or below which the progressive stream's latency-to-first-result
-/// beats the batch algorithms outright (Figure 14 regime).
-pub const PROGRESSIVE_K_CUTOFF: usize = 2;
 
 /// Stale-core fraction above which the planner stops trusting the
 /// registered `γmax` for regime decisions: under a heavy uncommitted
@@ -215,7 +174,7 @@ pub fn plan_dynamic(
         gamma_max: stats.gamma_max,
         stale_core_fraction,
     };
-    if let Mode::Force(algorithm) = mode {
+    if let Mode::Forced(algorithm) = mode {
         return base(algorithm, "explicit mode override", true);
     }
     let n = stats.n;
@@ -290,7 +249,7 @@ mod tests {
     fn override_wins_over_everything() {
         let s = stats(1000, 5000, 8);
         for algo in Algorithm::ALL {
-            let e = plan(&s, 99, 1, Mode::Force(algo));
+            let e = plan(&s, 99, 1, Mode::Forced(algo));
             assert_eq!(e.algorithm, algo);
             assert!(e.forced);
         }
@@ -323,7 +282,7 @@ mod tests {
             assert_eq!(a, fresh, "k={k}");
         }
         // nor an explicit override
-        let forced = plan_dynamic(&s, 9, 5, Mode::Force(Algorithm::OnlineAll), 0.9);
+        let forced = plan_dynamic(&s, 9, 5, Mode::Forced(Algorithm::OnlineAll), 0.9);
         assert_eq!(forced.algorithm, Algorithm::OnlineAll);
         assert!(forced.forced);
     }
@@ -354,18 +313,51 @@ mod tests {
     }
 
     #[test]
+    fn auto_never_plans_an_override_only_algorithm() {
+        let s = stats(200, 900, 8);
+        for gamma in 1..=10u32 {
+            for k in [1usize, 2, 5, 50, 100, 250] {
+                let algo = plan(&s, gamma, k, Mode::Auto).algorithm;
+                assert!(
+                    !matches!(
+                        algo,
+                        Algorithm::Backward | Algorithm::Naive | Algorithm::Truss
+                    ),
+                    "gamma={gamma} k={k} planned {algo}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mode_parsing_round_trips() {
         assert_eq!(parse_mode("auto").unwrap(), Mode::Auto);
         for algo in Algorithm::ALL {
-            assert_eq!(parse_mode(algo.name()).unwrap(), Mode::Force(algo));
+            assert_eq!(parse_mode(algo.name()).unwrap(), Mode::Forced(algo));
         }
         assert!(parse_mode("mystery").is_err());
     }
 
     #[test]
-    fn query_validation() {
+    fn query_validation_is_the_central_one() {
         assert!(Query::new("g", 1, 1).validate().is_ok());
         assert!(Query::new("g", 0, 1).validate().is_err());
         assert!(Query::new("g", 1, 0).validate().is_err());
+        assert!(Query::new("g", 1, usize::MAX).validate().is_err());
+        // the truss constraint is enforced before any graph is touched
+        assert!(Query::new("g", 1, 1)
+            .with_mode(Mode::Forced(Algorithm::Truss))
+            .validate()
+            .is_err());
+        assert!(Query::new("g", 2, 1)
+            .with_mode(Mode::Forced(Algorithm::Truss))
+            .validate()
+            .is_ok());
+        // to_core carries the mode into the library request
+        let q = Query::new("g", 3, 4)
+            .with_mode(Mode::Forced(Algorithm::Forward))
+            .to_core()
+            .unwrap();
+        assert_eq!(q.selection(), Mode::Forced(Algorithm::Forward));
     }
 }

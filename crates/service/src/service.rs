@@ -24,14 +24,14 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use ic_core::local_search::SearchStats;
-use ic_core::{forward, local_search, online_all, progressive, Community};
+use ic_core::Community;
 use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
 use ic_graph::generators::{assemble, barabasi_albert, gnm, rmat, RmatParams, WeightKind};
 use ic_graph::{io, WeightedGraph};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::ServiceError;
-use crate::planner::{plan_dynamic, Algorithm, Explain, Query};
+use crate::planner::{plan_dynamic, Explain, Query};
 use crate::pool::WorkerPool;
 use crate::registry::{GraphRegistry, RegisteredGraph};
 use crate::session::Session;
@@ -76,9 +76,9 @@ pub struct QueryResponse {
     pub cached: bool,
     /// Wall-clock time spent answering, excluding queue wait.
     pub latency: Duration,
-    /// Access statistics when the executed algorithm reports them
-    /// (LocalSearch and progressive); `None` for the global baselines and
-    /// for cache hits.
+    /// Access statistics of the executed algorithm (every algorithm
+    /// reports them uniformly); `None` for cache hits, which executed
+    /// nothing.
     pub search_stats: Option<SearchStats>,
 }
 
@@ -363,21 +363,26 @@ impl Service {
         ))
     }
 
-    /// Answers a query on the calling thread: plan, probe the cache,
-    /// execute on a miss. This is the pipeline the pool workers run.
+    /// Answers a query on the calling thread: validate through the core
+    /// builder, plan, probe the cache, execute the planned algorithm
+    /// through the [`ic_core::query::Algorithm`] trait on a miss. This is
+    /// the pipeline the pool workers run.
     pub fn execute_inline(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
-        query.validate()?;
+        let core_query = query.to_core()?;
         let entry = self.registry.get(&query.graph)?;
         let stale = self.stale_core_fraction(&query.graph);
         let explain = plan_dynamic(&entry.stats, query.gamma, query.k, query.mode, stale);
         // The key carries the generation of the instance this execution
-        // read, so a result computed against a since-replaced graph is
-        // inserted under the stale generation and never served again.
+        // read (so a result computed against a since-replaced graph is
+        // inserted under the stale generation and never served again) and
+        // the answer family (so a forced truss answer can never be served
+        // to a core query, or vice versa).
         let key = CacheKey {
             graph: query.graph.clone(),
             generation: entry.generation,
             gamma: query.gamma,
             k: query.k,
+            family: explain.algorithm.family(),
         };
         let start = Instant::now();
         if let Some(communities) = self.cache.get(&key) {
@@ -393,9 +398,8 @@ impl Service {
                 search_stats: None,
             });
         }
-        let (communities, search_stats) =
-            run_algorithm(&entry.graph, explain.algorithm, query.gamma, query.k);
-        let communities = Arc::new(communities);
+        let result = explain.algorithm.resolve().run(&entry.graph, &core_query);
+        let communities = Arc::new(result.communities);
         self.cache.insert(key, communities.clone());
         let latency = start.elapsed();
         self.stats.record_miss(explain.algorithm, latency);
@@ -406,7 +410,7 @@ impl Service {
             explain,
             cached: false,
             latency,
-            search_stats,
+            search_stats: Some(result.stats),
         })
     }
 
@@ -546,34 +550,23 @@ impl Service {
     }
 }
 
-/// Executes the planned algorithm. Every branch returns communities in
-/// decreasing influence order; LocalSearch and progressive also report
-/// their access statistics.
-fn run_algorithm(
-    g: &WeightedGraph,
-    algorithm: Algorithm,
-    gamma: u32,
-    k: usize,
-) -> (Vec<Community>, Option<SearchStats>) {
-    match algorithm {
-        Algorithm::LocalSearch => {
-            let r = local_search::top_k(g, gamma, k);
-            (r.communities, Some(r.stats))
-        }
-        Algorithm::Progressive => {
-            let r = progressive::top_k(g, gamma, k);
-            (r.communities, Some(r.stats))
-        }
-        Algorithm::Forward => (forward::top_k(g, gamma, k), None),
-        Algorithm::OnlineAll => (online_all::top_k(g, gamma, k), None),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::planner::Mode;
+    use crate::planner::{Algorithm, Mode};
+    use ic_core::query::Selection;
+    use ic_core::TopKQuery;
     use ic_graph::paper::{figure1, figure3};
+
+    /// Single-threaded reference through the unified core API.
+    fn direct_top_k(g: &WeightedGraph, gamma: u32, k: usize) -> Vec<Community> {
+        TopKQuery::new(gamma)
+            .k(k)
+            .algorithm(Selection::Forced(Algorithm::LocalSearch))
+            .run(g)
+            .expect("valid query")
+            .communities
+    }
 
     fn service_with_fig3() -> Arc<Service> {
         let svc = Service::new(ServiceConfig {
@@ -589,13 +582,14 @@ mod tests {
     fn query_matches_direct_local_search() {
         let svc = service_with_fig3();
         let resp = svc.query(Query::new("fig3", 3, 4)).unwrap();
-        let direct = local_search::top_k(&figure3(), 3, 4);
+        let direct = direct_top_k(&figure3(), 3, 4);
         assert_eq!(resp.communities.len(), 4);
-        for (a, b) in resp.communities.iter().zip(&direct.communities) {
+        for (a, b) in resp.communities.iter().zip(&direct) {
             assert_eq!(a.keynode, b.keynode);
             assert_eq!(a.members, b.members);
         }
         assert!(!resp.cached);
+        assert!(resp.search_stats.is_some(), "misses always report stats");
     }
 
     #[test]
@@ -616,18 +610,20 @@ mod tests {
     fn forced_modes_agree_on_answers() {
         let svc = service_with_fig3();
         let reference = svc
-            .query(Query::new("fig3", 3, 4).with_mode(Mode::Force(Algorithm::LocalSearch)))
+            .query(Query::new("fig3", 3, 4).with_mode(Mode::Forced(Algorithm::LocalSearch)))
             .unwrap();
         for algo in [
             Algorithm::Progressive,
             Algorithm::Forward,
             Algorithm::OnlineAll,
+            Algorithm::Backward,
+            Algorithm::Naive,
         ] {
             // distinct k per algorithm would dodge the cache; same k must
             // be invalidated instead, so re-register the graph
             svc.register("fig3", figure3());
             let resp = svc
-                .query(Query::new("fig3", 3, 4).with_mode(Mode::Force(algo)))
+                .query(Query::new("fig3", 3, 4).with_mode(Mode::Forced(algo)))
                 .unwrap();
             assert!(!resp.cached, "{algo}: cache must have been invalidated");
             assert_eq!(resp.explain.algorithm, algo);
@@ -636,6 +632,37 @@ mod tests {
                 assert_eq!(a.members, b.members, "{algo}");
             }
         }
+    }
+
+    #[test]
+    fn truss_queries_live_in_their_own_cache_family() {
+        let svc = service_with_fig3();
+        // prime the core-family entry for (γ=4, k=1)
+        let core = svc.query(Query::new("fig3", 4, 1)).unwrap();
+        // a forced truss query with the same (γ, k) must NOT hit it
+        let truss = svc
+            .query(Query::new("fig3", 4, 1).with_mode(Mode::Forced(Algorithm::Truss)))
+            .unwrap();
+        assert!(!truss.cached, "truss must miss the core-family entry");
+        let expected = ic_core::truss::local_top_k(&figure3(), 4, 1).communities;
+        assert_eq!(truss.communities.len(), expected.len());
+        for (a, b) in truss.communities.iter().zip(&expected) {
+            assert_eq!(a.members, b.members);
+        }
+        // and the core entry is still served untouched
+        let again = svc.query(Query::new("fig3", 4, 1)).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.communities.len(), core.communities.len());
+        // a second truss query hits the truss-family entry
+        let truss_again = svc
+            .query(Query::new("fig3", 4, 1).with_mode(Mode::Forced(Algorithm::Truss)))
+            .unwrap();
+        assert!(truss_again.cached);
+        // truss with γ < 2 is rejected by the central validation
+        assert!(matches!(
+            svc.query(Query::new("fig3", 1, 1).with_mode(Mode::Forced(Algorithm::Truss))),
+            Err(ServiceError::InvalidQuery(_))
+        ));
     }
 
     #[test]
@@ -724,14 +751,15 @@ mod tests {
                 generation: old.generation,
                 gamma: 3,
                 k: 2,
+                family: ic_core::AnswerFamily::Core,
             },
-            Arc::new(local_search::top_k(&figure3(), 3, 2).communities),
+            Arc::new(direct_top_k(&figure3(), 3, 2)),
         );
         let resp = svc.query(Query::new("fig3", 3, 2)).unwrap();
         assert!(!resp.cached, "stale-generation entry must not be a hit");
-        let direct = local_search::top_k(&figure1(), 3, 2);
-        assert_eq!(resp.communities.len(), direct.communities.len());
-        for (a, b) in resp.communities.iter().zip(&direct.communities) {
+        let direct = direct_top_k(&figure1(), 3, 2);
+        assert_eq!(resp.communities.len(), direct.len());
+        for (a, b) in resp.communities.iter().zip(&direct) {
             assert_eq!(a.members, b.members);
         }
     }
@@ -752,7 +780,7 @@ mod tests {
                 assert!((r as usize) < instance.n());
             }
         }
-        let reference = local_search::top_k(&figure3(), 3, 100).communities;
+        let reference = direct_top_k(&figure3(), 3, 100);
         assert_eq!(first.len() + rest.len(), reference.len());
         svc.close_session(id).unwrap();
     }
@@ -784,10 +812,12 @@ mod tests {
         let direct = {
             let mut dg = ic_dynamic::DynamicGraph::new(figure3());
             dg.delete_edge(3, 11).unwrap();
-            local_search::top_k(&dg.commit().graph, 3, 4)
+            dg.commit();
+            // committed snapshots answer through the same unified API
+            dg.query(&TopKQuery::new(3).k(4)).unwrap().communities
         };
-        assert_eq!(after.communities.len(), direct.communities.len());
-        for (a, b) in after.communities.iter().zip(&direct.communities) {
+        assert_eq!(after.communities.len(), direct.len());
+        for (a, b) in after.communities.iter().zip(&direct) {
             assert_eq!(a.members, b.members);
         }
     }

@@ -20,7 +20,8 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use ic_core::{Community, ProgressiveSearch};
+use ic_core::query::Selection;
+use ic_core::{AlgorithmId, Community, TopKQuery};
 use ic_graph::WeightedGraph;
 
 use crate::error::ServiceError;
@@ -54,17 +55,22 @@ impl Session {
     /// Opens a session streaming the influential γ-communities of `graph`
     /// in decreasing influence order.
     pub fn open(name: &str, graph: Arc<WeightedGraph>, gamma: u32) -> Result<Self, ServiceError> {
-        if gamma == 0 {
-            return Err(ServiceError::InvalidQuery(
-                "gamma must be at least 1".into(),
-            ));
-        }
+        // Sessions are the streaming face of the unified query API: one
+        // TopKQuery, validated centrally, whose live stream the worker
+        // thread owns. Forcing the progressive algorithm makes the lazy
+        // cost profile explicit (Auto would pick it for streams anyway).
+        let query = TopKQuery::new(gamma).algorithm(Selection::Forced(AlgorithmId::Progressive));
+        query
+            .validate()
+            .map_err(|e| ServiceError::InvalidQuery(e.to_string()))?;
         let (tx, rx) = channel::<Command>();
         let graph_for_worker = Arc::clone(&graph);
         let worker = std::thread::Builder::new()
             .name(format!("ic-session-{name}"))
             .spawn(move || {
-                let mut stream = ProgressiveSearch::new(&graph_for_worker, gamma);
+                let mut stream = query
+                    .stream(&graph_for_worker)
+                    .expect("query validated before spawn");
                 while let Ok(cmd) = rx.recv() {
                     let req = match cmd {
                         Command::Next(req) => req,
@@ -148,13 +154,12 @@ impl Drop for Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ic_core::local_search;
     use ic_graph::paper::figure3;
 
     #[test]
     fn streams_across_calls_in_order() {
         let g = Arc::new(figure3());
-        let reference = local_search::top_k(&g, 3, 100).communities;
+        let reference = TopKQuery::new(3).k(100).run(&g).unwrap().communities;
         let session = Session::open("fig3", g.clone(), 3).unwrap();
         let mut streamed = Vec::new();
         loop {

@@ -11,13 +11,17 @@ use std::time::Duration;
 
 use crate::planner::Algorithm;
 
+/// Number of per-algorithm execution counters (one per
+/// [`Algorithm::ALL`] entry).
+pub const ALGORITHM_COUNT: usize = Algorithm::ALL.len();
+
 /// Internal counter block owned by the service.
 #[derive(Debug, Default)]
 pub struct StatsRecorder {
     queries: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
-    executed: [AtomicU64; 4],
+    executed: [AtomicU64; ALGORITHM_COUNT],
     query_latency_ns: AtomicU64,
     sessions_opened: AtomicU64,
     sessions_closed: AtomicU64,
@@ -59,12 +63,7 @@ impl StatsRecorder {
 
     /// Reads every counter into a plain snapshot.
     pub fn snapshot(&self) -> ServiceStats {
-        let executed = [
-            self.executed[0].load(Ordering::Relaxed),
-            self.executed[1].load(Ordering::Relaxed),
-            self.executed[2].load(Ordering::Relaxed),
-            self.executed[3].load(Ordering::Relaxed),
-        ];
+        let executed = std::array::from_fn(|i| self.executed[i].load(Ordering::Relaxed));
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -88,9 +87,9 @@ pub struct ServiceStats {
     /// Queries that executed an algorithm.
     pub cache_misses: u64,
     /// Executions per algorithm, in [`Algorithm::ALL`] order
-    /// (local_search, progressive, forward, online_all); see
-    /// [`Self::executions`].
-    pub executed: [u64; 4],
+    /// (local_search, progressive, forward, online_all, backward, naive,
+    /// truss); see [`Self::executions`].
+    pub executed: [u64; ALGORITHM_COUNT],
     /// Total wall-clock spent answering batch queries, nanoseconds.
     pub query_latency_ns: u64,
     /// Progressive sessions opened.
@@ -143,6 +142,7 @@ mod tests {
         assert_eq!(s.executions(Algorithm::LocalSearch), 1);
         assert_eq!(s.executions(Algorithm::Forward), 1);
         assert_eq!(s.executions(Algorithm::OnlineAll), 0);
+        assert_eq!(s.executions(Algorithm::Truss), 0);
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.mean_latency(), Duration::from_nanos(42_000 / 3));
         assert_eq!(s.sessions_opened, 1);

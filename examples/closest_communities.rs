@@ -10,7 +10,8 @@
 //! cargo run --release --example closest_communities
 //! ```
 
-use ic_core::query_weights::closest_top_k;
+use ic_core::query_weights::closest;
+use ic_core::TopKQuery;
 use ic_graph::generators::{assemble, planted_partition, WeightKind};
 
 fn main() {
@@ -30,7 +31,7 @@ fn main() {
     // group 6 (240..280)
     for probe in [165u64, 250] {
         let rank = g.rank_of_external(probe).expect("vertex exists");
-        let res = closest_top_k(&g, &[rank], 5, 2);
+        let res = closest(&g, &[rank], &TopKQuery::new(5).k(2)).expect("valid query");
         println!(
             "\nquery vertex {probe} (its planted group: {}):",
             probe as usize / size

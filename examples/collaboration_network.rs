@@ -10,7 +10,8 @@
 //! cargo run --release --example collaboration_network
 //! ```
 
-use ic_core::{local_search, truss};
+use ic_core::query::Selection;
+use ic_core::{AlgorithmId, TopKQuery};
 use ic_graph::generators::{assemble, collaboration, WeightKind};
 
 /// Deterministic researcher-style label for a vertex id.
@@ -39,8 +40,13 @@ fn main() {
     let core_gamma = 5;
     let truss_gamma = 6;
 
-    let core_top = local_search::top_k(&g, core_gamma, 1);
-    let truss_top = truss::local_top_k(&g, truss_gamma, 1);
+    // the same typed query answers both community families: the γ-core
+    // default and the γ-truss instantiation behind AlgorithmId::Truss
+    let core_top = TopKQuery::new(core_gamma).run(&g).expect("valid query");
+    let truss_top = TopKQuery::new(truss_gamma)
+        .algorithm(Selection::Forced(AlgorithmId::Truss))
+        .run(&g)
+        .expect("valid query");
 
     match (core_top.communities.first(), truss_top.communities.first()) {
         (Some(core), Some(trs)) => {
@@ -77,7 +83,10 @@ fn main() {
             );
             // containment: the truss community lies inside the
             // (γ−1)-community with the same influence value
-            let parents = local_search::top_k(&g, truss_gamma - 1, usize::MAX - 1);
+            let parents = TopKQuery::new(truss_gamma - 1)
+                .k(TopKQuery::MAX_K)
+                .run(&g)
+                .expect("valid query");
             let parent = parents
                 .communities
                 .iter()

@@ -9,6 +9,7 @@
 
 use influential_communities::dynamic::DynamicGraph;
 use influential_communities::graph::paper::figure3;
+use influential_communities::prelude::TopKQuery;
 use influential_communities::service::protocol::handle_line;
 use influential_communities::service::{Service, ServiceConfig};
 
@@ -72,7 +73,8 @@ fn main() {
         receipt.cores_visited,
         receipt.refreshed_cores
     );
-    let top = influential_communities::search::local_search::top_k(&receipt.graph, 3, 1);
+    // committed snapshots answer through the same unified query API
+    let top = dg.query(&TopKQuery::new(3)).expect("valid query");
     let c = &top.communities[0];
     println!(
         "top community after churn: influence={} members={:?}",

@@ -12,7 +12,8 @@
 //! cargo run --release --example progressive_stream
 //! ```
 
-use ic_core::{local_search::LocalSearch, progressive::ProgressiveSearch};
+use ic_core::query::Selection;
+use ic_core::{AlgorithmId, TopKQuery};
 use ic_graph::generators::{assemble, rmat, RmatParams, WeightKind};
 use std::time::Instant;
 
@@ -32,7 +33,10 @@ fn main() {
         "top-i", "influence", "latency", "members"
     );
     let t0 = Instant::now();
-    let mut stream = ProgressiveSearch::new(&g, gamma);
+    // an Auto-selected stream is the true LocalSearch-P iterator: lazy,
+    // unbounded, pays only for the prefix consumed so far
+    let mut stream = TopKQuery::new(gamma).stream(&g).expect("valid query");
+    assert!(stream.is_live());
     let mut count = 0usize;
     for c in stream.by_ref() {
         count += 1;
@@ -47,13 +51,17 @@ fn main() {
             break;
         }
     }
-    let accessed = stream.accessed_size();
+    let accessed = stream.stats().final_prefix_size;
     drop(stream);
 
     // batch comparison: the non-progressive algorithm delivers all k
     // results only when it finishes
     let t0 = Instant::now();
-    let batch = LocalSearch::new().run(&g, gamma, want);
+    let batch = TopKQuery::new(gamma)
+        .k(want)
+        .algorithm(Selection::Forced(AlgorithmId::LocalSearch))
+        .run(&g)
+        .expect("valid query");
     let t_batch = t0.elapsed();
     println!(
         "\nbatch LocalSearch produced all {} communities after {:?}",

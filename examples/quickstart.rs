@@ -40,10 +40,12 @@ fn main() {
 
     // Top-2 influential 3-communities: each is connected, every member has
     // at least 3 neighbors inside, and it is maximal for its influence
-    // value (= the minimum member weight).
+    // value (= the minimum member weight). One typed query, validated
+    // once, dispatched to the best algorithm automatically.
     let gamma = 3;
     let k = 2;
-    let result = top_k(&g, gamma, k);
+    let query = TopKQuery::new(gamma).k(k);
+    let result = query.run(&g).expect("valid query");
 
     println!(
         "top-{k} influential {gamma}-communities of a {}-vertex graph:",
@@ -67,7 +69,11 @@ fn main() {
     // The same query as a progressive stream: communities arrive in
     // decreasing influence order and you may stop at any time — no k.
     println!("\nprogressive stream (stop whenever):");
-    for c in ProgressiveSearch::new(&g, gamma).take(2) {
+    for c in TopKQuery::new(gamma)
+        .stream(&g)
+        .expect("valid query")
+        .take(2)
+    {
         println!(
             "  influence {:.1}: {:?}",
             c.influence,

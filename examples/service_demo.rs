@@ -35,6 +35,8 @@ fn main() {
         "QUERY fig3 3 4",
         "# force a specific algorithm — same answer, different plan",
         "QUERY fig3 3 4 online_all",
+        "# the truss family answers through the same verb (own cache lane)",
+        "QUERY fig3 4 1 truss",
         "# progressive session: pull communities one at a time",
         "OPEN social 4",
         "NEXT 1",

@@ -12,7 +12,8 @@
 //! cargo run --release --example social_influencers
 //! ```
 
-use ic_core::{forward, local_search};
+use ic_core::query::Selection;
+use ic_core::{AlgorithmId, TopKQuery};
 use ic_graph::generators::{assemble, barabasi_albert, WeightKind};
 use std::time::Instant;
 
@@ -26,12 +27,21 @@ fn main() {
     let gamma = 6;
     let k = 5;
 
+    // one typed query, two pinned algorithms — identical answers,
+    // wildly different amounts of graph touched
+    let query = TopKQuery::new(gamma).k(k);
     let t0 = Instant::now();
-    let local = local_search::top_k(&g, gamma, k);
+    let local = query
+        .algorithm(Selection::Forced(AlgorithmId::LocalSearch))
+        .run(&g)
+        .expect("valid query");
     let t_local = t0.elapsed();
 
     let t0 = Instant::now();
-    let global = forward::top_k(&g, gamma, k);
+    let global = query
+        .algorithm(Selection::Forced(AlgorithmId::Forward))
+        .run(&g)
+        .expect("valid query");
     let t_global = t0.elapsed();
 
     println!("\ntop-{k} influential {gamma}-communities:");
@@ -47,8 +57,8 @@ fn main() {
     }
 
     // sanity: both algorithms agree on every community
-    assert_eq!(local.communities.len(), global.len());
-    for (a, b) in local.communities.iter().zip(&global) {
+    assert_eq!(local.communities.len(), global.communities.len());
+    for (a, b) in local.communities.iter().zip(&global.communities) {
         assert_eq!(a.members, b.members, "local and global answers must match");
     }
 
@@ -62,6 +72,6 @@ fn main() {
     );
     println!(
         "  Forward:     {t_global:>9.3?}  touched {:>9} (the whole graph)",
-        g.size()
+        global.stats.final_prefix_size
     );
 }

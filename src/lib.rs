@@ -12,23 +12,28 @@ pub use ic_graph as graph;
 pub use ic_service as service;
 
 pub mod prelude {
-    //! One-import convenience surface used by the examples.
+    //! One-import convenience surface used by the examples — the v2 API.
     //!
-    //! Every name here is audited against the defining crate: the graph
-    //! side exposes construction ([`GraphBuilder`], [`assemble`],
-    //! [`WeightKind`]) and the two query substrates ([`WeightedGraph`],
-    //! [`Prefix`]); the search side exposes the batch entry point
-    //! ([`top_k`] / [`LocalSearch`] returning [`SearchResult`]), the
-    //! streaming entry point ([`ProgressiveSearch`]), and the result /
-    //! parameter types ([`Community`], [`Params`]); the dynamic side
-    //! exposes the mutable overlay ([`DynamicGraph`]) and its update
-    //! vocabulary ([`UpdateOp`]); the serving side exposes the engine
-    //! ([`Service`], [`ServiceConfig`]) and its query type ([`Query`],
-    //! [`QueryMode`]).
+    //! The query side is `ic-core`'s unified vocabulary: build a
+    //! [`TopKQuery`], validate once (typed [`QueryError`]), run it
+    //! through any [`Algorithm`] ([`AlgorithmId`] + [`Selection`]) for a
+    //! uniform [`SearchResult`], or consume it as a [`CommunityStream`].
+    //! The graph side exposes construction ([`GraphBuilder`],
+    //! [`assemble`], [`WeightKind`]) and the two query substrates
+    //! ([`WeightedGraph`], [`Prefix`]); the power tools
+    //! ([`LocalSearch`], [`ProgressiveSearch`]) remain for callers that
+    //! manage buffers or streams directly; the dynamic side exposes the
+    //! mutable overlay ([`DynamicGraph`], [`UpdateOp`]); the serving side
+    //! exposes the engine ([`Service`], [`ServiceConfig`]) and its query
+    //! type ([`Query`], [`QueryMode`] — the same [`Selection`] the
+    //! library uses).
     pub use ic_core::community::Community;
-    pub use ic_core::local_search::{top_k, LocalSearch, SearchResult};
+    pub use ic_core::local_search::{LocalSearch, SearchResult, SearchStats};
     pub use ic_core::progressive::ProgressiveSearch;
-    pub use ic_core::Params;
+    pub use ic_core::query::{
+        Algorithm, AlgorithmId, AnswerFamily, CommunityStream, QueryError, Selection, TopKQuery,
+    };
+    pub use ic_core::{CountStrategy, Params};
     pub use ic_dynamic::{DynamicGraph, UpdateOp};
     pub use ic_graph::generators::{assemble, WeightKind};
     pub use ic_graph::{GraphBuilder, Prefix, WeightedGraph};

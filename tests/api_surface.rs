@@ -1,0 +1,211 @@
+//! Public-API surface snapshot + shim lint gate.
+//!
+//! `api-surface.txt` pins the public item surface of the library crates
+//! (facade, ic-graph, ic-core, ic-dynamic, ic-service): every `pub` item
+//! declaration, extracted by a std-only scanner. CI diffs the file, so an
+//! accidental surface change (a leaked helper, a renamed type, a new free
+//! function) fails loudly. If a change is *intended*, regenerate with:
+//!
+//! ```sh
+//! API_SURFACE_REGENERATE=1 cargo test --test api_surface
+//! ```
+//!
+//! The second test is the shim lint gate: the unified query API
+//! (`TopKQuery` + the `Algorithm` trait) is the one sanctioned entry
+//! point, so free `pub fn top_k` declarations may exist *only* in the
+//! grandfathered shim modules — adding an eighth divergent entry point
+//! fails this test.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Library source roots whose public surface is pinned (the bench
+/// harness and vendored stand-ins are internal and excluded).
+const ROOTS: &[&str] = &[
+    "src",
+    "crates/graph/src",
+    "crates/core/src",
+    "crates/dynamic/src",
+    "crates/service/src",
+];
+
+/// The only files allowed to declare a free `pub fn top_k` — the
+/// deprecated one-release shims over the unified query API.
+const TOP_K_SHIM_FILES: &[&str] = &[
+    "crates/core/src/local_search.rs",
+    "crates/core/src/progressive.rs",
+    "crates/core/src/forward.rs",
+    "crates/core/src/online_all.rs",
+    "crates/core/src/backward.rs",
+    "crates/core/src/naive.rs",
+];
+
+const KINDS: &[&str] = &[
+    "pub fn ",
+    "pub struct ",
+    "pub enum ",
+    "pub trait ",
+    "pub const ",
+    "pub type ",
+    "pub mod ",
+    "pub use ",
+];
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("source dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts `(<file> <kind> <name>)` lines for every public item
+/// declared outside `#[cfg(test)]` items. A `#[cfg(test)]`-annotated
+/// item is skipped by brace counting (not by truncating the file), so a
+/// public item declared *after* a test module — or between two of them —
+/// is still captured and still subject to the shim gate.
+fn scan() -> Vec<String> {
+    let mut items = Vec::new();
+    for root in ROOTS {
+        let mut files = Vec::new();
+        rust_files(Path::new(root), &mut files);
+        for file in files {
+            let text = fs::read_to_string(&file).expect("source readable");
+            let rel = file.to_string_lossy().replace('\\', "/");
+            // depth of the brace-delimited item under #[cfg(test)];
+            // None = not inside one
+            let mut skip_depth: Option<i64> = None;
+            let mut pending_cfg_test = false;
+            for line in text.lines() {
+                let t = line.trim_start();
+                if let Some(depth) = skip_depth.as_mut() {
+                    *depth += brace_delta(t);
+                    if *depth <= 0 && (*depth < 0 || t.contains('}')) {
+                        skip_depth = None;
+                    }
+                    continue;
+                }
+                if t == "#[cfg(test)]" {
+                    pending_cfg_test = true;
+                    continue;
+                }
+                if pending_cfg_test {
+                    // the annotated item: brace-delimited (mod/fn) or a
+                    // one-liner ending in `;` (use/attr) — skip it whole
+                    if t.contains('{') {
+                        let depth = brace_delta(t);
+                        if depth > 0 {
+                            skip_depth = Some(depth);
+                        }
+                        pending_cfg_test = false;
+                        continue;
+                    }
+                    if t.ends_with(';') || t.is_empty() {
+                        pending_cfg_test = false;
+                    }
+                    continue; // attributes/signature lines before the `{`
+                }
+                for kind in KINDS {
+                    if let Some(rest) = t.strip_prefix(kind) {
+                        let name: String = rest
+                            .chars()
+                            .take_while(|c| !" (<{;:=".contains(*c))
+                            .collect();
+                        if !name.is_empty() {
+                            items.push(format!(
+                                "{rel} {} {name}",
+                                kind.trim_end().trim_start_matches("pub ")
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    items.sort();
+    items.dedup();
+    items
+}
+
+/// Net `{`/`}` balance of one line (string/char contents are not parsed;
+/// rustfmt-formatted source never splits a brace into a literal in the
+/// positions this scanner cares about).
+fn brace_delta(line: &str) -> i64 {
+    line.chars().fold(0i64, |d, c| match c {
+        '{' => d + 1,
+        '}' => d - 1,
+        _ => d,
+    })
+}
+
+#[test]
+fn public_surface_matches_snapshot() {
+    let mut rendered = String::from(
+        "# Public API surface (regenerate: API_SURFACE_REGENERATE=1 cargo test --test api_surface)\n",
+    );
+    for item in scan() {
+        writeln!(rendered, "{item}").unwrap();
+    }
+    let snapshot_path = Path::new("api-surface.txt");
+    if std::env::var("API_SURFACE_REGENERATE").is_ok() {
+        fs::write(snapshot_path, &rendered).expect("snapshot writable");
+        return;
+    }
+    let pinned = fs::read_to_string(snapshot_path).expect(
+        "api-surface.txt missing — run API_SURFACE_REGENERATE=1 cargo test --test api_surface",
+    );
+    assert!(
+        pinned == rendered,
+        "public API surface drifted from api-surface.txt.\n\
+         If intended, regenerate with API_SURFACE_REGENERATE=1 and review the diff.\n\
+         --- pinned ---\n{}\n--- current ---\n{}",
+        diff_hint(&pinned, &rendered),
+        diff_hint(&rendered, &pinned),
+    );
+}
+
+/// Lines present in `a` but not in `b` (a tiny set-diff for the failure
+/// message; full files would drown the signal).
+fn diff_hint(a: &str, b: &str) -> String {
+    let bset: std::collections::HashSet<&str> = b.lines().collect();
+    a.lines()
+        .filter(|l| !bset.contains(l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn no_new_top_k_free_functions_outside_shim_modules() {
+    let offenders: Vec<String> = scan()
+        .into_iter()
+        .filter(|item| item.ends_with(" fn top_k"))
+        .filter(|item| {
+            let file = item.split(' ').next().expect("file column");
+            !TOP_K_SHIM_FILES.contains(&file)
+        })
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "free `pub fn top_k` outside the grandfathered shim modules — new \
+         entry points go through TopKQuery + the Algorithm trait instead:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn shim_modules_still_declare_their_shims() {
+    // the gate above would pass vacuously if the shims were renamed;
+    // anchor the allowlist to reality so it is pruned when they go
+    let surface = scan();
+    for file in TOP_K_SHIM_FILES {
+        assert!(
+            surface.iter().any(|i| i == &format!("{file} fn top_k")),
+            "{file} no longer declares `pub fn top_k` — remove it from \
+             TOP_K_SHIM_FILES (and from api-surface.txt)"
+        );
+    }
+}

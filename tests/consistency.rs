@@ -1,13 +1,18 @@
 //! Cross-algorithm consistency: every production algorithm must return
 //! exactly the same communities as the definition-level reference
 //! implementation, across a grid of random graphs, weight assignments,
-//! cohesiveness thresholds, and k values.
+//! cohesiveness thresholds, and k values — and the unified query API
+//! (`TopKQuery` + the `Algorithm` trait) must be a transparent veneer:
+//! builder-dispatched results are identical to direct algorithm calls
+//! for every algorithm variant.
 
 use ic_graph::generators::{assemble, barabasi_albert, gnm, planted_partition, WeightKind};
 use ic_graph::WeightedGraph;
-use influential_communities::search::{
-    backward, forward, local_search, naive, online_all, progressive,
+use influential_communities::prelude::{AlgorithmId, Community, Selection, TopKQuery};
+use influential_communities::search::local_search::{
+    CountStrategy, LocalSearch, LocalSearchOptions,
 };
+use influential_communities::search::{naive, truss, ProgressiveSearch};
 use influential_communities::service::planner::PROGRESSIVE_K_CUTOFF;
 use influential_communities::service::{plan, Algorithm, Mode, Query, Service, ServiceConfig};
 use proptest::prelude::*;
@@ -44,49 +49,40 @@ fn random_graphs() -> Vec<(String, WeightedGraph)> {
     graphs
 }
 
+/// Builder-dispatched communities for one forced algorithm.
+fn via_builder(g: &WeightedGraph, id: AlgorithmId, gamma: u32, k: usize) -> Vec<Community> {
+    TopKQuery::new(gamma)
+        .k(k)
+        .algorithm(Selection::Forced(id))
+        .run(g)
+        .expect("valid query")
+        .communities
+}
+
 #[test]
 fn all_algorithms_agree_with_reference() {
+    let dispatchable = [
+        AlgorithmId::LocalSearch,
+        AlgorithmId::OnlineAll,
+        AlgorithmId::Forward,
+        AlgorithmId::Backward,
+        AlgorithmId::Progressive,
+    ];
     for (name, g) in random_graphs() {
         for gamma in 1..=5u32 {
             let reference = naive::all_communities(&g, gamma);
-            for &k in &[1usize, 2, 5, 16, usize::MAX / 2] {
+            for &k in &[1usize, 2, 5, 16, TopKQuery::MAX_K] {
                 let expected: Vec<_> = reference.iter().take(k).collect();
-                if expected.is_empty() {
-                    // no communities at this γ: every algorithm must agree
-                    assert!(local_search::top_k(&g, gamma, k).communities.is_empty());
-                    assert!(online_all::top_k(&g, gamma, k).is_empty());
-                    assert!(forward::top_k(&g, gamma, k).is_empty());
-                    assert!(backward::top_k(&g, gamma, k).is_empty());
-                    continue;
-                }
-                let ls = local_search::top_k(&g, gamma, k).communities;
-                let oa = online_all::top_k(&g, gamma, k);
-                let fw = forward::top_k(&g, gamma, k);
-                let bw = backward::top_k(&g, gamma, k);
-                let pg: Vec<_> = progressive::ProgressiveSearch::new(&g, gamma)
-                    .take(k)
-                    .collect();
-                for (algo, got) in [
-                    ("local", &ls),
-                    ("onlineall", &oa),
-                    ("forward", &fw),
-                    ("backward", &bw),
-                    ("progressive", &pg),
-                ] {
+                for id in dispatchable {
+                    let got = via_builder(&g, id, gamma, k);
                     assert_eq!(
                         got.len(),
                         expected.len(),
-                        "{name} γ={gamma} k={k} {algo}: count"
+                        "{name} γ={gamma} k={k} {id}: count"
                     );
                     for (a, b) in got.iter().zip(&expected) {
-                        assert_eq!(
-                            a.keynode, b.keynode,
-                            "{name} γ={gamma} k={k} {algo}: keynode"
-                        );
-                        assert_eq!(
-                            a.members, b.members,
-                            "{name} γ={gamma} k={k} {algo}: members"
-                        );
+                        assert_eq!(a.keynode, b.keynode, "{name} γ={gamma} k={k} {id}: keynode");
+                        assert_eq!(a.members, b.members, "{name} γ={gamma} k={k} {id}: members");
                         assert_eq!(a.influence, b.influence);
                     }
                 }
@@ -100,7 +96,8 @@ fn progressive_stream_is_complete_and_ordered() {
     for (name, g) in random_graphs() {
         for gamma in 1..=4u32 {
             let reference = naive::all_communities(&g, gamma);
-            let streamed: Vec<_> = progressive::ProgressiveSearch::new(&g, gamma).collect();
+            // the v2 streaming surface: Auto stream == LocalSearch-P
+            let streamed: Vec<_> = TopKQuery::new(gamma).stream(&g).expect("valid").collect();
             assert_eq!(streamed.len(), reference.len(), "{name} γ={gamma}");
             for w in streamed.windows(2) {
                 // decreasing influence; ties (e.g. degree weights) are
@@ -115,6 +112,31 @@ fn progressive_stream_is_complete_and_ordered() {
                 assert_eq!(a.members, b.members, "{name} γ={gamma}");
             }
         }
+    }
+}
+
+/// The streaming adapter must yield exactly the batch answer, in the
+/// batch order, for *every* algorithm variant — batch and streaming
+/// consumers share one vocabulary.
+#[test]
+fn stream_adapter_yields_batch_order_for_every_algorithm() {
+    let (_, g) = &random_graphs()[0];
+    for id in AlgorithmId::ALL {
+        let gamma = if id == AlgorithmId::Truss { 3 } else { 2 };
+        let q = TopKQuery::new(gamma).k(8).algorithm(Selection::Forced(id));
+        let batch = q.run(g).expect("valid query").communities;
+        let streamed: Vec<Community> = q.stream(g).expect("valid query").take(8).collect();
+        assert_eq!(streamed.len(), batch.len().min(8), "{id}: count");
+        for (i, (a, b)) in streamed.iter().zip(&batch).enumerate() {
+            assert_eq!(a.keynode, b.keynode, "{id}: keynode at {i}");
+            assert_eq!(a.members, b.members, "{id}: members at {i}");
+        }
+        // the adapter is live exactly for the progressive algorithm
+        assert_eq!(
+            q.stream(g).expect("valid query").is_live(),
+            id == AlgorithmId::Progressive,
+            "{id}"
+        );
     }
 }
 
@@ -161,10 +183,12 @@ proptest! {
         let ks = [1, PROGRESSIVE_K_CUTOFF + 1, n / 2, n];
         let modes = [
             ("auto", Mode::Auto),
-            ("local", Mode::Force(Algorithm::LocalSearch)),
-            ("progressive", Mode::Force(Algorithm::Progressive)),
-            ("forward", Mode::Force(Algorithm::Forward)),
-            ("online_all", Mode::Force(Algorithm::OnlineAll)),
+            ("local", Mode::Forced(Algorithm::LocalSearch)),
+            ("progressive", Mode::Forced(Algorithm::Progressive)),
+            ("forward", Mode::Forced(Algorithm::Forward)),
+            ("online_all", Mode::Forced(Algorithm::OnlineAll)),
+            ("backward", Mode::Forced(Algorithm::Backward)),
+            ("naive", Mode::Forced(Algorithm::Naive)),
         ];
         for &k in &ks {
             for &(label, mode) in &modes {
@@ -185,6 +209,10 @@ proptest! {
                     prop_assert_eq!(a.keynode, b.keynode, "γ={} k={} {}", gamma, k, label);
                     prop_assert_eq!(&a.members, &b.members, "γ={} k={} {}", gamma, k, label);
                 }
+                prop_assert!(
+                    resp.cached || resp.search_stats.is_some(),
+                    "misses report stats uniformly"
+                );
             }
         }
 
@@ -195,22 +223,122 @@ proptest! {
         prop_assert_eq!(resp.explain.algorithm, Algorithm::Forward);
         prop_assert!(resp.communities.is_empty());
     }
+
+    /// The unified builder is a transparent veneer: for every algorithm
+    /// variant × (γ, k) grid point, dispatching through
+    /// `TopKQuery` + the `Algorithm` trait returns results identical to
+    /// calling the concrete algorithm APIs directly.
+    #[test]
+    fn builder_dispatch_equals_direct_calls(
+        (n, density, seed) in (20usize..60, 2usize..5, 0u64..10_000),
+    ) {
+        let g = assemble(n, &gnm(n, n * density, seed), WeightKind::Uniform(seed ^ 0x5EED));
+        for gamma in [1u32, 2, 3, 4] {
+            for k in [1usize, 4, 13, n] {
+                for id in AlgorithmId::ALL {
+                    if id == AlgorithmId::Truss && gamma < 2 {
+                        // centrally rejected — direct call would assert
+                        prop_assert!(
+                            TopKQuery::new(gamma).k(k)
+                                .algorithm(Selection::Forced(id))
+                                .run(&g)
+                                .is_err()
+                        );
+                        continue;
+                    }
+                    let got = via_builder(&g, id, gamma, k);
+                    let direct: Vec<Community> = direct_call(&g, id, gamma, k);
+                    prop_assert_eq!(
+                        got.len(), direct.len(),
+                        "γ={} k={} {}: count", gamma, k, id
+                    );
+                    for (a, b) in got.iter().zip(&direct) {
+                        prop_assert_eq!(a.keynode, b.keynode, "γ={} k={} {}", gamma, k, id);
+                        prop_assert_eq!(&a.members, &b.members, "γ={} k={} {}", gamma, k, id);
+                        prop_assert_eq!(a.influence, b.influence, "γ={} k={} {}", gamma, k, id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The pre-builder entry point of each algorithm: the executor/stream
+/// types where they exist, the (deprecated, one-release) shims elsewhere.
+fn direct_call(g: &WeightedGraph, id: AlgorithmId, gamma: u32, k: usize) -> Vec<Community> {
+    #[allow(deprecated)]
+    match id {
+        AlgorithmId::LocalSearch => LocalSearch::new().run(g, gamma, k).communities,
+        AlgorithmId::Progressive => ProgressiveSearch::new(g, gamma).take(k).collect(),
+        AlgorithmId::Forward => {
+            influential_communities::search::forward::top_k(g, gamma, k).communities
+        }
+        AlgorithmId::OnlineAll => {
+            influential_communities::search::online_all::top_k(g, gamma, k).communities
+        }
+        AlgorithmId::Backward => {
+            influential_communities::search::backward::top_k(g, gamma, k).communities
+        }
+        AlgorithmId::Naive => {
+            let mut all = naive::all_communities(g, gamma);
+            all.truncate(k);
+            all
+        }
+        AlgorithmId::Truss => truss::local_top_k(g, gamma, k).communities,
+        other => unreachable!("unhandled algorithm {other}"),
+    }
 }
 
 #[test]
 fn counting_strategies_and_deltas_are_interchangeable() {
-    use influential_communities::search::local_search::{
-        CountStrategy, LocalSearch, LocalSearchOptions,
-    };
     for (name, g) in random_graphs().into_iter().take(4) {
-        let baseline = local_search::top_k(&g, 3, 8).communities;
+        let baseline = TopKQuery::new(3).k(8).run(&g).expect("valid").communities;
         for delta in [1.5f64, 3.0, 16.0] {
             for counting in [CountStrategy::CountIc, CountStrategy::OnlineAll] {
+                // through the reusable executor...
                 let mut ls = LocalSearch::with_options(LocalSearchOptions { delta, counting });
                 let got = ls.run(&g, 3, 8).communities;
                 assert_eq!(got.len(), baseline.len(), "{name} δ={delta} {counting:?}");
                 for (a, b) in got.iter().zip(&baseline) {
                     assert_eq!(a.members, b.members, "{name} δ={delta} {counting:?}");
+                }
+                // ...and through the builder's knobs
+                let via = TopKQuery::new(3)
+                    .k(8)
+                    .delta(delta)
+                    .count_strategy(counting)
+                    .algorithm(Selection::Forced(AlgorithmId::LocalSearch))
+                    .run(&g)
+                    .expect("valid")
+                    .communities;
+                assert_eq!(via.len(), baseline.len(), "{name} δ={delta} {counting:?}");
+                for (a, b) in via.iter().zip(&baseline) {
+                    assert_eq!(a.members, b.members, "{name} δ={delta} {counting:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Non-containment queries compose with both supporting frameworks and
+/// agree with the naive NC reference.
+#[test]
+fn non_containment_builder_matches_reference() {
+    for (name, g) in random_graphs().into_iter().take(3) {
+        for gamma in 2..=4u32 {
+            let reference = naive::all_noncontainment(&g, gamma);
+            for id in [AlgorithmId::LocalSearch, AlgorithmId::Forward] {
+                let got = TopKQuery::new(gamma)
+                    .k(TopKQuery::MAX_K)
+                    .non_containment(true)
+                    .algorithm(Selection::Forced(id))
+                    .run(&g)
+                    .expect("valid")
+                    .communities;
+                assert_eq!(got.len(), reference.len(), "{name} γ={gamma} {id}");
+                for (a, b) in got.iter().zip(&reference) {
+                    assert_eq!(a.keynode, b.keynode, "{name} γ={gamma} {id}");
+                    assert_eq!(a.members, b.members, "{name} γ={gamma} {id}");
                 }
             }
         }

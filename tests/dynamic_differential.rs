@@ -17,7 +17,8 @@ use influential_communities::dynamic::DynamicGraph;
 use influential_communities::graph::generators::{assemble, barabasi_albert, gnm, WeightKind};
 use influential_communities::graph::stats::graph_stats;
 use influential_communities::graph::{GraphBuilder, Pcg32, WeightedGraph};
-use influential_communities::search::{local_search, ProgressiveSearch};
+use influential_communities::search::query::{AlgorithmId, Selection};
+use influential_communities::search::{ProgressiveSearch, TopKQuery};
 use proptest::prelude::*;
 use proptest::TestCaseError;
 
@@ -77,8 +78,11 @@ fn assert_answers_match(
     prop_assert_eq!(inc.m(), rebuilt.m(), "{}: edge count", context);
     for gamma in GAMMAS {
         for k in KS {
-            let a = local_search::top_k(inc, gamma, k).communities;
-            let b = local_search::top_k(rebuilt, gamma, k).communities;
+            let q = TopKQuery::new(gamma)
+                .k(k)
+                .algorithm(Selection::Forced(AlgorithmId::LocalSearch));
+            let a = q.run(inc).unwrap().communities;
+            let b = q.run(rebuilt).unwrap().communities;
             prop_assert_eq!(
                 a.len(),
                 b.len(),

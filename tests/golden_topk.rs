@@ -21,7 +21,8 @@ use std::path::PathBuf;
 use influential_communities::graph::paper::figure3;
 use influential_communities::graph::suite::small_dataset;
 use influential_communities::graph::WeightedGraph;
-use influential_communities::search::local_search;
+use influential_communities::search::query::{AlgorithmId, Selection};
+use influential_communities::search::TopKQuery;
 
 /// One pinned dataset: file stem, graph, and the (γ, k) queries whose
 /// answers are frozen.
@@ -40,7 +41,11 @@ fn corpus() -> Vec<GoldenCase> {
 fn render(g: &WeightedGraph, queries: &[(u32, usize)]) -> String {
     let mut out = String::new();
     for &(gamma, k) in queries {
-        let result = local_search::top_k(g, gamma, k);
+        let result = TopKQuery::new(gamma)
+            .k(k)
+            .algorithm(Selection::Forced(AlgorithmId::LocalSearch))
+            .run(g)
+            .expect("valid query");
         writeln!(
             out,
             "QUERY gamma={gamma} k={k} count={}",

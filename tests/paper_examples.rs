@@ -3,12 +3,17 @@
 
 use ic_graph::paper::{figure1, figure2a, figure3};
 use influential_communities::prelude::*;
-use influential_communities::search::{backward, forward, noncontainment, online_all, truss};
+use influential_communities::search::{noncontainment, truss};
 
 fn ids(g: &WeightedGraph, members: &[u32]) -> Vec<u64> {
     let mut v: Vec<u64> = members.iter().map(|&r| g.external_id(r)).collect();
     v.sort_unstable();
     v
+}
+
+/// The v2 batch entry point, as a user would call it.
+fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
+    TopKQuery::new(gamma).k(k).run(g).expect("valid query")
 }
 
 #[test]
@@ -55,11 +60,19 @@ fn problem_statement_figure3_top4() {
     // {v3,v11,v12,v13,v20} and {v1,v5,v6,v7,v16} with influence values
     // 18, 14, 13 and 12"
     let g = figure3();
+    let forced = |id: AlgorithmId| {
+        TopKQuery::new(3)
+            .k(4)
+            .algorithm(Selection::Forced(id))
+            .run(&g)
+            .expect("valid query")
+            .communities
+    };
     for communities in [
         top_k(&g, 3, 4).communities,
-        online_all::top_k(&g, 3, 4),
-        forward::top_k(&g, 3, 4),
-        backward::top_k(&g, 3, 4),
+        forced(AlgorithmId::OnlineAll),
+        forced(AlgorithmId::Forward),
+        forced(AlgorithmId::Backward),
         ProgressiveSearch::new(&g, 3).take(4).collect(),
     ] {
         assert_eq!(communities.len(), 4);
@@ -81,7 +94,7 @@ fn example_2_1_influence_9_community() {
     // "{v3,v10,v11,v12,v20} ... is not an influential γ-community because
     // it is not maximal"
     let g = figure3();
-    let all: Vec<Community> = ProgressiveSearch::new(&g, 3).collect();
+    let all: Vec<Community> = TopKQuery::new(3).stream(&g).expect("valid query").collect();
     let nine = all.iter().find(|c| c.influence == 9.0).expect("must exist");
     assert_eq!(ids(&g, &nine.members), vec![3, 9, 10, 11, 12, 13, 20]);
     use influential_communities::search::community::verify;

@@ -7,7 +7,16 @@
 use ic_graph::generators::{assemble, gnm, WeightKind};
 use ic_graph::{Prefix, WeightedGraph};
 use influential_communities::search::community::verify;
-use influential_communities::search::{count, local_search, naive, progressive};
+use influential_communities::search::query::{AlgorithmId, Selection};
+use influential_communities::search::{count, naive, progressive, TopKQuery};
+
+/// Forced-LocalSearch query: these properties are about Algorithm 1's
+/// access pattern, so auto-selection must not reroute them.
+fn ls_query(gamma: u32, k: usize) -> TopKQuery {
+    TopKQuery::new(gamma)
+        .k(k)
+        .algorithm(Selection::Forced(AlgorithmId::LocalSearch))
+}
 use proptest::prelude::*;
 
 /// Strategy: a random weighted graph described by (n, density, seed).
@@ -61,8 +70,9 @@ proptest! {
     #[test]
     fn local_search_correct((n, d, seed) in graph_params(), gamma in 1u32..5, k in 1usize..12) {
         let g = make_graph(n, d, seed);
-        let expected = naive::top_k(&g, gamma, k);
-        let got = local_search::top_k(&g, gamma, k).communities;
+        let mut expected = naive::all_communities(&g, gamma);
+        expected.truncate(k);
+        let got = ls_query(gamma, k).run(&g).unwrap().communities;
         prop_assert_eq!(got.len(), expected.len());
         for (a, b) in got.iter().zip(&expected) {
             prop_assert_eq!(a.keynode, b.keynode);
@@ -87,7 +97,7 @@ proptest! {
                 break;
             }
         }
-        let res = local_search::top_k(&g, gamma, k);
+        let res = ls_query(gamma, k).run(&g).unwrap();
         let delta = 2.0;
         let bound = (2.0 * delta * size_star as f64 + 2.0).max(size_star as f64);
         prop_assert!(
@@ -102,7 +112,7 @@ proptest! {
     #[test]
     fn forest_nesting((n, d, seed) in graph_params(), gamma in 1u32..5) {
         let g = make_graph(n, d, seed);
-        let res = local_search::top_k(&g, gamma, usize::MAX / 4);
+        let res = ls_query(gamma, usize::MAX / 4).run(&g).unwrap();
         let forest = &res.forest;
         for i in 0..forest.len() {
             let members = forest.members(i);
@@ -148,8 +158,8 @@ proptest! {
             b.add_edge(g.external_id(a), g.external_id(bb));
         }
         let g2 = b.build().unwrap();
-        let r1 = local_search::top_k(&g, gamma, 5).communities;
-        let r2 = local_search::top_k(&g2, gamma, 5).communities;
+        let r1 = ls_query(gamma, 5).run(&g).unwrap().communities;
+        let r2 = ls_query(gamma, 5).run(&g2).unwrap().communities;
         prop_assert_eq!(r1.len(), r2.len());
         for (x, y) in r1.iter().zip(&r2) {
             let mx: Vec<u64> = x.external_members(&g);

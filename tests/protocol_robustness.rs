@@ -10,7 +10,8 @@ use std::sync::Arc;
 
 use influential_communities::graph::paper::figure3;
 use influential_communities::graph::Pcg32;
-use influential_communities::search::local_search;
+use influential_communities::prelude::{AlgorithmId, Selection, TopKQuery};
+use influential_communities::search::local_search::CountStrategy;
 use influential_communities::service::protocol::handle_line;
 use influential_communities::service::{Query, Service, ServiceConfig};
 
@@ -148,6 +149,9 @@ fn seeded_token_fuzzing_never_panics() {
         "rmat",
         "auto",
         "forward",
+        "naive",
+        "backward",
+        "truss",
         "0",
         "1",
         "3",
@@ -173,6 +177,81 @@ fn seeded_token_fuzzing_never_panics() {
     }
 }
 
+/// Fuzz the centralized `TopKQuery` validation: random (often hostile)
+/// parameter combinations must produce a typed accept/reject — never a
+/// panic — and every accepted query must actually run.
+#[test]
+fn seeded_builder_fuzzing_never_panics() {
+    let g = figure3();
+    let gammas: [u32; 7] = [0, 1, 2, 3, 9, u32::MAX, 4];
+    let ks: [usize; 8] = [
+        0,
+        1,
+        2,
+        4,
+        1000,
+        TopKQuery::MAX_K,
+        TopKQuery::MAX_K + 1,
+        usize::MAX,
+    ];
+    let deltas: [f64; 8] = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -1.0,
+        0.0,
+        1.0,
+        1.0001,
+        2.0,
+    ];
+    let selections: [Selection; 8] = [
+        Selection::Auto,
+        Selection::Forced(AlgorithmId::LocalSearch),
+        Selection::Forced(AlgorithmId::Progressive),
+        Selection::Forced(AlgorithmId::Forward),
+        Selection::Forced(AlgorithmId::OnlineAll),
+        Selection::Forced(AlgorithmId::Backward),
+        Selection::Forced(AlgorithmId::Naive),
+        Selection::Forced(AlgorithmId::Truss),
+    ];
+    let countings = [CountStrategy::CountIc, CountStrategy::OnlineAll];
+    let mut rng = Pcg32::new(0xB01D);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..4000 {
+        let q = TopKQuery::new(gammas[rng.gen_index(gammas.len())])
+            .k(ks[rng.gen_index(ks.len())])
+            .delta(deltas[rng.gen_index(deltas.len())])
+            .algorithm(selections[rng.gen_index(selections.len())])
+            .count_strategy(countings[rng.gen_index(countings.len())])
+            .non_containment(rng.gen_index(2) == 0);
+        match q.validate() {
+            Ok(()) => {
+                accepted += 1;
+                // an accepted query must execute without panicking, both
+                // batch and streamed (bound the stream pull — accepted k
+                // can be astronomically large)
+                let res = q.run(&g).expect("validated queries run");
+                assert!(res.communities.len() <= q.k_value());
+                let _ = q
+                    .stream(&g)
+                    .expect("validated queries stream")
+                    .take(8)
+                    .count();
+            }
+            Err(e) => {
+                rejected += 1;
+                // typed errors render; run() surfaces the same rejection
+                // (compare rendered form: NaN payloads are non-Eq)
+                assert!(!e.to_string().is_empty());
+                assert_eq!(q.run(&g).unwrap_err().to_string(), e.to_string());
+            }
+        }
+    }
+    assert!(accepted > 100, "fuzz grid must exercise the accept path");
+    assert!(rejected > 100, "fuzz grid must exercise the reject path");
+}
+
 #[test]
 fn service_still_answers_correctly_after_the_barrage() {
     let svc = svc();
@@ -195,7 +274,7 @@ fn service_still_answers_correctly_after_the_barrage() {
     let mut dg = influential_communities::dynamic::DynamicGraph::new(figure3());
     dg.delete_edge(3, 11).unwrap();
     let reference = dg.commit().graph;
-    let expected = local_search::top_k(&reference, 3, 4).communities;
+    let expected = TopKQuery::new(3).k(4).run(&reference).unwrap().communities;
     let resp = svc.query(Query::new("fig3", 3, 4)).unwrap();
     assert_eq!(resp.communities.len(), expected.len());
     for (a, b) in resp.communities.iter().zip(&expected) {

@@ -5,7 +5,7 @@
 
 use ic_graph::generators::{assemble, barabasi_albert, gnm, WeightKind};
 use ic_graph::{DiskGraph, WeightedGraph};
-use influential_communities::search::{local_search, semi_external};
+use influential_communities::search::{semi_external, TopKQuery};
 use std::path::PathBuf;
 
 fn spill(g: &WeightedGraph, name: &str) -> DiskGraph {
@@ -22,7 +22,7 @@ fn se_answers_match_in_memory_on_random_graphs() {
         let dg = spill(&g, &format!("gnm-{seed}.bin"));
         for gamma in 1..=4u32 {
             for k in [1usize, 3, 9] {
-                let reference = local_search::top_k(&g, gamma, k).communities;
+                let reference = TopKQuery::new(gamma).k(k).run(&g).unwrap().communities;
                 let (ls, _) = semi_external::local_search_se_top_k(&dg, gamma, k).unwrap();
                 let (oa, _) = semi_external::online_all_se_top_k(&dg, gamma, k).unwrap();
                 assert_eq!(ls.len(), reference.len(), "seed={seed} γ={gamma} k={k}");

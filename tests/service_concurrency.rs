@@ -2,7 +2,7 @@
 //! test): many client threads issue a mixed workload — planner-dispatched
 //! batch queries, forced-mode queries, and progressive sessions — against
 //! multiple registered graphs, and every answer must match what a
-//! single-threaded `local_search::top_k` says, with the cache visibly
+//! single-threaded forced-LocalSearch `TopKQuery` says, with the cache visibly
 //! absorbing repeats.
 
 use std::collections::HashMap;
@@ -11,9 +11,34 @@ use std::sync::Arc;
 
 use influential_communities::dynamic::UpdateOp;
 use influential_communities::graph::generators::{assemble, barabasi_albert, gnm, WeightKind};
-use influential_communities::search::local_search;
-use influential_communities::search::Community;
+use influential_communities::search::query::Selection;
+use influential_communities::search::{Community, TopKQuery};
 use influential_communities::service::{Algorithm, Mode, Query, Service, ServiceConfig};
+
+/// The six interchangeable core-family algorithms (truss answers a
+/// different family and is exercised separately by the service tests).
+const CORE_ALGORITHMS: [Algorithm; 6] = [
+    Algorithm::LocalSearch,
+    Algorithm::Progressive,
+    Algorithm::Forward,
+    Algorithm::OnlineAll,
+    Algorithm::Backward,
+    Algorithm::Naive,
+];
+
+/// Single-threaded ground truth through the unified core API.
+fn reference_top_k(
+    g: &influential_communities::graph::WeightedGraph,
+    gamma: u32,
+    k: usize,
+) -> Vec<Community> {
+    TopKQuery::new(gamma)
+        .k(k)
+        .algorithm(Selection::Forced(Algorithm::LocalSearch))
+        .run(g)
+        .expect("valid query")
+        .communities
+}
 
 /// Reference answers computed single-threaded, keyed by (graph, γ, k).
 type Reference = HashMap<(String, u32, usize), Vec<Community>>;
@@ -60,10 +85,7 @@ fn concurrent_mixed_workload_matches_single_threaded_search() {
     for (name, g) in &graphs {
         for &gamma in &gammas {
             for &k in &ks {
-                reference.insert(
-                    (name.to_string(), gamma, k),
-                    local_search::top_k(g, gamma, k).communities,
-                );
+                reference.insert((name.to_string(), gamma, k), reference_top_k(g, gamma, k));
             }
         }
         svc.register(name, g.clone());
@@ -87,10 +109,11 @@ fn concurrent_mixed_workload_matches_single_threaded_search() {
                     let k = [1usize, 3, 8, 250][idx % 4];
                     // every fourth query pins an algorithm instead of
                     // letting the planner choose
-                    let mode = match q % 4 {
-                        1 => Mode::Force(Algorithm::Forward),
-                        2 => Mode::Force(Algorithm::OnlineAll),
-                        3 => Mode::Force(Algorithm::Progressive),
+                    let mode = match q % 5 {
+                        1 => Mode::Forced(Algorithm::Forward),
+                        2 => Mode::Forced(Algorithm::OnlineAll),
+                        3 => Mode::Forced(Algorithm::Progressive),
+                        4 => Mode::Forced(Algorithm::Backward),
                         _ => Mode::Auto,
                     };
                     let resp = svc
@@ -157,17 +180,18 @@ fn concurrent_mixed_workload_matches_single_threaded_search() {
     // lands on a hit another algorithm populated. Drive one guaranteed
     // miss per algorithm (fresh k values no thread used) and check the
     // answers against the single-threaded search while we're at it.
-    for (i, algo) in Algorithm::ALL.into_iter().enumerate() {
+    for (i, algo) in CORE_ALGORITHMS.into_iter().enumerate() {
         let k = 11 + i; // distinct, uncached (γ, k) per algorithm
         let resp = svc
-            .query(Query::new("gnm", 2, k).with_mode(Mode::Force(algo)))
+            .query(Query::new("gnm", 2, k).with_mode(Mode::Forced(algo)))
             .expect("post-pass query succeeds");
         assert!(!resp.cached, "{algo}: key must be fresh");
         assert_eq!(resp.explain.algorithm, algo);
+        assert!(resp.search_stats.is_some(), "{algo}: uniform stats");
         assert_matches_direct(&resp.communities, &graphs[0].1, 2, k);
     }
     let stats = svc.stats();
-    for algo in Algorithm::ALL {
+    for algo in CORE_ALGORITHMS {
         assert!(
             stats.executions(algo) > 0,
             "{algo} never executed: {stats:?}"
@@ -196,7 +220,7 @@ fn assert_matches_direct(
     gamma: u32,
     k: usize,
 ) {
-    let expected = local_search::top_k(g, gamma, k).communities;
+    let expected = reference_top_k(g, gamma, k);
     assert_eq!(got.len(), expected.len());
     for (x, y) in got.iter().zip(&expected) {
         assert_eq!(x.members, y.members);
@@ -230,8 +254,8 @@ fn replace_graph_mid_flight_never_serves_stale_answers() {
     // keynode removed via the dynamic-update path (filled in below)
     let references: Arc<std::sync::Mutex<Vec<Vec<Community>>>> =
         Arc::new(std::sync::Mutex::new(vec![
-            local_search::top_k(&graph_a, GAMMA, K).communities,
-            local_search::top_k(&graph_b, GAMMA, K).communities,
+            reference_top_k(&graph_a, GAMMA, K),
+            reference_top_k(&graph_b, GAMMA, K),
         ]));
     let stage = Arc::new(AtomicUsize::new(0));
 
@@ -302,7 +326,7 @@ fn replace_graph_mid_flight_never_serves_stale_answers() {
     let ref_c = {
         let mut replica = influential_communities::dynamic::DynamicGraph::new(graph_b.clone());
         replica.remove_vertex(keynode_ext).expect("replica removal");
-        local_search::top_k(&replica.commit().graph, GAMMA, K).communities
+        reference_top_k(&replica.commit().graph, GAMMA, K)
     };
     {
         let mut refs = references.lock().unwrap();
