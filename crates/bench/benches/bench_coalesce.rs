@@ -1,0 +1,109 @@
+//! Serving-layer batching & coalescing: what the single-flight table and
+//! `query_batch` buy over the PR-2 baseline of independent queries.
+//!
+//! * `herd32_coalesced` — 32 identical cold queries fired concurrently
+//!   through `query_async`; single-flight answers them with **one**
+//!   search. The `herd32_baseline_32_searches` twin defeats coalescing
+//!   by using 32 distinct graph aliases, paying one search each — the
+//!   gap is the thundering-herd saving.
+//! * `mixed64_batched` — the bench_service 64-query mixed workload
+//!   issued as one `query_batch` call (per-lane grouping executes each
+//!   `(graph, γ)` lane once at its max k) vs `mixed64_individual`, the
+//!   same list as 64 independent `query_async` calls against a cold
+//!   cache (the PR-2 shape, now helped only by prefix serving).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_service::{Query, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn service_with(workers: usize) -> Arc<Service> {
+    let svc = Service::new(ServiceConfig {
+        workers,
+        cache_capacity: 512,
+        cache_shards: 8,
+    });
+    svc.register("email", dataset("email", Scale::Small).clone());
+    svc.register("wiki", dataset("wiki", Scale::Small).clone());
+    svc
+}
+
+/// The bench_service mixed workload: 64 queries cycling over two graphs,
+/// three γ, and four k values.
+fn workload() -> Vec<Query> {
+    let graphs = ["email", "wiki"];
+    let gammas = [4u32, 8, 12];
+    let ks = [1usize, 8, 32, 128];
+    (0..64)
+        .map(|i| Query::new(graphs[i % 2], gammas[i % 3], ks[i % 4]))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300));
+
+    // --- thundering herd: 32 × one cold key ---------------------------
+    let svc = service_with(4);
+    group.bench_function("herd32_coalesced", |b| {
+        b.iter(|| {
+            svc.clear_cache();
+            let pending: Vec<_> = (0..32)
+                .map(|_| svc.query_async(Query::new("email", 8, 32)))
+                .collect();
+            for rx in pending {
+                black_box(rx.recv().unwrap().unwrap());
+            }
+        })
+    });
+    // baseline: the same 32 searches with coalescing defeated (32
+    // distinct names for the same graph → 32 distinct keys)
+    let baseline = service_with(4);
+    for i in 0..32 {
+        baseline.register(
+            &format!("email-{i}"),
+            dataset("email", Scale::Small).clone(),
+        );
+    }
+    group.bench_function("herd32_baseline_32_searches", |b| {
+        b.iter(|| {
+            baseline.clear_cache();
+            let pending: Vec<_> = (0..32)
+                .map(|i| baseline.query_async(Query::new(format!("email-{i}"), 8, 32)))
+                .collect();
+            for rx in pending {
+                black_box(rx.recv().unwrap().unwrap());
+            }
+        })
+    });
+
+    // --- mixed workload: batched vs individual ------------------------
+    let svc = service_with(4);
+    let queries = workload();
+    group.bench_function("mixed64_batched", |b| {
+        b.iter(|| {
+            svc.clear_cache();
+            for r in svc.query_batch(&queries) {
+                black_box(r.unwrap());
+            }
+        })
+    });
+    let svc = service_with(4);
+    group.bench_function("mixed64_individual", |b| {
+        b.iter(|| {
+            svc.clear_cache();
+            let pending: Vec<_> = queries.iter().map(|q| svc.query_async(q.clone())).collect();
+            for rx in pending {
+                black_box(rx.recv().unwrap().unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

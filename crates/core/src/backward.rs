@@ -99,23 +99,6 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
     flat_result(results, stats)
 }
 
-/// Top-k influential γ-communities via Backward (highest influence
-/// first). Communities are discovered one by one in decreasing influence
-/// order, so unlike OnlineAll/Forward this baseline *can* stop early —
-/// but pays a quadratic price per prefix.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::Backward` \
-            (or `query::exec::Backward`)"
-)]
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
-    let q = TopKQuery::new(gamma).k(k);
-    match q.validate() {
-        Ok(()) => query_top_k(g, &q),
-        Err(e) => panic!("invalid query: {e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

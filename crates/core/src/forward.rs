@@ -52,20 +52,6 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
     flat_result(communities, stats)
 }
 
-/// Top-k influential γ-communities via Forward (highest influence first).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::Forward` \
-            (or `query::exec::Forward`)"
-)]
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
-    let q = TopKQuery::new(gamma).k(k);
-    match q.validate() {
-        Ok(()) => query_top_k(g, &q),
-        Err(e) => panic!("invalid query: {e}"),
-    }
-}
-
 /// The second pass: peels `g`, returning `(keynode, sorted members)` for
 /// every iteration with index ≥ `skip`, in increasing influence order.
 fn run_with_components(g: &impl PeelGraph, gamma: u32, skip: usize) -> Vec<(Rank, Vec<Rank>)> {

@@ -91,11 +91,6 @@ pub use query::{
     Algorithm, AlgorithmId, AnswerFamily, CommunityStream, QueryError, Selection, TopKQuery,
 };
 
-/// Deprecated alias of [`local_search::top_k`], kept for one release.
-#[allow(deprecated)]
-#[deprecated(since = "0.2.0", note = "use `TopKQuery::new(gamma).k(k).run(&g)`")]
-pub use local_search::top_k;
-
 /// Validated query parameters shared by every algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Params {

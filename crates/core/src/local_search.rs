@@ -153,20 +153,6 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &crate::query::TopKQuery) -> Sea
     LocalSearch::with_options(q.local_search_options()).run(g, q.gamma_value(), q.k_value())
 }
 
-/// One-shot convenience: top-k influential γ-communities via LocalSearch
-/// with default options (δ = 2, CountIC).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TopKQuery::new(gamma).k(k).run(&g)` (or `query::exec::LocalSearch`)"
-)]
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
-    let q = crate::query::TopKQuery::new(gamma).k(k);
-    match q.validate() {
-        Ok(()) => query_top_k(g, &q),
-        Err(e) => panic!("invalid query: {e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

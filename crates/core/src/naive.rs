@@ -53,21 +53,6 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
     flat_result(all, stats)
 }
 
-/// Top-k influential γ-communities, highest influence first.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::Naive` \
-            (or `query::exec::Naive`; `all_communities` remains the \
-            reference API)"
-)]
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
-    let q = TopKQuery::new(gamma).k(k);
-    match q.validate() {
-        Ok(()) => query_top_k(g, &q),
-        Err(e) => panic!("invalid query: {e}"),
-    }
-}
-
 fn community_of_candidate(g: &WeightedGraph, u: Rank, gamma: u32) -> Option<Vec<Rank>> {
     // the candidate subgraph: every vertex at least as heavy as u
     let mut adj: HashMap<Rank, HashSet<Rank>> = HashMap::new();

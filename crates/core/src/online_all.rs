@@ -166,22 +166,6 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
     flat_result(communities, stats)
 }
 
-/// Top-k influential γ-communities via OnlineAll: traverses the entire
-/// graph and reports the k communities with the highest influence values,
-/// highest first.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::OnlineAll` \
-            (or `query::exec::OnlineAll`)"
-)]
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
-    let q = TopKQuery::new(gamma).k(k);
-    match q.validate() {
-        Ok(()) => query_top_k(g, &q),
-        Err(e) => panic!("invalid query: {e}"),
-    }
-}
-
 /// Counts communities the OnlineAll way (with the per-iteration component
 /// computation). This is the counting subroutine of `LocalSearch-OA`.
 pub fn count_via_online_all(g: &impl PeelGraph, gamma: u32) -> usize {

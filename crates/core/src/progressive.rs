@@ -171,21 +171,6 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &crate::query::TopKQuery) -> Sea
     }
 }
 
-/// One-shot convenience shim over the unified query path, kept for one
-/// release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TopKQuery::new(gamma).k(k)` with `AlgorithmId::Progressive`, \
-            `TopKQuery::stream`, or `ProgressiveSearch` directly"
-)]
-pub fn top_k(g: &WeightedGraph, gamma: u32, k: usize) -> SearchResult {
-    let q = crate::query::TopKQuery::new(gamma).k(k);
-    match q.validate() {
-        Ok(()) => query_top_k(g, &q),
-        Err(e) => panic!("invalid query: {e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

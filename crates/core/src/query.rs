@@ -985,28 +985,37 @@ mod tests {
             .contains("warp"));
     }
 
-    /// The deprecated free-function shims must forward to exactly the
-    /// builder path (they are kept for one release).
+    /// The static-dispatch executors must forward to exactly the builder
+    /// path — they are the one remaining "direct" entry point now that
+    /// the v1 free-function shims are gone.
     #[test]
-    #[allow(deprecated)]
-    fn shims_equal_builder_dispatch() {
+    fn executors_equal_builder_dispatch() {
         let g = figure3();
-        let via_builder = TopKQuery::new(3)
-            .k(4)
+        let q = TopKQuery::new(3).k(4);
+        let via_builder = q // TopKQuery is Copy; q stays usable below
             .algorithm(Selection::Forced(AlgorithmId::LocalSearch))
             .run(&g)
             .unwrap();
-        let via_shim = crate::local_search::top_k(&g, 3, 4);
-        assert_eq!(via_shim.communities, via_builder.communities);
-        let fw = crate::forward::top_k(&g, 3, 4);
-        assert_eq!(fw.communities, via_builder.communities);
-        let oa = crate::online_all::top_k(&g, 3, 4);
-        assert_eq!(oa.communities, via_builder.communities);
-        let bw = crate::backward::top_k(&g, 3, 4);
-        assert_eq!(bw.communities, via_builder.communities);
-        let nv = crate::naive::top_k(&g, 3, 4);
-        assert_eq!(nv.communities, via_builder.communities);
-        let pg = crate::progressive::top_k(&g, 3, 4);
-        assert_eq!(pg.communities, via_builder.communities);
+        assert_eq!(
+            exec::LocalSearch.run(&g, &q).communities,
+            via_builder.communities
+        );
+        assert_eq!(
+            exec::Forward.run(&g, &q).communities,
+            via_builder.communities
+        );
+        assert_eq!(
+            exec::OnlineAll.run(&g, &q).communities,
+            via_builder.communities
+        );
+        assert_eq!(
+            exec::Backward.run(&g, &q).communities,
+            via_builder.communities
+        );
+        assert_eq!(exec::Naive.run(&g, &q).communities, via_builder.communities);
+        assert_eq!(
+            exec::Progressive.run(&g, &q).communities,
+            via_builder.communities
+        );
     }
 }

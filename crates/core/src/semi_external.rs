@@ -192,19 +192,18 @@ mod tests {
     use super::*;
     use ic_graph::generators::{assemble, barabasi_albert, WeightKind};
     use ic_graph::paper::figure3;
+    use ic_graph::scratch::ScratchDir;
     use ic_graph::WeightedGraph;
-    use std::path::PathBuf;
 
-    fn disk(g: &WeightedGraph, name: &str) -> DiskGraph {
-        let dir: PathBuf = std::env::temp_dir().join("ic_se_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        DiskGraph::create(g, dir.join(name)).unwrap()
+    fn disk(g: &WeightedGraph, dir: &ScratchDir, name: &str) -> DiskGraph {
+        DiskGraph::create(g, dir.file(name)).unwrap()
     }
 
     #[test]
     fn both_se_variants_match_in_memory_results() {
+        let dir = ScratchDir::new("ic-se");
         let g = figure3();
-        let dg = disk(&g, "fig3.bin");
+        let dg = disk(&g, &dir, "fig3.bin");
         for gamma in 1..=4u32 {
             for k in [1usize, 2, 4] {
                 let q = crate::query::TopKQuery::new(gamma).k(k);
@@ -223,9 +222,10 @@ mod tests {
 
     #[test]
     fn local_reads_less_io_than_online_all() {
+        let dir = ScratchDir::new("ic-se");
         let e = barabasi_albert(2000, 5, 42);
         let g = assemble(2000, &e, WeightKind::PageRank);
-        let dg = disk(&g, "ba.bin");
+        let dg = disk(&g, &dir, "ba.bin");
         let (_, ls) = local_search_se_top_k(&dg, 3, 5).unwrap();
         let (_, oa) = online_all_se_top_k(&dg, 3, 5).unwrap();
         assert_eq!(
@@ -244,8 +244,9 @@ mod tests {
 
     #[test]
     fn se_stats_are_consistent() {
+        let dir = ScratchDir::new("ic-se");
         let g = figure3();
-        let dg = disk(&g, "stats.bin");
+        let dg = disk(&g, &dir, "stats.bin");
         let (_, st) = local_search_se_top_k(&dg, 3, 1).unwrap();
         assert_eq!(st.io.edges_read() as usize, st.peak_resident_edges);
         assert!(st.visited_vertices <= g.n());
@@ -253,8 +254,9 @@ mod tests {
 
     #[test]
     fn exhausting_k_beyond_total_reads_whole_file() {
+        let dir = ScratchDir::new("ic-se");
         let g = figure3();
-        let dg = disk(&g, "all.bin");
+        let dg = disk(&g, &dir, "all.bin");
         let (cs, st) = local_search_se_top_k(&dg, 3, 1000).unwrap();
         let q = crate::query::TopKQuery::new(3).k(1000);
         let reference = crate::local_search::query_top_k(&g, &q).communities;

@@ -175,11 +175,7 @@ mod tests {
     use super::*;
     use crate::generators::{assemble, gnm, WeightKind};
 
-    fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join("ic_disk_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
-    }
+    use crate::scratch::ScratchDir;
 
     fn sample() -> WeightedGraph {
         assemble(50, &gnm(50, 120, 23), WeightKind::Uniform(23))
@@ -187,8 +183,9 @@ mod tests {
 
     #[test]
     fn create_and_stream_all_edges() {
+        let dir = ScratchDir::new("ic-disk");
         let g = sample();
-        let dg = DiskGraph::create(&g, tmp("all.bin")).unwrap();
+        let dg = DiskGraph::create(&g, dir.file("all.bin")).unwrap();
         assert_eq!(dg.n(), g.n());
         assert_eq!(dg.m(), g.m());
         let mut cur = dg.cursor().unwrap();
@@ -210,8 +207,9 @@ mod tests {
 
     #[test]
     fn prefix_reads_match_prefix_subgraph() {
+        let dir = ScratchDir::new("ic-disk");
         let g = sample();
-        let dg = DiskGraph::create(&g, tmp("prefix.bin")).unwrap();
+        let dg = DiskGraph::create(&g, dir.file("prefix.bin")).unwrap();
         let mut cur = dg.cursor().unwrap();
         let mut edges = Vec::new();
         for t in [5usize, 10, 25, 50] {
@@ -227,8 +225,9 @@ mod tests {
 
     #[test]
     fn io_stats_count_only_consumed_records() {
+        let dir = ScratchDir::new("ic-disk");
         let g = sample();
-        let dg = DiskGraph::create(&g, tmp("stats.bin")).unwrap();
+        let dg = DiskGraph::create(&g, dir.file("stats.bin")).unwrap();
         let mut cur = dg.cursor().unwrap();
         let mut edges = Vec::new();
         cur.read_prefix_edges(10, &mut edges).unwrap();
@@ -242,8 +241,9 @@ mod tests {
 
     #[test]
     fn weights_available_in_memory() {
+        let dir = ScratchDir::new("ic-disk");
         let g = sample();
-        let dg = DiskGraph::create(&g, tmp("weights.bin")).unwrap();
+        let dg = DiskGraph::create(&g, dir.file("weights.bin")).unwrap();
         for r in 0..g.n() as Rank {
             assert_eq!(dg.weight(r), g.weight(r));
             assert_eq!(dg.external_id(r), g.external_id(r));

@@ -22,6 +22,8 @@
 //!   with byte-level I/O accounting, the substrate for the semi-external
 //!   algorithms (Eval-VI).
 //! * [`stats`] — the statistics of Table 1 (n, m, dmax, davg, γmax).
+//! * [`scratch`] — unique, self-cleaning temp directories for the
+//!   disk-backed test suites across the workspace.
 
 pub mod builder;
 pub mod disk;
@@ -32,6 +34,7 @@ pub mod pagerank;
 pub mod paper;
 pub mod prefix;
 pub mod rng;
+pub mod scratch;
 pub mod stats;
 pub mod suite;
 

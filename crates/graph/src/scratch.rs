@@ -1,0 +1,90 @@
+//! Unique, self-cleaning scratch directories for disk-backed tests.
+//!
+//! Tests that spill graphs to disk used to share fixed directory names
+//! under [`std::env::temp_dir`] (`ic_disk_test`, `ic_se_test`, …), which
+//! made concurrent runs on one machine — a debug and a release CI job,
+//! two developers, two test binaries of one workspace — read each
+//! other's bytes, and leaked the files forever. A [`ScratchDir`] fixes
+//! both: the path embeds the process id plus a process-local counter, so
+//! no two live directories collide, and `Drop` removes the whole tree.
+//!
+//! ```
+//! use ic_graph::scratch::ScratchDir;
+//!
+//! let dir = ScratchDir::new("ic-doc");
+//! std::fs::write(dir.file("data.bin"), b"bytes").unwrap();
+//! let path = dir.path().to_path_buf();
+//! drop(dir);
+//! assert!(!path.exists());
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely named directory under the system temp dir, removed (with
+/// everything in it) on drop.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates `<temp>/<prefix>-<pid>-<counter>`. The pid separates
+    /// concurrent processes; the counter separates concurrent users
+    /// within one process.
+    ///
+    /// # Panics
+    /// If the directory cannot be created — scratch space is a test
+    /// precondition, not a recoverable condition.
+    pub fn new(prefix: &str) -> ScratchDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{unique}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("creating scratch dir");
+        ScratchDir { path }
+    }
+
+    /// The directory itself.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        // Best-effort: a failed cleanup must not turn a passing test into
+        // a panic-while-panicking abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_cleaned_up() {
+        let a = ScratchDir::new("ic-scratch-test");
+        let b = ScratchDir::new("ic-scratch-test");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.file("x.bin"), b"payload").unwrap();
+        std::fs::create_dir(a.file("sub")).unwrap();
+        std::fs::write(a.file("sub").join("y.bin"), b"nested").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop removes the whole tree");
+        assert!(b.path().is_dir(), "sibling scratch dirs are untouched");
+    }
+
+    #[test]
+    fn file_paths_live_inside_the_dir() {
+        let dir = ScratchDir::new("ic-scratch-file");
+        assert_eq!(dir.file("g.bin").parent().unwrap(), dir.path());
+    }
+}

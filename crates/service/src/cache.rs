@@ -1,14 +1,23 @@
-//! Sharded LRU result cache.
+//! Sharded LRU result cache with prefix-aware serving.
 //!
-//! Queries are keyed by `(graph, γ, k, answer-family)` — within one
-//! [`AnswerFamily`] the community set is a pure function of the triple,
-//! whatever algorithm computed it (the interchangeable core algorithms
-//! all agree), while the γ-truss family answers differently and gets its
-//! own lane — so a repeat query is answered in O(1) with a shared `Arc`
-//! to the first answer. Sharding by key hash keeps lock contention off
-//! the hot path:
-//! each shard is an independent `Mutex` around a small map, so concurrent
-//! hits on different keys rarely collide.
+//! Queries are keyed by `(graph, generation, γ, k, answer-family)` —
+//! within one [`AnswerFamily`] the community set is a pure function of
+//! the triple, whatever algorithm computed it (the interchangeable core
+//! algorithms all agree), while the γ-truss family answers differently
+//! and gets its own lane — so a repeat query is answered in O(1) with a
+//! shared `Arc` to the first answer.
+//!
+//! The paper's enumeration-order guarantee buys more than exact repeats:
+//! communities arrive in decreasing influence order, so the top-k answer
+//! is a *prefix* of the top-k′ answer for every k ≤ k′ (§4,
+//! LocalSearch-P). [`ResultCache::get_serving`] exploits that within the
+//! core family: a lookup for `(γ, k)` may be answered by slicing any
+//! cached entry of the same *lane* `(graph, generation, γ, family)`
+//! whose k′ ≥ k — or whose answer list is shorter than its k′, which
+//! proves the enumeration was exhausted and the entry holds *every*
+//! community, serving any k. Shards are chosen by lane hash (k excluded)
+//! so all of a lane's entries colocate and the prefix scan never crosses
+//! a shard boundary.
 //!
 //! Eviction is exact LRU per shard, implemented with a monotone use-tick
 //! per entry and a linear min-scan on overflow. Shards are small (total
@@ -44,10 +53,59 @@ pub struct CacheKey {
     pub family: AnswerFamily,
 }
 
+impl CacheKey {
+    /// Whether `other` belongs to the same lane — everything but k.
+    /// Entries of one lane hold prefixes of one enumeration order.
+    fn same_lane(&self, other: &CacheKey) -> bool {
+        self.generation == other.generation
+            && self.gamma == other.gamma
+            && self.family == other.family
+            && self.graph == other.graph
+    }
+
+    fn lane_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.graph.hash(&mut h);
+        self.generation.hash(&mut h);
+        self.gamma.hash(&mut h);
+        self.family.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A served answer: the communities plus whether the stored entry's key
+/// matched exactly (`false` = sliced from a larger-k entry of the lane).
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    pub communities: Arc<Vec<Community>>,
+    pub exact: bool,
+}
+
+/// The first `k` communities of a cached answer. Shares the `Arc` when
+/// the whole list is the answer (the hot exact-repeat path stays
+/// copy-free); only a genuinely shorter prefix clones communities.
+pub fn slice_prefix(value: &Arc<Vec<Community>>, k: usize) -> Arc<Vec<Community>> {
+    if k >= value.len() {
+        Arc::clone(value)
+    } else {
+        Arc::new(value[..k].to_vec())
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
     value: Arc<Vec<Community>>,
     last_used: u64,
+}
+
+impl Entry {
+    /// Whether an entry stored under `stored` can answer a same-lane
+    /// request for `k` communities: it asked for at least as many
+    /// (k′ ≥ k), or its answer ran out before k′ — the enumeration is
+    /// exhausted and the entry holds every community there is.
+    fn covers(&self, stored_k: usize, k: usize) -> bool {
+        stored_k >= k || self.value.len() < stored_k
+    }
 }
 
 #[derive(Debug, Default)]
@@ -57,7 +115,7 @@ struct Shard {
 }
 
 /// The sharded cache. Cheap to share (`&self` everywhere); values are
-/// `Arc`s, so a hit never copies the community lists.
+/// `Arc`s, so an exact hit never copies the community lists.
 #[derive(Debug)]
 pub struct ResultCache {
     shards: Box<[Mutex<Shard>]>,
@@ -78,12 +136,10 @@ impl ResultCache {
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        &self.shards[(key.lane_hash() as usize) % self.shards.len()]
     }
 
-    /// Looks up a key, refreshing its recency on a hit.
+    /// Looks up a key exactly, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Community>>> {
         let mut shard = self.shard(key).lock().expect("cache lock poisoned");
         shard.tick += 1;
@@ -91,6 +147,39 @@ impl ResultCache {
         shard.map.get_mut(key).map(|e| {
             e.last_used = tick;
             e.value.clone()
+        })
+    }
+
+    /// Looks up a key for *serving*: an exact hit if one exists, else —
+    /// for the core family only — a prefix slice of any same-lane entry
+    /// that covers `key.k` (see the module docs). The donor entry's
+    /// recency is refreshed either way, so a lane kept warm by small-k
+    /// traffic retains its large-k donor.
+    pub fn get_serving(&self, key: &CacheKey) -> Option<CacheHit> {
+        let mut shard = self.shard(key).lock().expect("cache lock poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(e) = shard.map.get_mut(key) {
+            e.last_used = tick;
+            return Some(CacheHit {
+                communities: e.value.clone(),
+                exact: true,
+            });
+        }
+        if key.family != AnswerFamily::Core {
+            // truss answers are not known to share a prefix order
+            return None;
+        }
+        let donor = shard
+            .map
+            .iter_mut()
+            .filter(|(stored, e)| stored.same_lane(key) && e.covers(stored.k, key.k))
+            // prefer the tightest covering entry: least communities cloned
+            .min_by_key(|(_, e)| e.value.len())?;
+        donor.1.last_used = tick;
+        Some(CacheHit {
+            communities: slice_prefix(&donor.1.value, key.k),
+            exact: false,
         })
     }
 
@@ -163,15 +252,17 @@ mod tests {
         }
     }
 
+    /// `n` distinguishable communities (influence encodes the position).
     fn value(n: usize) -> Arc<Vec<Community>> {
-        Arc::new(vec![
-            Community {
-                keynode: 0,
-                influence: 1.0,
-                members: vec![0],
-            };
-            n
-        ])
+        Arc::new(
+            (0..n)
+                .map(|i| Community {
+                    keynode: i as u32,
+                    influence: (1000 - i) as f64,
+                    members: vec![i as u32],
+                })
+                .collect(),
+        )
     }
 
     #[test]
@@ -182,6 +273,112 @@ mod tests {
         let got = c.get(&key("g", 3, 5)).unwrap();
         assert!(Arc::ptr_eq(&v, &got));
         assert!(c.get(&key("g", 3, 6)).is_none());
+    }
+
+    #[test]
+    fn serving_slices_larger_k_entries_in_the_lane() {
+        let c = ResultCache::new(8, 4);
+        let v = value(8); // a full k=8 answer (8 of ≥8 communities exist)
+        c.insert(key("g", 3, 8), v.clone());
+        // exact repeat: shared Arc, flagged exact
+        let exact = c.get_serving(&key("g", 3, 8)).unwrap();
+        assert!(exact.exact);
+        assert!(Arc::ptr_eq(&exact.communities, &v));
+        // smaller k: sliced prefix, flagged inexact
+        let sliced = c.get_serving(&key("g", 3, 5)).unwrap();
+        assert!(!sliced.exact);
+        assert_eq!(sliced.communities.len(), 5);
+        assert_eq!(&sliced.communities[..], &v[..5]);
+        // larger k cannot be served by a (possibly truncated) k=8 answer
+        assert!(c.get_serving(&key("g", 3, 9)).is_none());
+        // other lanes (different γ) never cross-serve
+        assert!(c.get_serving(&key("g", 4, 5)).is_none());
+    }
+
+    #[test]
+    fn exhausted_entries_serve_any_k() {
+        let c = ResultCache::new(8, 4);
+        // a k=8 query that found only 3 communities: enumeration exhausted
+        let v = value(3);
+        c.insert(key("g", 3, 8), v.clone());
+        for k in [1usize, 3, 9, 1000] {
+            let hit = c.get_serving(&key("g", 3, k)).unwrap();
+            assert_eq!(hit.communities.len(), k.min(3), "k={k}");
+            if k >= 3 {
+                assert!(Arc::ptr_eq(&hit.communities, &v), "k={k}: whole answer");
+            }
+        }
+    }
+
+    #[test]
+    fn tightest_donor_is_preferred() {
+        let c = ResultCache::new(8, 1);
+        c.insert(key("g", 3, 100), value(100));
+        c.insert(key("g", 3, 6), value(6));
+        // either donor answers correctly (they hold the same prefix);
+        // min-by-len picks the k=6 one so fewer communities are cloned
+        let hit = c.get_serving(&key("g", 3, 4)).unwrap();
+        assert!(!hit.exact);
+        assert_eq!(hit.communities.len(), 4);
+        assert_eq!(&hit.communities[..], &value(6)[..4]);
+    }
+
+    #[test]
+    fn prefix_serving_refreshes_donor_recency() {
+        let c = ResultCache::new(2, 1);
+        c.insert(key("g", 3, 8), value(8)); // the donor
+        c.insert(key("g", 4, 1), value(1));
+        // small-k traffic keeps the donor warm...
+        assert!(c.get_serving(&key("g", 3, 2)).is_some());
+        // ...so the next insert evicts the γ=4 entry instead
+        c.insert(key("g", 5, 1), value(1));
+        assert!(c.get(&key("g", 3, 8)).is_some(), "donor survived");
+        assert!(c.get(&key("g", 4, 1)).is_none(), "cold entry evicted");
+    }
+
+    #[test]
+    fn truss_lane_never_prefix_serves() {
+        let c = ResultCache::new(8, 2);
+        let truss8 = CacheKey {
+            family: AnswerFamily::Truss,
+            ..key("g", 4, 8)
+        };
+        c.insert(truss8.clone(), value(8));
+        let exact = c
+            .get_serving(&CacheKey {
+                family: AnswerFamily::Truss,
+                ..key("g", 4, 8)
+            })
+            .unwrap();
+        assert!(exact.exact);
+        assert!(c
+            .get_serving(&CacheKey {
+                family: AnswerFamily::Truss,
+                ..key("g", 4, 5)
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn generations_partition_lanes() {
+        let c = ResultCache::new(8, 4);
+        c.insert(key("g", 3, 8), value(8));
+        let mut newer = key("g", 3, 4);
+        newer.generation = 1;
+        assert!(
+            c.get_serving(&newer).is_none(),
+            "a superseded generation's entries must not prefix-serve"
+        );
+    }
+
+    #[test]
+    fn slice_prefix_shares_or_clones() {
+        let v = value(4);
+        assert!(Arc::ptr_eq(&slice_prefix(&v, 4), &v));
+        assert!(Arc::ptr_eq(&slice_prefix(&v, 9), &v));
+        let sliced = slice_prefix(&v, 2);
+        assert_eq!(sliced.len(), 2);
+        assert_eq!(&sliced[..], &v[..2]);
     }
 
     #[test]
@@ -222,6 +419,7 @@ mod tests {
             c.get(&truss).is_none(),
             "truss query must miss a core entry"
         );
+        assert!(c.get_serving(&truss).is_none());
         c.insert(truss.clone(), value(2));
         assert_eq!(c.get(&core).unwrap().len(), 1);
         assert_eq!(c.get(&truss).unwrap().len(), 2);
@@ -250,6 +448,7 @@ mod tests {
                     let k = key("g", t, i % 32);
                     c.insert(k.clone(), value(1));
                     let _ = c.get(&k);
+                    let _ = c.get_serving(&key("g", t, (i % 32).max(1) - 1));
                 }
             }));
         }

@@ -1,0 +1,285 @@
+//! Single-flight coalescing of identical concurrent cold queries.
+//!
+//! N connections issuing the same `(graph, generation, γ, k, family)`
+//! query at once used to execute the search N times — a thundering herd
+//! that multiplies the cost of exactly the queries a result cache exists
+//! to absorb (the cache only helps *after* the first answer lands). The
+//! [`InflightTable`] closes that window: the first thread to miss the
+//! cache for a key becomes the *leader* and executes the search; every
+//! other thread arriving before the answer is published becomes a
+//! *follower* and blocks on the leader's flight, receiving the same
+//! shared `Arc` the leader inserts into the cache. One execution, N
+//! answers.
+//!
+//! The table holds only keys currently being computed (a handful of
+//! entries under any load), guarded by one mutex that is never held
+//! across an execution — leaders publish through the per-flight
+//! `Mutex` + `Condvar` pair, so flights on different keys never contend.
+//!
+//! Leader death is not allowed to strand followers: the leader holds a
+//! [`Flight`] guard whose `Drop` publishes an empty outcome if nothing
+//! was published (the search panicked, unwinding through the guard).
+//! Followers observing that outcome retry from the cache probe and elect
+//! a new leader among themselves.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use ic_core::Community;
+
+use crate::cache::CacheKey;
+
+/// What one flight resolved to: the shared answer, or nothing (the
+/// leader unwound before publishing — followers must retry).
+type Outcome = Option<Arc<Vec<Community>>>;
+
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Done(Outcome),
+}
+
+#[derive(Debug)]
+struct FlightSlot {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+/// The table of in-flight computations, keyed by the same [`CacheKey`]
+/// the result cache uses (generation included, so a flight against a
+/// replaced graph can never serve queries planned against the new one).
+#[derive(Debug, Default)]
+pub struct InflightTable {
+    flights: Mutex<HashMap<CacheKey, Arc<FlightSlot>>>,
+}
+
+/// The result of asking to join a key's flight.
+pub enum Join<'t> {
+    /// No flight existed: the caller is now the leader and *must* either
+    /// publish through the guard or drop it (which wakes followers with
+    /// an empty outcome so they can retry).
+    Leader(Flight<'t>),
+    /// A flight existed; the caller blocked until it finished. `Some` is
+    /// the leader's shared answer, `None` means the leader died and the
+    /// caller should retry.
+    Follower(Outcome),
+}
+
+impl InflightTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Joins the flight for `key`, electing the caller leader if none is
+    /// active. Followers block until the leader publishes or dies.
+    pub fn join(&self, key: &CacheKey) -> Join<'_> {
+        let slot = {
+            let mut flights = self.flights.lock().expect("inflight table poisoned");
+            match flights.get(key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    let slot = Arc::new(FlightSlot {
+                        state: Mutex::new(FlightState::Pending),
+                        done: Condvar::new(),
+                    });
+                    flights.insert(key.clone(), Arc::clone(&slot));
+                    return Join::Leader(Flight {
+                        table: self,
+                        key: key.clone(),
+                        slot,
+                        published: false,
+                    });
+                }
+            }
+        };
+        let mut state = slot.state.lock().expect("flight state poisoned");
+        loop {
+            if let FlightState::Done(outcome) = &*state {
+                return Join::Follower(outcome.clone());
+            }
+            state = slot.done.wait(state).expect("flight state poisoned");
+        }
+    }
+
+    /// Number of keys currently being computed (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.flights.lock().expect("inflight table poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn finish(&self, key: &CacheKey, slot: &FlightSlot, outcome: Outcome) {
+        // Remove the table entry *before* waking followers: a new query
+        // arriving after the wake must start a fresh flight (or, far more
+        // likely, hit the cache the leader just filled), never block on a
+        // completed one.
+        self.flights
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(key);
+        let mut state = slot.state.lock().expect("flight state poisoned");
+        *state = FlightState::Done(outcome);
+        slot.done.notify_all();
+    }
+}
+
+/// Leader guard for one in-flight key. Publish the answer with
+/// [`Flight::publish`]; dropping without publishing (an unwinding
+/// search) wakes followers empty-handed so they retry.
+pub struct Flight<'t> {
+    table: &'t InflightTable,
+    key: CacheKey,
+    slot: Arc<FlightSlot>,
+    published: bool,
+}
+
+impl Flight<'_> {
+    /// Publishes the computed answer to every follower and retires the
+    /// flight.
+    pub fn publish(mut self, value: Arc<Vec<Community>>) {
+        self.published = true;
+        self.table.finish(&self.key, &self.slot, Some(value));
+    }
+}
+
+impl Drop for Flight<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.table.finish(&self.key, &self.slot, None);
+        }
+    }
+}
+
+impl std::fmt::Debug for Flight<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flight")
+            .field("key", &self.key)
+            .field("published", &self.published)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_core::AnswerFamily;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn key(k: usize) -> CacheKey {
+        CacheKey {
+            graph: "g".into(),
+            generation: 1,
+            gamma: 3,
+            k,
+            family: AnswerFamily::Core,
+        }
+    }
+
+    fn answer(n: usize) -> Arc<Vec<Community>> {
+        Arc::new(vec![
+            Community {
+                keynode: 0,
+                influence: 1.0,
+                members: vec![0],
+            };
+            n
+        ])
+    }
+
+    #[test]
+    fn one_leader_many_followers_share_one_answer() {
+        let table = Arc::new(InflightTable::new());
+        let leader = match table.join(&key(4)) {
+            Join::Leader(flight) => flight,
+            Join::Follower(_) => panic!("first join must lead"),
+        };
+        // 31 followers join while the leader is "computing"
+        let start = Arc::new(Barrier::new(32));
+        let coalesced = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..31)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                let start = Arc::clone(&start);
+                let coalesced = Arc::clone(&coalesced);
+                std::thread::spawn(move || {
+                    start.wait();
+                    let joined = table.join(&key(4));
+                    match joined {
+                        Join::Leader(_) => panic!("flight already led"),
+                        Join::Follower(outcome) => {
+                            let got = outcome.expect("leader published");
+                            coalesced.fetch_add(1, Ordering::Relaxed);
+                            assert_eq!(got.len(), 4);
+                        }
+                    }
+                })
+            })
+            .collect();
+        start.wait();
+        // wait until every follower holds the flight slot (table + leader
+        // guard + 31 followers = 33 refs), then publish
+        while Arc::strong_count(&table.flights.lock().unwrap()[&key(4)]) < 33 {
+            std::thread::yield_now();
+        }
+        leader.publish(answer(4));
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(coalesced.load(Ordering::Relaxed), 31);
+        assert!(table.is_empty(), "completed flights leave the table");
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let table = InflightTable::new();
+        let a = match table.join(&key(1)) {
+            Join::Leader(f) => f,
+            _ => panic!(),
+        };
+        let b = match table.join(&key(2)) {
+            Join::Leader(f) => f,
+            _ => panic!(),
+        };
+        assert_eq!(table.len(), 2);
+        a.publish(answer(1));
+        b.publish(answer(2));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn dropped_leader_wakes_followers_empty_handed() {
+        let table = Arc::new(InflightTable::new());
+        let leader = match table.join(&key(4)) {
+            Join::Leader(f) => f,
+            _ => panic!(),
+        };
+        let follower = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || match table.join(&key(4)) {
+                Join::Follower(outcome) => outcome,
+                Join::Leader(_) => panic!("leader still active"),
+            })
+        };
+        while Arc::strong_count(&table.flights.lock().unwrap()[&key(4)]) < 3 {
+            std::thread::yield_now();
+        }
+        drop(leader); // simulates a panicking search
+        assert!(follower.join().unwrap().is_none(), "retry signal");
+        // the key is free again: the retrying follower can lead
+        assert!(matches!(table.join(&key(4)), Join::Leader(_)));
+    }
+
+    #[test]
+    fn finished_flights_do_not_capture_later_queries() {
+        let table = InflightTable::new();
+        match table.join(&key(4)) {
+            Join::Leader(f) => f.publish(answer(4)),
+            _ => panic!(),
+        }
+        // a later query must start fresh, not observe the stale outcome
+        assert!(matches!(table.join(&key(4)), Join::Leader(_)));
+    }
+}

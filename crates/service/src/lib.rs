@@ -17,10 +17,17 @@
 //!   and an explainable decision ([`planner::Explain`]). The planner's
 //!   output is consumed through the [`ic_core::query::Algorithm`] trait —
 //!   the service contains no per-algorithm dispatch of its own.
-//! * [`service::Service`] — the engine: a fixed worker pool executing
+//! * [`service::Service`] — the engine: a fixed worker pool (panicking
+//!   jobs are caught and counted, never shrink the pool) executing
 //!   queries against shared graphs behind a sharded LRU [`cache`] keyed
-//!   by `(graph, γ, k, answer-family)`, with hit/miss/latency counters
-//!   snapshotted as [`stats::ServiceStats`].
+//!   by `(graph, γ, k, answer-family)` — *prefix-aware* within the core
+//!   family, so a cached top-k′ serves every k ≤ k′ by slicing — with an
+//!   [`inflight`] single-flight table coalescing identical concurrent
+//!   cold queries into one execution, and hit/miss/coalesced/latency
+//!   counters snapshotted as [`stats::ServiceStats`].
+//!   [`service::Service::query_batch`] answers whole request lists with
+//!   one search per `(graph, generation, γ, family)` group, executed at
+//!   the group's largest k and sliced per request.
 //! * [`session::Session`] — progressive sessions: pull communities one
 //!   batch at a time across calls, each session backed by a thread owning
 //!   its `ProgressiveSearch` iterator.
@@ -47,6 +54,13 @@
 //! let resp = svc.query(Query::new("fig3", 3, 4)).unwrap();
 //! assert_eq!(resp.communities.len(), 4);
 //! assert!(svc.query(Query::new("fig3", 3, 4)).unwrap().cached);
+//! // the k=4 answer prefix-serves any smaller k in the same lane
+//! assert!(svc.query(Query::new("fig3", 3, 2)).unwrap().cached);
+//!
+//! // batched execution: one search per (graph, γ, family) group
+//! let batch = svc.query_batch(&[Query::new("fig3", 4, 1), Query::new("fig3", 4, 3)]);
+//! assert_eq!(batch.len(), 2);
+//! assert_eq!(batch[0].as_ref().unwrap().communities.len(), 1);
 //!
 //! // progressive session: pull communities one at a time
 //! let id = svc.open_session("fig3", 3).unwrap();
@@ -57,6 +71,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod inflight;
 pub mod planner;
 pub mod pool;
 pub mod protocol;
@@ -66,9 +81,10 @@ pub mod service;
 pub mod session;
 pub mod stats;
 
-pub use cache::{CacheKey, ResultCache};
+pub use cache::{CacheHit, CacheKey, ResultCache};
 pub use error::ServiceError;
 pub use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
+pub use inflight::InflightTable;
 pub use planner::{plan, plan_dynamic, Algorithm, Explain, Mode, Query};
 pub use pool::WorkerPool;
 pub use registry::{GraphRegistry, RegisteredGraph};

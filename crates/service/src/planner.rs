@@ -30,7 +30,7 @@
 //! branch directly).
 
 use ic_core::query::Selection;
-use ic_core::TopKQuery;
+use ic_core::{AnswerFamily, TopKQuery};
 use ic_graph::GraphStats;
 
 use crate::error::ServiceError;
@@ -98,6 +98,19 @@ impl Query {
     /// validated query.
     pub fn validate(&self) -> Result<(), ServiceError> {
         self.to_core().map(|_| ())
+    }
+
+    /// The answer family this query will be served from, knowable before
+    /// planning: a forced algorithm pins its own family, and `Auto` only
+    /// ever selects core-family algorithms. Batch grouping and cache
+    /// lanes key on this.
+    pub fn answer_family(&self) -> AnswerFamily {
+        match self.mode {
+            Mode::Forced(algorithm) => algorithm.family(),
+            // Auto (and any future non-forcing selection): the planner
+            // only auto-dispatches within the core family
+            _ => AnswerFamily::Core,
+        }
     }
 }
 
@@ -326,6 +339,15 @@ mod tests {
                     "gamma={gamma} k={k} planned {algo}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn answer_family_is_knowable_before_planning() {
+        assert_eq!(Query::new("g", 3, 4).answer_family(), AnswerFamily::Core);
+        for algo in Algorithm::ALL {
+            let q = Query::new("g", 3, 4).with_mode(Mode::Forced(algo));
+            assert_eq!(q.answer_family(), algo.family(), "{algo}");
         }
     }
 

@@ -6,7 +6,16 @@
 //! std-only work queue). Dropping the pool closes the channel, lets every
 //! queued job finish, and joins the workers; a pool is therefore safe to
 //! use from `Drop` order anywhere in the service.
+//!
+//! A panicking job must not shrink the pool: jobs run under
+//! [`std::panic::catch_unwind`], so the worker survives, counts the
+//! panic (surfaced as `worker_panics` in the service stats), and keeps
+//! draining the queue. Before this guard a single bad query would
+//! silently retire its worker thread, degrading capacity one panic at a
+//! time until every `submit` queued behind a pool of corpses.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -18,6 +27,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    panics: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -25,24 +35,32 @@ impl WorkerPool {
     pub fn new(workers: usize) -> Self {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let panics = Arc::new(AtomicU64::new(0));
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("ic-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, &panics))
                     .expect("spawning worker thread")
             })
             .collect();
         WorkerPool {
             tx: Some(tx),
             workers,
+            panics,
         }
     }
 
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs that panicked (and were caught, leaving their worker alive).
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Enqueues a job. Returns `false` if the pool is already shut down
@@ -55,14 +73,20 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
     loop {
         // Hold the lock only for the dequeue, never during the job.
         let job = match rx.lock().expect("worker queue poisoned").recv() {
             Ok(job) => job,
             Err(_) => return, // channel closed: pool dropped
         };
-        job();
+        // AssertUnwindSafe: the job owns everything it touches (a boxed
+        // FnOnce moved in); any shared state it reaches is lock-guarded,
+        // and a panic mid-job drops its reply sender, which callers
+        // already surface as WorkerGone.
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -79,6 +103,8 @@ impl Drop for WorkerPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::time::Duration;
 
     #[test]
     fn executes_all_jobs_across_threads() {
@@ -123,5 +149,64 @@ mod tests {
         let (tx, rx) = channel();
         pool.submit(move || tx.send(7usize).unwrap());
         assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    /// The regression this PR fixes: a panicking job used to unwind the
+    /// worker loop and permanently shrink the pool. Now every worker must
+    /// survive a panic — proven by parking *all* of them on one barrier
+    /// afterwards (impossible if any thread died) — and the queue keeps
+    /// draining at full capacity.
+    #[test]
+    fn panicking_job_leaves_every_worker_alive() {
+        const WORKERS: usize = 4;
+        let pool = WorkerPool::new(WORKERS);
+        // Quiet the default hook for the intentional panics below. The
+        // guard restores it even if an assertion in this test unwinds,
+        // so other tests in the binary never lose their panic output.
+        type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+        struct HookGuard(Option<Hook>);
+        impl Drop for HookGuard {
+            fn drop(&mut self) {
+                std::panic::set_hook(self.0.take().expect("hook restored once"));
+            }
+        }
+        let _restore = HookGuard(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        for _ in 0..WORKERS {
+            assert!(pool.submit(|| panic!("job panics on purpose")));
+        }
+        // all four workers must still be alive to clear this barrier
+        let barrier = Arc::new(Barrier::new(WORKERS + 1));
+        let (tx, rx) = channel();
+        for _ in 0..WORKERS {
+            let barrier = Arc::clone(&barrier);
+            let tx = tx.clone();
+            assert!(pool.submit(move || {
+                barrier.wait();
+                tx.send(std::thread::current().id()).unwrap();
+            }));
+        }
+        barrier.wait();
+        let mut ids = std::collections::HashSet::new();
+        for _ in 0..WORKERS {
+            ids.insert(rx.recv_timeout(Duration::from_secs(10)).unwrap());
+        }
+        assert_eq!(ids.len(), WORKERS, "every worker thread executed a job");
+        // and 100 further jobs all run to completion
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel();
+        for _ in 0..100 {
+            let counter = counter.clone();
+            let done = done_tx.clone();
+            assert!(pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let _ = done.send(());
+            }));
+        }
+        for _ in 0..100 {
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.panic_count(), WORKERS as u64);
     }
 }

@@ -15,6 +15,10 @@
 //! QUERY <graph> <gamma> <k> [mode]       top-k (mode: auto, local_search,
 //!                                        progressive, forward, online_all,
 //!                                        backward, naive, truss)
+//! BATCH <g> <gamma> <k> [mode] ; ...     many queries in one request;
+//!                                        ';'-separated, grouped by
+//!                                        (graph, γ, family) and answered
+//!                                        with one search per group
 //! EXPLAIN <graph> <gamma> <k> [mode]     plan only, with the reason
 //! UPDATE <graph> ADD <u> <v> [w]         buffer an edge insert (w creates
 //!                                        missing endpoints with that weight)
@@ -25,7 +29,11 @@
 //! COMMIT <graph>                         fold pending updates into a fresh
 //!                                        snapshot (bumps the generation)
 //! OPEN <graph> <gamma>                   open a progressive session
-//! NEXT <session> [n]                     pull up to n communities (default 1)
+//! NEXT <session> [n]                     pull up to n communities (default 1);
+//!                                        the reply's done=0|1 reports stream
+//!                                        exhaustion from the iterator itself
+//!                                        (an empty batch with done=0 just
+//!                                        means n was 0)
 //! CLOSE <session>                        close a session
 //! STATS                                  hit/miss/latency counters
 //! HELP                                   this listing
@@ -53,10 +61,17 @@ use crate::service::{QueryResponse, Service, SyntheticSpec};
 
 /// Help text returned by `HELP` (and useful as a banner).
 pub const HELP: &str = "commands: LOAD <name> <path> | GEN <name> gnm|ba|rmat <args> <seed> | \
-GRAPHS | QUERY <graph> <gamma> <k> [mode] | EXPLAIN <graph> <gamma> <k> [mode] | \
+GRAPHS | QUERY <graph> <gamma> <k> [mode] | \
+BATCH <graph> <gamma> <k> [mode] ; <graph> <gamma> <k> [mode] ; ... | \
+EXPLAIN <graph> <gamma> <k> [mode] | \
 UPDATE <graph> ADD|DEL <u> <v> [w] | UPDATE <graph> ADDV|DELV|REWEIGHT <v> [w] | \
 COMMIT <graph> | OPEN <graph> <gamma> | NEXT <session> [n] | CLOSE <session> | \
 STATS | HELP | QUIT";
+
+/// Hard cap on sub-queries in one `BATCH` line. A request line is
+/// already size-capped by the server; this bounds the *work* one line
+/// can demand (each sub-query is a potential search).
+pub const MAX_BATCH: usize = 256;
 
 /// Handles one request line, returning the full (possibly multi-line)
 /// reply without a trailing newline. Empty and `#`-comment lines get an
@@ -74,7 +89,8 @@ pub fn handle_line(svc: &Arc<Service>, line: &str) -> String {
 
 fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
     let mut parts = line.split_ascii_whitespace();
-    let verb = parts.next().expect("non-empty line").to_ascii_uppercase();
+    let verb_token = parts.next().expect("non-empty line");
+    let verb = verb_token.to_ascii_uppercase();
     let args: Vec<&str> = parts.collect();
     match verb.as_str() {
         "HELP" => Ok(format!("OK {HELP}")),
@@ -138,6 +154,9 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             let resp = svc.query(query)?;
             Ok(format_query_response(&resp))
         }
+        // the raw tail (not the token list): sub-queries separate on ';'
+        // however the client spaces them
+        "BATCH" => handle_batch(svc, &line[verb_token.len()..]),
         "EXPLAIN" => {
             let query = parse_query(&verb, &args)?;
             let e = svc.explain(&query)?;
@@ -189,8 +208,10 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             let g = svc
                 .session_graph_instance(id)
                 .ok_or(ServiceError::UnknownSession(id))?;
-            let batch = svc.session_next(id, n)?;
-            let mut out = format!("OK count={}", batch.len());
+            let (batch, done) = svc.session_next_full(id, n)?;
+            // done comes from the session iterator, never from batch
+            // emptiness: NEXT <s> 0 on a live stream is count=0 done=0
+            let mut out = format!("OK count={} done={}", batch.len(), u8::from(done));
             push_communities(&mut out, &batch, &g);
             out.push_str("\nEND");
             Ok(out)
@@ -204,10 +225,15 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
         "STATS" => {
             let s = svc.stats();
             let mut out = format!(
-                "OK queries={} hits={} misses={} hit_rate={:.4}",
+                "OK queries={} hits={} misses={} coalesced={} prefix_served={} \
+                 batches={} worker_panics={} hit_rate={:.4}",
                 s.queries,
                 s.cache_hits,
                 s.cache_misses,
+                s.coalesced,
+                s.prefix_served,
+                s.batches,
+                s.worker_panics,
                 s.hit_rate(),
             );
             // one execution counter per algorithm, in Algorithm::ALL order
@@ -231,6 +257,55 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             "unknown command {other:?} (try HELP)"
         ))),
     }
+}
+
+/// Handles the tail of a `BATCH` line: `;`-separated sub-queries, each
+/// `<graph> <gamma> <k> [mode]`. Syntax errors (bad shape, non-numeric
+/// arguments, too many sub-queries) reject the whole line; *semantic*
+/// failures (unknown graph, parameters the central validation rejects)
+/// fail only their own `R <i> ERR …` slot, exactly as the same query
+/// issued individually would have.
+fn handle_batch(svc: &Arc<Service>, tail: &str) -> Result<String, ServiceError> {
+    const USAGE: &str = "<graph> <gamma> <k> [mode] [; <graph> <gamma> <k> [mode]]...";
+    if tail.trim().is_empty() {
+        return Err(usage("BATCH", USAGE));
+    }
+    let segments: Vec<&str> = tail.split(';').map(str::trim).collect();
+    if segments.len() > MAX_BATCH {
+        return Err(ServiceError::InvalidQuery(format!(
+            "BATCH: {} sub-queries exceed the limit of {MAX_BATCH}",
+            segments.len()
+        )));
+    }
+    let mut queries = Vec::with_capacity(segments.len());
+    for segment in segments {
+        if segment.is_empty() {
+            return Err(ServiceError::InvalidQuery(format!(
+                "BATCH: empty sub-query (usage: BATCH {USAGE})"
+            )));
+        }
+        let tokens: Vec<&str> = segment.split_ascii_whitespace().collect();
+        queries.push(parse_query("BATCH", &tokens)?);
+    }
+    let results = svc.query_batch(&queries);
+    let mut out = format!("OK batch={}", results.len());
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(resp) => {
+                out.push_str(&format!(
+                    "\nR {i} OK algo={} cached={} coalesced={} count={}",
+                    resp.explain.algorithm,
+                    resp.cached,
+                    resp.coalesced,
+                    resp.communities.len()
+                ));
+                push_communities(&mut out, &resp.communities, &resp.graph_instance);
+            }
+            Err(e) => out.push_str(&format!("\nR {i} ERR {e}")),
+        }
+    }
+    out.push_str("\nEND");
+    Ok(out)
 }
 
 fn parse_query(verb: &str, args: &[&str]) -> Result<Query, ServiceError> {
@@ -307,9 +382,10 @@ fn parse_update(verb: &str, args: &[&str]) -> Result<UpdateOp, ServiceError> {
 
 fn format_query_response(resp: &QueryResponse) -> String {
     let mut out = format!(
-        "OK algo={} cached={} micros={} count={}",
+        "OK algo={} cached={} coalesced={} micros={} count={}",
         resp.explain.algorithm,
         resp.cached,
+        resp.coalesced,
         resp.latency.as_micros(),
         resp.communities.len()
     );
@@ -409,14 +485,114 @@ mod tests {
         assert!(open.starts_with("OK session="), "{open}");
         let id: u64 = open.trim_start_matches("OK session=").parse().unwrap();
         let first = handle_line(&svc, &format!("NEXT {id}"));
-        assert!(first.contains("count=1"), "{first}");
+        assert!(first.contains("count=1 done=0"), "{first}");
         assert!(first.contains("members=3,11,12,20"), "{first}");
         let rest = handle_line(&svc, &format!("NEXT {id} 100"));
         assert!(rest.contains("count="), "{rest}");
+        assert!(rest.contains("done=1"), "{rest}");
         let close = handle_line(&svc, &format!("CLOSE {id}"));
         assert!(close.starts_with("OK closed="), "{close}");
         let gone = handle_line(&svc, &format!("NEXT {id}"));
         assert!(gone.starts_with("ERR"), "{gone}");
+    }
+
+    /// The `done` field is derived from the session iterator, never from
+    /// batch emptiness: a client probing with n=0 must not conclude a
+    /// live stream is exhausted (the bug this PR fixes).
+    #[test]
+    fn next_zero_reports_done_from_the_iterator() {
+        let svc = svc();
+        let open = handle_line(&svc, "OPEN fig3 3");
+        let id: u64 = open.trim_start_matches("OK session=").parse().unwrap();
+        // live stream, empty batch: count=0 but done=0
+        let probe = handle_line(&svc, &format!("NEXT {id} 0"));
+        assert!(probe.starts_with("OK count=0 done=0"), "{probe}");
+        // the probe consumed nothing: the first community is still first
+        let first = handle_line(&svc, &format!("NEXT {id} 1"));
+        assert!(first.contains("members=3,11,12,20"), "{first}");
+        // drain, then the same probe reports done=1
+        let drained = handle_line(&svc, &format!("NEXT {id} 10000"));
+        assert!(drained.contains("done=1"), "{drained}");
+        let probe = handle_line(&svc, &format!("NEXT {id} 0"));
+        assert!(probe.starts_with("OK count=0 done=1"), "{probe}");
+    }
+
+    #[test]
+    fn batch_groups_and_answers_per_slot() {
+        let svc = svc();
+        let reply = handle_line(&svc, "BATCH fig3 3 4 ; fig3 3 1 ; fig3 2 2 ; nope 3 1");
+        assert!(reply.starts_with("OK batch=4"), "{reply}");
+        assert!(reply.ends_with("END"), "{reply}");
+        assert!(reply.contains("R 0 OK"), "{reply}");
+        assert!(reply.contains("count=4"), "{reply}");
+        assert!(reply.contains("R 1 OK"), "{reply}");
+        assert!(reply.contains("R 2 OK"), "{reply}");
+        assert!(reply.contains("R 3 ERR unknown graph"), "{reply}");
+        // the paper's top community leads slot 0 and slot 1 alike
+        assert!(reply.contains("influence=18 members=3,11,12,20"), "{reply}");
+        // slots 0 and 1 shared one search; slot 2 (other γ) ran its own
+        let stats = handle_line(&svc, "STATS");
+        assert!(stats.contains("misses=2"), "{stats}");
+        assert!(stats.contains("batches=1"), "{stats}");
+    }
+
+    /// A `BATCH` of one behaves exactly like `QUERY`, and separators
+    /// tolerate arbitrary spacing.
+    #[test]
+    fn batch_answers_match_individual_queries() {
+        let individual_svc = svc();
+        let individual = handle_line(&individual_svc, "QUERY fig3 3 4");
+        let batched_svc = svc();
+        let batched = handle_line(&batched_svc, "BATCH fig3 3 2;fig3 3 4");
+        // the k=4 slot lists exactly the communities QUERY printed
+        let individual_cs: Vec<&str> = individual.lines().filter(|l| l.starts_with("C ")).collect();
+        let batched_slot1: Vec<&str> = batched
+            .lines()
+            .skip_while(|l| !l.starts_with("R 1 "))
+            .skip(1)
+            .take_while(|l| l.starts_with("C "))
+            .collect();
+        assert_eq!(batched_slot1, individual_cs, "{batched}");
+        // and the k=2 slot is the 2-prefix
+        let batched_slot0: Vec<&str> = batched
+            .lines()
+            .skip_while(|l| !l.starts_with("R 0 "))
+            .skip(1)
+            .take_while(|l| l.starts_with("C "))
+            .collect();
+        assert_eq!(batched_slot0, individual_cs[..2].to_vec(), "{batched}");
+    }
+
+    #[test]
+    fn hostile_batch_forms_error_cleanly() {
+        let svc = svc();
+        for bad in [
+            "BATCH",
+            "BATCH ;",
+            "BATCH ; ;",
+            "BATCH fig3 3",
+            "BATCH fig3 3 4 ;",
+            "BATCH ; fig3 3 4",
+            "BATCH fig3 3 4 ; fig3 3",
+            "BATCH fig3 3 4 extra tokens here ; fig3 3 4",
+            "BATCH fig3 x 4",
+            "BATCH fig3 3 4 warp",
+        ] {
+            let reply = handle_line(&svc, bad);
+            assert!(reply.starts_with("ERR "), "{bad:?} -> {reply}");
+        }
+        // over the sub-query cap: rejected without executing anything
+        let huge = format!("BATCH {}", vec!["fig3 3 4"; MAX_BATCH + 1].join(" ; "));
+        let reply = handle_line(&svc, &huge);
+        assert!(reply.starts_with("ERR "), "{reply}");
+        assert!(reply.contains("limit"), "{reply}");
+        assert!(
+            handle_line(&svc, "STATS").contains("queries=0"),
+            "nothing ran"
+        );
+        // exactly at the cap is fine
+        let full = format!("BATCH {}", vec!["fig3 3 4"; MAX_BATCH].join(" ; "));
+        assert!(handle_line(&svc, &full).starts_with("OK batch=256"));
     }
 
     #[test]

@@ -143,6 +143,33 @@ mod tests {
         }
         assert_eq!(saw_communities, 4);
 
+        // a BATCH over the same socket: per-slot replies, one END
+        writeln!(writer, "BATCH fig3 3 2 ; fig3 3 4 ; nope 1 1").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK batch=3"), "{line}");
+        let (mut slots, mut err_slots, mut communities) = (0, 0, 0);
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.starts_with("R ") {
+                slots += 1;
+                if line.contains(" ERR ") {
+                    err_slots += 1;
+                }
+            }
+            if line.starts_with("C ") {
+                communities += 1;
+            }
+            if line.trim() == "END" {
+                break;
+            }
+        }
+        assert_eq!(slots, 3);
+        assert_eq!(err_slots, 1, "the unknown graph fails only its slot");
+        assert_eq!(communities, 2 + 4);
+
         writeln!(writer, "QUIT").unwrap();
         writer.flush().unwrap();
         line.clear();
@@ -151,7 +178,8 @@ mod tests {
         line.clear();
         // server closes after QUIT: EOF
         assert_eq!(reader.read_line(&mut line).unwrap(), 0);
-        assert_eq!(svc.stats().queries, 1);
+        assert_eq!(svc.stats().queries, 3, "QUERY + two batch slots");
+        assert_eq!(svc.stats().batches, 1);
     }
 
     /// An oversized request line is rejected with one `ERR` line, drained

@@ -8,14 +8,20 @@
 //! every connection handler.
 //!
 //! A batch query flows: validate → look up graph →
-//! [`plan_dynamic`] (fed the graph's
-//! stale-core fraction) → probe the cache keyed by `(graph, γ, k)` → on
-//! a miss, execute the planned algorithm and publish the answer to the
-//! cache. [`Service::query`]
-//! pushes that whole pipeline onto the worker pool and blocks on the
-//! reply, so callers on N connection threads share the pool's fixed
-//! parallelism; [`Service::execute_inline`] runs it on the caller's
-//! thread (what the workers themselves, and single-threaded users, call).
+//! [`plan_dynamic`] (fed the graph's stale-core fraction) → probe the
+//! cache keyed by `(graph, generation, γ, k, family)` — prefix-aware
+//! within the core family, so a larger-k entry of the same lane serves
+//! smaller k by slicing — → join the key's *single flight*: concurrent
+//! identical cold queries elect one leader that executes the planned
+//! algorithm while the rest block on its answer (`coalesced` in the
+//! stats) → the leader publishes to cache and followers alike.
+//! [`Service::query`] pushes that whole pipeline onto the worker pool
+//! and blocks on the reply, so callers on N connection threads share the
+//! pool's fixed parallelism; [`Service::execute_inline`] runs it on the
+//! caller's thread (what the workers themselves, and single-threaded
+//! users, call); [`Service::query_batch`] groups whole request lists by
+//! `(graph, generation, γ, family)` and answers each group with one
+//! search at the group's largest k.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,9 +35,10 @@ use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
 use ic_graph::generators::{assemble, barabasi_albert, gnm, rmat, RmatParams, WeightKind};
 use ic_graph::{io, WeightedGraph};
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{slice_prefix, CacheKey, ResultCache};
 use crate::error::ServiceError;
-use crate::planner::{plan_dynamic, Explain, Query};
+use crate::inflight::{InflightTable, Join};
+use crate::planner::{plan_dynamic, Explain, Mode, Query};
 use crate::pool::WorkerPool;
 use crate::registry::{GraphRegistry, RegisteredGraph};
 use crate::session::Session;
@@ -72,8 +79,13 @@ pub struct QueryResponse {
     pub communities: Arc<Vec<Community>>,
     /// The plan that produced (or would have produced) the answer.
     pub explain: Explain,
-    /// Whether the answer came from the result cache.
+    /// Whether the answer came from the result cache (exact key match or
+    /// a prefix slice of a larger-k entry in the same lane).
     pub cached: bool,
+    /// Whether the answer was coalesced onto an identical query that was
+    /// already executing when this one arrived (single-flight): this
+    /// query blocked on that execution instead of running its own.
+    pub coalesced: bool,
     /// Wall-clock time spent answering, excluding queue wait.
     pub latency: Duration,
     /// Access statistics of the executed algorithm (every algorithm
@@ -153,6 +165,7 @@ struct DynamicOverlay {
 pub struct Service {
     registry: GraphRegistry,
     cache: ResultCache,
+    inflight: InflightTable,
     stats: StatsRecorder,
     pool: WorkerPool,
     sessions: Mutex<HashMap<u64, Session>>,
@@ -169,6 +182,7 @@ impl Service {
         Arc::new(Service {
             registry: GraphRegistry::new(),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            inflight: InflightTable::new(),
             stats: StatsRecorder::new(),
             pool: WorkerPool::new(config.workers),
             sessions: Mutex::new(HashMap::new()),
@@ -364,9 +378,11 @@ impl Service {
     }
 
     /// Answers a query on the calling thread: validate through the core
-    /// builder, plan, probe the cache, execute the planned algorithm
-    /// through the [`ic_core::query::Algorithm`] trait on a miss. This is
-    /// the pipeline the pool workers run.
+    /// builder, plan, probe the cache (prefix-aware within the core
+    /// family), join or lead the key's single flight, and execute the
+    /// planned algorithm through the [`ic_core::query::Algorithm`] trait
+    /// only as the flight's leader. This is the pipeline the pool
+    /// workers run.
     pub fn execute_inline(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
         let core_query = query.to_core()?;
         let entry = self.registry.get(&query.graph)?;
@@ -385,33 +401,60 @@ impl Service {
             family: explain.algorithm.family(),
         };
         let start = Instant::now();
-        if let Some(communities) = self.cache.get(&key) {
-            let latency = start.elapsed();
-            self.stats.record_hit(latency);
-            return Ok(QueryResponse {
-                graph: query.graph.clone(),
-                graph_instance: entry.graph,
-                communities,
-                explain,
-                cached: true,
-                latency,
-                search_stats: None,
-            });
-        }
-        let result = explain.algorithm.resolve().run(&entry.graph, &core_query);
-        let communities = Arc::new(result.communities);
-        self.cache.insert(key, communities.clone());
-        let latency = start.elapsed();
-        self.stats.record_miss(explain.algorithm, latency);
-        Ok(QueryResponse {
+        let response = |communities, cached, coalesced, search_stats| QueryResponse {
             graph: query.graph.clone(),
-            graph_instance: entry.graph,
+            graph_instance: Arc::clone(&entry.graph),
             communities,
-            explain,
-            cached: false,
-            latency,
-            search_stats: Some(result.stats),
-        })
+            explain: explain.clone(),
+            cached,
+            coalesced,
+            latency: start.elapsed(),
+            search_stats,
+        };
+        loop {
+            if let Some(hit) = self.cache.get_serving(&key) {
+                let resp = response(hit.communities, true, false, None);
+                if hit.exact {
+                    self.stats.record_hit(resp.latency);
+                } else {
+                    self.stats.record_prefix_hit(resp.latency);
+                }
+                return Ok(resp);
+            }
+            match self.inflight.join(&key) {
+                Join::Leader(flight) => {
+                    // Re-probe under leadership: a previous leader may
+                    // have published between our miss and the election.
+                    if let Some(hit) = self.cache.get_serving(&key) {
+                        flight.publish(Arc::clone(&hit.communities));
+                        let resp = response(hit.communities, true, false, None);
+                        if hit.exact {
+                            self.stats.record_hit(resp.latency);
+                        } else {
+                            self.stats.record_prefix_hit(resp.latency);
+                        }
+                        return Ok(resp);
+                    }
+                    // If the search below panics, the flight guard wakes
+                    // followers empty-handed and one of them re-leads.
+                    let result = explain.algorithm.resolve().run(&entry.graph, &core_query);
+                    let communities = Arc::new(result.communities);
+                    self.cache.insert(key.clone(), communities.clone());
+                    flight.publish(communities.clone());
+                    let resp = response(communities, false, false, Some(result.stats));
+                    self.stats.record_miss(explain.algorithm, resp.latency);
+                    return Ok(resp);
+                }
+                Join::Follower(Some(communities)) => {
+                    let resp = response(communities, false, true, None);
+                    self.stats.record_coalesced(resp.latency);
+                    return Ok(resp);
+                }
+                // the leader died without publishing; retry (and very
+                // likely lead this time)
+                Join::Follower(None) => continue,
+            }
+        }
     }
 
     /// Dispatches a query to the worker pool without waiting; the result
@@ -442,6 +485,179 @@ impl Service {
             .map_err(|_| ServiceError::WorkerGone)?
     }
 
+    /// Answers many queries with as few searches as possible: requests
+    /// are grouped by `(graph, generation, γ, answer-family)`, each group
+    /// executes **once** at the group's largest k (planned by
+    /// [`plan_dynamic`] for that k), and every member receives its own
+    /// prefix of the group answer — valid because communities are
+    /// enumerated in decreasing influence order, so top-k is a prefix of
+    /// top-k′ for k ≤ k′ (§4 of the paper). The prefix guarantee is a
+    /// core-family property; truss requests therefore group by their
+    /// exact k (sharing an execution only with identical requests, never
+    /// sliced). Groups run concurrently on the worker pool.
+    ///
+    /// Results come back in request order. Per-request failures
+    /// (unknown graph, invalid parameters) fail only their own slot.
+    /// A group of uniformly forced requests keeps its forced algorithm;
+    /// mixed or `Auto` groups are planned automatically — either way
+    /// every member of a core-family group receives the identical
+    /// communities any individual issuance would have produced.
+    pub fn query_batch(
+        self: &Arc<Self>,
+        queries: &[Query],
+    ) -> Vec<Result<QueryResponse, ServiceError>> {
+        self.stats.record_batch();
+        let mut results: Vec<Option<Result<QueryResponse, ServiceError>>> =
+            (0..queries.len()).map(|_| None).collect();
+
+        // Group indices by (graph, generation, γ, family). Generation is
+        // resolved per request, so a registry swap mid-batch cleanly
+        // splits a name into two groups (the execution itself re-reads
+        // the registry, so each group races the swap exactly as its
+        // member queries would have individually — never staler).
+        struct Group {
+            members: Vec<usize>, // request indices
+            max_k: usize,
+            mode: Option<Mode>, // uniform mode, if any
+        }
+        type GroupKey = (String, u64, u32, ic_core::AnswerFamily, usize);
+        let mut order: Vec<GroupKey> = Vec::new();
+        let mut groups: HashMap<GroupKey, Group> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            if let Err(e) = q.validate() {
+                results[i] = Some(Err(e));
+                continue;
+            }
+            let entry = match self.registry.get(&q.graph) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    results[i] = Some(Err(e));
+                    continue;
+                }
+            };
+            let family = q.answer_family();
+            // Core answers are prefix-stable, so any k may share a lane
+            // (k_lane = 0). Truss answers carry no such guarantee — the
+            // cache refuses to prefix-serve them too — so each distinct k
+            // is its own group and is never sliced.
+            let k_lane = match family {
+                ic_core::AnswerFamily::Core => 0,
+                _ => q.k,
+            };
+            let key = (q.graph.clone(), entry.generation, q.gamma, family, k_lane);
+            let group = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                Group {
+                    members: Vec::new(),
+                    max_k: 0,
+                    mode: Some(q.mode),
+                }
+            });
+            group.members.push(i);
+            group.max_k = group.max_k.max(q.k);
+            if group.mode != Some(q.mode) {
+                group.mode = None; // modes disagree: plan automatically
+            }
+        }
+
+        // Execute each group once (at its max k) on the pool; groups on
+        // different graphs/γ proceed in parallel.
+        let (tx, rx) = channel::<(Vec<usize>, Vec<Result<QueryResponse, ServiceError>>)>();
+        let mut dispatched = 0usize;
+        for key in order {
+            let group = groups.remove(&key).expect("group just built");
+            let svc = Arc::clone(self);
+            let queries_of_group: Vec<Query> =
+                group.members.iter().map(|&i| queries[i].clone()).collect();
+            let tx = tx.clone();
+            let members = group.members.clone();
+            let max_k = group.max_k;
+            let mode = group.mode.unwrap_or(Mode::Auto);
+            let accepted = self.pool.submit(move || {
+                let out = svc.execute_group_inline(&queries_of_group, max_k, mode);
+                let _ = tx.send((members, out));
+            });
+            if accepted {
+                dispatched += 1;
+            } else {
+                // pool shutting down: fail this group's slots immediately
+                for &i in &group.members {
+                    results[i] = Some(Err(ServiceError::WorkerGone));
+                }
+            }
+        }
+        drop(tx);
+        for _ in 0..dispatched {
+            let Ok((members, out)) = rx.recv() else {
+                break; // a worker died mid-batch; slots stay WorkerGone below
+            };
+            for (i, r) in members.into_iter().zip(out) {
+                results[i] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(ServiceError::WorkerGone)))
+            .collect()
+    }
+
+    /// Executes one batch group: answer the group's representative query
+    /// at `max_k` through the full single-flight pipeline, then serve
+    /// every member its own k-prefix of the group answer. The first
+    /// member carries the group execution's outcome (miss / hit /
+    /// coalesced) and its latency; the rest are recorded as
+    /// prefix-served hits whose stats latency is their *marginal* cost —
+    /// the slice — so the search's wall-clock enters the cumulative
+    /// latency counters once, not once per member. (Their
+    /// `QueryResponse::latency` still reports the group wall-clock they
+    /// actually waited.)
+    fn execute_group_inline(
+        &self,
+        member_queries: &[Query],
+        max_k: usize,
+        mode: Mode,
+    ) -> Vec<Result<QueryResponse, ServiceError>> {
+        let lead = Query {
+            graph: member_queries[0].graph.clone(),
+            gamma: member_queries[0].gamma,
+            k: max_k,
+            mode,
+        };
+        let group_resp = match self.execute_inline(&lead) {
+            Ok(resp) => resp,
+            Err(e) => return member_queries.iter().map(|_| Err(e.clone())).collect(),
+        };
+        member_queries
+            .iter()
+            .enumerate()
+            .map(|(pos, q)| {
+                let slice_start = Instant::now();
+                let communities = slice_prefix(&group_resp.communities, q.k);
+                if pos > 0 {
+                    self.stats.record_prefix_hit(slice_start.elapsed());
+                }
+                Ok(QueryResponse {
+                    graph: group_resp.graph.clone(),
+                    graph_instance: Arc::clone(&group_resp.graph_instance),
+                    communities,
+                    explain: group_resp.explain.clone(),
+                    cached: if pos == 0 { group_resp.cached } else { true },
+                    coalesced: if pos == 0 {
+                        group_resp.coalesced
+                    } else {
+                        false
+                    },
+                    latency: group_resp.latency,
+                    search_stats: if pos == 0 {
+                        group_resp.search_stats
+                    } else {
+                        None
+                    },
+                })
+            })
+            .collect()
+    }
+
     // ----- progressive sessions ----------------------------------------
 
     /// Opens a progressive session on a registered graph; returns its id.
@@ -458,8 +674,21 @@ impl Service {
     }
 
     /// Pulls up to `n` further communities from a session. An empty
-    /// vector means the stream is exhausted.
+    /// vector means the stream is exhausted (or `n` was 0 — use
+    /// [`Service::session_next_full`] to tell the two apart).
     pub fn session_next(&self, id: u64, n: usize) -> Result<Vec<Community>, ServiceError> {
+        self.session_next_full(id, n).map(|(batch, _)| batch)
+    }
+
+    /// Pulls up to `n` further communities from a session, plus whether
+    /// the stream is exhausted. The flag comes from the session iterator
+    /// itself, so it is truthful even for `n = 0` probes and for batches
+    /// that come back exactly `n` long.
+    pub fn session_next_full(
+        &self,
+        id: u64,
+        n: usize,
+    ) -> Result<(Vec<Community>, bool), ServiceError> {
         // Hold the table lock only for the lookup: the batch is pulled
         // through a detached client so other sessions stay reachable
         // while this one's iterator works.
@@ -468,9 +697,9 @@ impl Service {
             let session = sessions.get(&id).ok_or(ServiceError::UnknownSession(id))?;
             session.client()?
         };
-        let batch = client.next_batch(n)?;
+        let (batch, done) = client.next_batch(n)?;
         self.stats.record_streamed(batch.len());
-        Ok(batch)
+        Ok((batch, done))
     }
 
     /// Closes a session, joining its worker thread.
@@ -521,9 +750,12 @@ impl Service {
 
     // ----- introspection -----------------------------------------------
 
-    /// A point-in-time snapshot of the hit/miss/latency counters.
+    /// A point-in-time snapshot of the hit/miss/latency counters, with
+    /// the pool's panic count folded in.
     pub fn stats(&self) -> ServiceStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.worker_panics = self.pool.panic_count();
+        stats
     }
 
     /// Number of entries currently cached.
@@ -663,6 +895,148 @@ mod tests {
             svc.query(Query::new("fig3", 1, 1).with_mode(Mode::Forced(Algorithm::Truss))),
             Err(ServiceError::InvalidQuery(_))
         ));
+    }
+
+    #[test]
+    fn larger_k_answers_prefix_serve_smaller_k() {
+        let svc = service_with_fig3();
+        let big = svc.query(Query::new("fig3", 3, 4)).unwrap();
+        assert!(!big.cached);
+        // smaller k: served from the k=4 entry without executing
+        let small = svc.query(Query::new("fig3", 3, 2)).unwrap();
+        assert!(small.cached, "prefix service counts as a cache hit");
+        assert_eq!(small.communities.len(), 2);
+        for (a, b) in small.communities.iter().zip(big.communities.iter()) {
+            assert_eq!(a.members, b.members);
+        }
+        let direct = direct_top_k(&figure3(), 3, 2);
+        for (a, b) in small.communities.iter().zip(&direct) {
+            assert_eq!(a.members, b.members, "prefix == directly computed");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.cache_misses, 1, "one search answered both");
+        assert_eq!(stats.prefix_served, 1);
+        // a *larger* k than anything cached still executes
+        let bigger = svc.query(Query::new("fig3", 3, 5)).unwrap();
+        assert!(!bigger.cached);
+    }
+
+    #[test]
+    fn exhausted_answers_serve_every_larger_k() {
+        let svc = service_with_fig3();
+        // figure 3 has 4 three-communities; k=100 exhausts the enumeration
+        let all = svc.query(Query::new("fig3", 3, 100)).unwrap();
+        let total = all.communities.len();
+        assert!(total < 100);
+        // any k — smaller, equal, larger — is now a hit
+        for k in [1usize, total, total + 1, 5000] {
+            let resp = svc.query(Query::new("fig3", 3, k)).unwrap();
+            assert!(resp.cached, "k={k}");
+            assert_eq!(resp.communities.len(), k.min(total), "k={k}");
+        }
+        assert_eq!(svc.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn query_batch_groups_and_slices() {
+        let svc = service_with_fig3();
+        svc.register("fig1", figure1());
+        let queries = vec![
+            Query::new("fig3", 3, 2),
+            Query::new("fig3", 3, 4), // same lane, bigger k
+            Query::new("fig1", 3, 1), // different graph
+            Query::new("fig3", 2, 3), // different γ
+            Query::new("fig3", 3, 1), // same lane again
+            Query::new("nope", 3, 1), // per-slot failure
+            Query::new("fig3", 0, 1), // per-slot validation failure
+        ];
+        let results = svc.query_batch(&queries);
+        assert_eq!(results.len(), queries.len());
+        // every successful slot matches its individually computed answer
+        for (q, r) in queries.iter().zip(&results).take(5) {
+            let resp = r.as_ref().expect("valid slots succeed");
+            let reference = direct_top_k(&resp.graph_instance, q.gamma, q.k);
+            assert_eq!(resp.communities.len(), reference.len(), "{q:?}");
+            for (a, b) in resp.communities.iter().zip(&reference) {
+                assert_eq!(a.members, b.members, "{q:?}");
+            }
+        }
+        assert!(matches!(results[5], Err(ServiceError::UnknownGraph(_))));
+        assert!(matches!(results[6], Err(ServiceError::InvalidQuery(_))));
+        // three groups → three searches, regardless of member count
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.cache_misses, 3, "one execution per group");
+        assert_eq!(stats.queries, 5, "every successful member is a query");
+    }
+
+    #[test]
+    fn query_batch_answers_equal_individual_queries() {
+        let svc = service_with_fig3();
+        let queries: Vec<Query> = [(3u32, 1usize), (3, 3), (3, 4), (2, 2), (4, 1)]
+            .into_iter()
+            .map(|(gamma, k)| Query::new("fig3", gamma, k))
+            .collect();
+        let batched = svc.query_batch(&queries);
+        let fresh = service_with_fig3();
+        for (q, b) in queries.iter().zip(&batched) {
+            let individual = fresh.query(q.clone()).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.communities.len(), individual.communities.len());
+            for (x, y) in b.communities.iter().zip(individual.communities.iter()) {
+                assert_eq!(x.members, y.members, "{q:?}");
+                assert_eq!(x.influence, y.influence, "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniformly_forced_batch_groups_keep_their_algorithm() {
+        let svc = service_with_fig3();
+        let forced: Vec<Query> = [1usize, 3]
+            .into_iter()
+            .map(|k| Query::new("fig3", 3, k).with_mode(Mode::Forced(Algorithm::Naive)))
+            .collect();
+        let results = svc.query_batch(&forced);
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().explain.algorithm, Algorithm::Naive);
+        }
+        assert_eq!(svc.stats().executions(Algorithm::Naive), 1);
+        // a truss-forced request lands in its own family group
+        let mixed = svc.query_batch(&[
+            Query::new("fig3", 4, 1),
+            Query::new("fig3", 4, 1).with_mode(Mode::Forced(Algorithm::Truss)),
+        ]);
+        let core = mixed[0].as_ref().unwrap();
+        let truss = mixed[1].as_ref().unwrap();
+        assert_eq!(truss.explain.algorithm, Algorithm::Truss);
+        assert_ne!(core.explain.algorithm, Algorithm::Truss);
+    }
+
+    #[test]
+    fn truss_batch_members_are_never_sliced() {
+        // The prefix guarantee is a core-family property; truss requests
+        // with different k must each run (or hit) at their own exact k,
+        // never be served a slice of a larger-k truss answer.
+        let svc = service_with_fig3();
+        let queries = vec![
+            Query::new("fig3", 4, 1).with_mode(Mode::Forced(Algorithm::Truss)),
+            Query::new("fig3", 4, 3).with_mode(Mode::Forced(Algorithm::Truss)),
+            Query::new("fig3", 4, 1).with_mode(Mode::Forced(Algorithm::Truss)),
+        ];
+        let results = svc.query_batch(&queries);
+        for (q, r) in queries.iter().zip(&results) {
+            let resp = r.as_ref().unwrap();
+            let expected = ic_core::truss::local_top_k(&figure3(), 4, q.k).communities;
+            assert_eq!(resp.communities.len(), expected.len(), "k={}", q.k);
+            for (a, b) in resp.communities.iter().zip(&expected) {
+                assert_eq!(a.members, b.members, "k={}", q.k);
+            }
+        }
+        // two distinct ks → two truss executions; the duplicate k=1
+        // shares its identical twin's group
+        assert_eq!(svc.stats().executions(Algorithm::Truss), 2);
+        assert_eq!(svc.stats().prefix_served, 1, "only the duplicate");
     }
 
     #[test]
@@ -894,12 +1268,11 @@ mod tests {
 
     #[test]
     fn load_path_round_trips_both_formats() {
-        let dir = std::env::temp_dir().join("ic_service_load_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = ic_graph::scratch::ScratchDir::new("ic-service-load");
         let g = figure3();
-        let bin = dir.join("g.icg");
+        let bin = dir.file("g.icg");
         io::save(&g, &bin).unwrap();
-        let txt = dir.join("g.txt");
+        let txt = dir.file("g.txt");
         io::write_text(&g, std::fs::File::create(&txt).unwrap()).unwrap();
 
         let svc = Service::with_defaults();
@@ -907,9 +1280,7 @@ mod tests {
         let from_txt = svc.load_path("txt", txt.to_str().unwrap()).unwrap();
         assert_eq!(from_bin.stats, from_txt.stats);
         assert!(svc
-            .load_path("missing", dir.join("nope.icg").to_str().unwrap())
+            .load_path("missing", dir.file("nope.icg").to_str().unwrap())
             .is_err());
-        std::fs::remove_file(bin).ok();
-        std::fs::remove_file(txt).ok();
     }
 }

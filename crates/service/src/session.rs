@@ -28,7 +28,7 @@ use crate::error::ServiceError;
 
 struct NextRequest {
     n: usize,
-    reply: Sender<Vec<Community>>,
+    reply: Sender<(Vec<Community>, bool)>,
 }
 
 enum Command {
@@ -70,14 +70,21 @@ impl Session {
             .spawn(move || {
                 let mut stream = query
                     .stream(&graph_for_worker)
-                    .expect("query validated before spawn");
+                    .expect("query validated before spawn")
+                    .peekable();
                 while let Ok(cmd) = rx.recv() {
                     let req = match cmd {
                         Command::Next(req) => req,
                         Command::Shutdown => return,
                     };
                     let batch: Vec<Community> = stream.by_ref().take(req.n).collect();
-                    if req.reply.send(batch).is_err() {
+                    // `done` comes from the iterator itself, never from
+                    // batch emptiness (a NEXT with n=0 yields an empty
+                    // batch on a live stream). A short batch already
+                    // proves exhaustion; a full one needs a one-community
+                    // peek — work the next NEXT would do anyway.
+                    let done = batch.len() < req.n || stream.peek().is_none();
+                    if req.reply.send((batch, done)).is_err() {
                         return; // requester gone; session is being torn down
                     }
                 }
@@ -99,9 +106,10 @@ impl Session {
         Arc::clone(&self.graph_instance)
     }
 
-    /// Pulls up to `n` further communities. An empty vector means the
-    /// stream is exhausted (every community has been delivered).
-    pub fn next_batch(&self, n: usize) -> Result<Vec<Community>, ServiceError> {
+    /// Pulls up to `n` further communities. The flag is `true` when the
+    /// stream is exhausted — derived from the session iterator, so a
+    /// zero-`n` probe reports it truthfully.
+    pub fn next_batch(&self, n: usize) -> Result<(Vec<Community>, bool), ServiceError> {
         self.client()?.next_batch(n)
     }
 
@@ -124,11 +132,9 @@ pub struct SessionClient {
 }
 
 impl SessionClient {
-    /// Pulls up to `n` further communities; empty means exhausted.
-    pub fn next_batch(&self, n: usize) -> Result<Vec<Community>, ServiceError> {
-        if n == 0 {
-            return Ok(Vec::new());
-        }
+    /// Pulls up to `n` further communities; the flag reports exhaustion
+    /// (asked of the iterator even when `n` is 0, so probes are honest).
+    pub fn next_batch(&self, n: usize) -> Result<(Vec<Community>, bool), ServiceError> {
         let (reply_tx, reply_rx) = channel();
         self.tx
             .send(Command::Next(NextRequest { n, reply: reply_tx }))
@@ -163,19 +169,21 @@ mod tests {
         let session = Session::open("fig3", g.clone(), 3).unwrap();
         let mut streamed = Vec::new();
         loop {
-            let batch = session.next_batch(2).unwrap();
-            if batch.is_empty() {
+            let (batch, done) = session.next_batch(2).unwrap();
+            streamed.extend(batch);
+            if done {
                 break;
             }
-            streamed.extend(batch);
         }
         assert_eq!(streamed.len(), reference.len());
         for (a, b) in streamed.iter().zip(&reference) {
             assert_eq!(a.keynode, b.keynode);
             assert_eq!(a.members, b.members);
         }
-        // exhausted stream keeps returning empty batches
-        assert!(session.next_batch(3).unwrap().is_empty());
+        // exhausted stream keeps returning empty, done batches
+        let (batch, done) = session.next_batch(3).unwrap();
+        assert!(batch.is_empty());
+        assert!(done);
     }
 
     #[test]
@@ -184,10 +192,20 @@ mod tests {
     }
 
     #[test]
-    fn zero_n_is_a_noop() {
+    fn zero_n_probes_done_without_consuming() {
         let session = Session::open("g", Arc::new(figure3()), 3).unwrap();
-        assert!(session.next_batch(0).unwrap().is_empty());
-        assert_eq!(session.next_batch(1).unwrap().len(), 1);
+        let (batch, done) = session.next_batch(0).unwrap();
+        assert!(batch.is_empty());
+        assert!(!done, "a live stream must not report exhaustion on n=0");
+        let (batch, done) = session.next_batch(1).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(!done, "figure 3 has more than one 3-community");
+        // drain; the final short batch reports done
+        let (_, done) = session.next_batch(10_000).unwrap();
+        assert!(done);
+        let (batch, done) = session.next_batch(0).unwrap();
+        assert!(batch.is_empty());
+        assert!(done, "an exhausted stream reports done on n=0 too");
     }
 
     #[test]
@@ -195,6 +213,28 @@ mod tests {
         let session = Session::open("g", Arc::new(figure3()), 3).unwrap();
         let _ = session.next_batch(1).unwrap();
         drop(session); // must not hang or leak
+    }
+
+    #[test]
+    fn done_flag_tracks_the_iterator_exactly() {
+        let g = Arc::new(figure3());
+        let total = TopKQuery::new(3)
+            .k(usize::MAX / 4)
+            .run(&g)
+            .unwrap()
+            .communities
+            .len();
+        let session = Session::open("fig3", g, 3).unwrap();
+        let mut pulled = 0usize;
+        loop {
+            let (batch, done) = session.next_batch(1).unwrap();
+            pulled += batch.len();
+            // done must flip exactly when the last community is delivered
+            assert_eq!(done, pulled == total, "after {pulled} of {total}");
+            if done {
+                break;
+            }
+        }
     }
 
     #[test]

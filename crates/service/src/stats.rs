@@ -21,6 +21,9 @@ pub struct StatsRecorder {
     queries: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    prefix_served: AtomicU64,
+    batches: AtomicU64,
     executed: [AtomicU64; ALGORITHM_COUNT],
     query_latency_ns: AtomicU64,
     sessions_opened: AtomicU64,
@@ -38,6 +41,27 @@ impl StatsRecorder {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
         self.query_latency_ns
             .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A cache hit answered by slicing a larger-k (or exhausted) entry of
+    /// the same lane rather than an exact key match.
+    pub fn record_prefix_hit(&self, latency: Duration) {
+        self.prefix_served.fetch_add(1, Ordering::Relaxed);
+        self.record_hit(latency);
+    }
+
+    /// A query answered by joining another query's in-flight execution.
+    pub fn record_coalesced(&self, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.query_latency_ns
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// One `query_batch` call (its member requests are recorded
+    /// individually as hits/misses/coalesced).
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_miss(&self, algorithm: Algorithm, latency: Duration) {
@@ -68,6 +92,10 @@ impl StatsRecorder {
             queries: self.queries.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            prefix_served: self.prefix_served.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            worker_panics: 0, // owned by the pool; merged by Service::stats
             executed,
             query_latency_ns: self.query_latency_ns.load(Ordering::Relaxed),
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
@@ -80,12 +108,22 @@ impl StatsRecorder {
 /// A point-in-time snapshot of the service counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
-    /// Batch queries answered (hits + misses).
+    /// Batch queries answered (hits + misses + coalesced).
     pub queries: u64,
-    /// Queries answered from the result cache.
+    /// Queries answered from the result cache (exact or prefix-served).
     pub cache_hits: u64,
     /// Queries that executed an algorithm.
     pub cache_misses: u64,
+    /// Queries that joined an identical query already in flight instead
+    /// of executing — the single-flight savings.
+    pub coalesced: u64,
+    /// Cache hits answered by slicing a larger-k (or exhausted)
+    /// same-lane entry; a subset of `cache_hits`.
+    pub prefix_served: u64,
+    /// `query_batch` invocations (member requests count in `queries`).
+    pub batches: u64,
+    /// Worker-pool jobs that panicked (caught; the worker survived).
+    pub worker_panics: u64,
     /// Executions per algorithm, in [`Algorithm::ALL`] order
     /// (local_search, progressive, forward, online_all, backward, naive,
     /// truss); see [`Self::executions`].
@@ -147,6 +185,24 @@ mod tests {
         assert_eq!(s.mean_latency(), Duration::from_nanos(42_000 / 3));
         assert_eq!(s.sessions_opened, 1);
         assert_eq!(s.communities_streamed, 5);
+    }
+
+    #[test]
+    fn serving_counters_accumulate() {
+        let r = StatsRecorder::new();
+        r.record_miss(Algorithm::LocalSearch, Duration::from_micros(10));
+        r.record_coalesced(Duration::from_micros(1));
+        r.record_coalesced(Duration::from_micros(1));
+        r.record_prefix_hit(Duration::from_micros(2));
+        r.record_batch();
+        let s = r.snapshot();
+        assert_eq!(s.queries, 4, "coalesced and prefix hits are queries");
+        assert_eq!(s.coalesced, 2);
+        assert_eq!(s.cache_hits, 1, "prefix service counts as a hit");
+        assert_eq!(s.prefix_served, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.mean_latency(), Duration::from_nanos(14_000 / 4));
     }
 
     #[test]

@@ -24,9 +24,11 @@ pub mod prelude {
     //! ([`LocalSearch`], [`ProgressiveSearch`]) remain for callers that
     //! manage buffers or streams directly; the dynamic side exposes the
     //! mutable overlay ([`DynamicGraph`], [`UpdateOp`]); the serving side
-    //! exposes the engine ([`Service`], [`ServiceConfig`]) and its query
+    //! exposes the engine ([`Service`], [`ServiceConfig`]), its query
     //! type ([`Query`], [`QueryMode`] — the same [`Selection`] the
-    //! library uses).
+    //! library uses), the per-answer [`QueryResponse`] (with its
+    //! cached/coalesced provenance flags), and the [`ServiceStats`]
+    //! snapshot.
     pub use ic_core::community::Community;
     pub use ic_core::local_search::{LocalSearch, SearchResult, SearchStats};
     pub use ic_core::progressive::ProgressiveSearch;
@@ -37,5 +39,7 @@ pub mod prelude {
     pub use ic_dynamic::{DynamicGraph, UpdateOp};
     pub use ic_graph::generators::{assemble, WeightKind};
     pub use ic_graph::{GraphBuilder, Prefix, WeightedGraph};
-    pub use ic_service::{Mode as QueryMode, Query, Service, ServiceConfig};
+    pub use ic_service::{
+        Mode as QueryMode, Query, QueryResponse, Service, ServiceConfig, ServiceStats,
+    };
 }

@@ -12,9 +12,10 @@
 //!
 //! The second test is the shim lint gate: the unified query API
 //! (`TopKQuery` + the `Algorithm` trait) is the one sanctioned entry
-//! point, so free `pub fn top_k` declarations may exist *only* in the
-//! grandfathered shim modules — adding an eighth divergent entry point
-//! fails this test.
+//! point. The six grandfathered `#[deprecated]` `top_k` shims were
+//! deleted after their one-release grace period, so the allowlist is now
+//! empty: *no* free `pub fn top_k` may exist anywhere — a divergent
+//! entry point fails this test.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -30,16 +31,12 @@ const ROOTS: &[&str] = &[
     "crates/service/src",
 ];
 
-/// The only files allowed to declare a free `pub fn top_k` — the
-/// deprecated one-release shims over the unified query API.
-const TOP_K_SHIM_FILES: &[&str] = &[
-    "crates/core/src/local_search.rs",
-    "crates/core/src/progressive.rs",
-    "crates/core/src/forward.rs",
-    "crates/core/src/online_all.rs",
-    "crates/core/src/backward.rs",
-    "crates/core/src/naive.rs",
-];
+/// Files allowed to declare a free `pub fn top_k`: none. The deprecated
+/// one-release shims (local_search/progressive/forward/online_all/
+/// backward/naive) were removed once their grace period ended; the slice
+/// stays so a future intentional grandfathering is one edit, reviewed
+/// here.
+const TOP_K_SHIM_FILES: &[&str] = &[];
 
 const KINDS: &[&str] = &[
     "pub fn ",
@@ -198,8 +195,9 @@ fn no_new_top_k_free_functions_outside_shim_modules() {
 
 #[test]
 fn shim_modules_still_declare_their_shims() {
-    // the gate above would pass vacuously if the shims were renamed;
-    // anchor the allowlist to reality so it is pruned when they go
+    // the gate above would pass vacuously if an allowlisted file were
+    // renamed; anchor the allowlist to reality so it is pruned when its
+    // entries go (it was, when the six v1 shims were deleted)
     let surface = scan();
     for file in TOP_K_SHIM_FILES {
         assert!(

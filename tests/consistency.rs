@@ -224,6 +224,51 @@ proptest! {
         prop_assert!(resp.communities.is_empty());
     }
 
+    /// The enumeration-order invariant the serving layer's prefix-aware
+    /// cache and batch slicing rely on (§4, LocalSearch-P): for every
+    /// core-family algorithm, `top_k(γ, k)` equals the first k entries
+    /// of `top_k(γ, k′)` whenever k < k′. If any algorithm ever broke
+    /// this, a sliced cache entry would silently serve a wrong answer —
+    /// this test is the guard.
+    #[test]
+    fn topk_is_a_prefix_of_larger_topk(
+        (n, density, seed) in (20usize..64, 2usize..5, 0u64..10_000),
+        gamma in 1u32..5,
+    ) {
+        let g = assemble(n, &gnm(n, n * density, seed), WeightKind::Uniform(seed ^ 0xFACE));
+        let core_family = [
+            AlgorithmId::LocalSearch,
+            AlgorithmId::Progressive,
+            AlgorithmId::Forward,
+            AlgorithmId::OnlineAll,
+            AlgorithmId::Backward,
+            AlgorithmId::Naive,
+        ];
+        for id in core_family {
+            // k' grid includes exhausted enumerations (k' > #communities)
+            let big_ks = [4usize, 9, n / 2 + 1, n + 10];
+            for big_k in big_ks {
+                let big = via_builder(&g, id, gamma, big_k);
+                for k in [1usize, 2, 3, big_k / 2, big_k.saturating_sub(1), big_k] {
+                    if k == 0 || k > big_k {
+                        continue;
+                    }
+                    let small = via_builder(&g, id, gamma, k);
+                    let expected = &big[..k.min(big.len())];
+                    prop_assert_eq!(
+                        small.len(), expected.len(),
+                        "{} γ={} k={} k'={}: count", id, gamma, k, big_k
+                    );
+                    for (a, b) in small.iter().zip(expected) {
+                        prop_assert_eq!(a.keynode, b.keynode, "{} γ={} k={} k'={}", id, gamma, k, big_k);
+                        prop_assert_eq!(&a.members, &b.members, "{} γ={} k={} k'={}", id, gamma, k, big_k);
+                        prop_assert_eq!(a.influence, b.influence, "{} γ={} k={} k'={}", id, gamma, k, big_k);
+                    }
+                }
+            }
+        }
+    }
+
     /// The unified builder is a transparent veneer: for every algorithm
     /// variant × (γ, k) grid point, dispatching through
     /// `TopKQuery` + the `Algorithm` trait returns results identical to
@@ -263,22 +308,19 @@ proptest! {
     }
 }
 
-/// The pre-builder entry point of each algorithm: the executor/stream
-/// types where they exist, the (deprecated, one-release) shims elsewhere.
+/// The pre-builder entry point of each algorithm: the power-tool types
+/// and reference lists where they exist, the static-dispatch
+/// `query::exec` executors elsewhere (the v1 free-function shims are
+/// gone as of this release).
 fn direct_call(g: &WeightedGraph, id: AlgorithmId, gamma: u32, k: usize) -> Vec<Community> {
-    #[allow(deprecated)]
+    use influential_communities::search::query::{exec, Algorithm as _};
+    let q = TopKQuery::new(gamma).k(k);
     match id {
         AlgorithmId::LocalSearch => LocalSearch::new().run(g, gamma, k).communities,
         AlgorithmId::Progressive => ProgressiveSearch::new(g, gamma).take(k).collect(),
-        AlgorithmId::Forward => {
-            influential_communities::search::forward::top_k(g, gamma, k).communities
-        }
-        AlgorithmId::OnlineAll => {
-            influential_communities::search::online_all::top_k(g, gamma, k).communities
-        }
-        AlgorithmId::Backward => {
-            influential_communities::search::backward::top_k(g, gamma, k).communities
-        }
+        AlgorithmId::Forward => exec::Forward.run(g, &q).communities,
+        AlgorithmId::OnlineAll => exec::OnlineAll.run(g, &q).communities,
+        AlgorithmId::Backward => exec::Backward.run(g, &q).communities,
         AlgorithmId::Naive => {
             let mut all = naive::all_communities(g, gamma);
             all.truncate(k);

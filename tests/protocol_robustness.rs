@@ -51,6 +51,19 @@ fn malformed_and_truncated_lines_error_cleanly() {
         "QUERY",
         "QUERY fig3",
         "QUERY fig3 3",
+        "BATCH",
+        "BATCH ;",
+        "BATCH ; ; ;",
+        "BATCH fig3",
+        "BATCH fig3 3",
+        "BATCH fig3 3 4 ;",
+        "BATCH ; fig3 3 4",
+        "BATCH fig3 3 4 ; fig3",
+        "BATCH fig3 3 4 ; ; fig3 3 4",
+        "BATCH fig3 3 4 warp ; fig3 3 4",
+        "BATCH fig3 3 4 ; fig3 3 4 auto extra",
+        "BATCH fig3 ; 3 4",
+        "BATCH ;;;;;;;;",
         "EXPLAIN",
         "EXPLAIN fig3 3",
         "OPEN",
@@ -115,6 +128,7 @@ fn oversized_inputs_do_not_panic_or_allocate_absurdly() {
     let long_name = "g".repeat(1 << 20);
     let digits = "9".repeat(1 << 20);
     let many_tokens = "x ".repeat(200_000);
+    let many_batch = "fig3 3 4 ; ".repeat(100_000);
     for line in [
         format!("QUERY {long_name} 3 4"),
         format!("QUERY fig3 {digits} 4"),
@@ -123,6 +137,9 @@ fn oversized_inputs_do_not_panic_or_allocate_absurdly() {
         format!("COMMIT {long_name}"),
         many_tokens.clone(),
         format!("QUERY fig3 3 4 {many_tokens}"),
+        format!("BATCH {many_batch}"),
+        format!("BATCH fig3 {digits} 4"),
+        format!("BATCH {many_tokens}"),
     ] {
         let reply = feed(&svc, &line);
         assert!(reply.starts_with("ERR "), "oversized line -> {reply:?}");
@@ -133,8 +150,8 @@ fn oversized_inputs_do_not_panic_or_allocate_absurdly() {
 fn seeded_token_fuzzing_never_panics() {
     let svc = svc();
     let verbs = [
-        "LOAD", "GEN", "GRAPHS", "QUERY", "EXPLAIN", "UPDATE", "COMMIT", "OPEN", "NEXT", "CLOSE",
-        "STATS", "HELP", "QUIT", "update", "Commit", "",
+        "LOAD", "GEN", "GRAPHS", "QUERY", "BATCH", "EXPLAIN", "UPDATE", "COMMIT", "OPEN", "NEXT",
+        "CLOSE", "STATS", "HELP", "QUIT", "update", "Commit", "batch", "",
     ];
     let tokens = [
         "fig3",
@@ -165,6 +182,10 @@ fn seeded_token_fuzzing_never_panics() {
         "..",
         "--",
         "x",
+        ";",
+        ";;",
+        "fig3 3 4 ;",
+        "; fig3 3 4",
     ];
     let mut rng = Pcg32::new(0xF422);
     for _ in 0..3000 {
@@ -250,6 +271,38 @@ fn seeded_builder_fuzzing_never_panics() {
     }
     assert!(accepted > 100, "fuzz grid must exercise the accept path");
     assert!(rejected > 100, "fuzz grid must exercise the reject path");
+}
+
+/// `NEXT <session> 0` used to reply `OK count=0` — indistinguishable
+/// from the documented "stream exhausted" signal, so a probing client
+/// wrongly concluded the stream was done. The reply now carries an
+/// explicit `done=` derived from the session iterator.
+#[test]
+fn next_zero_probe_is_not_mistaken_for_exhaustion() {
+    let svc = svc();
+    let open = feed(&svc, "OPEN fig3 3");
+    let id: u64 = open.trim_start_matches("OK session=").parse().unwrap();
+    let probe = feed(&svc, &format!("NEXT {id} 0"));
+    assert!(probe.starts_with("OK count=0 done=0"), "{probe}");
+    // the stream yields everything afterwards, each reply flagged live
+    // until the final one
+    let total = TopKQuery::new(3)
+        .k(usize::MAX / 4)
+        .run(&figure3())
+        .unwrap()
+        .communities
+        .len();
+    for i in 0..total {
+        let reply = feed(&svc, &format!("NEXT {id} 1"));
+        let expect_done = i + 1 == total;
+        assert!(
+            reply.starts_with(&format!("OK count=1 done={}", u8::from(expect_done))),
+            "community {i}: {reply}"
+        );
+    }
+    let after = feed(&svc, &format!("NEXT {id} 0"));
+    assert!(after.starts_with("OK count=0 done=1"), "{after}");
+    assert!(feed(&svc, &format!("CLOSE {id}")).starts_with("OK"));
 }
 
 #[test]

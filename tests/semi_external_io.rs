@@ -4,22 +4,21 @@
 //! OnlineAll-SE streams everything).
 
 use ic_graph::generators::{assemble, barabasi_albert, gnm, WeightKind};
+use ic_graph::scratch::ScratchDir;
 use ic_graph::{DiskGraph, WeightedGraph};
 use influential_communities::search::{semi_external, TopKQuery};
-use std::path::PathBuf;
 
-fn spill(g: &WeightedGraph, name: &str) -> DiskGraph {
-    let dir: PathBuf = std::env::temp_dir().join("ic_it_se");
-    std::fs::create_dir_all(&dir).unwrap();
-    DiskGraph::create(g, dir.join(name)).unwrap()
+fn spill(g: &WeightedGraph, dir: &ScratchDir, name: &str) -> DiskGraph {
+    DiskGraph::create(g, dir.file(name)).unwrap()
 }
 
 #[test]
 fn se_answers_match_in_memory_on_random_graphs() {
+    let dir = ScratchDir::new("ic-it-se");
     for seed in 0..4u64 {
         let n = 120;
         let g = assemble(n, &gnm(n, 500, seed), WeightKind::Uniform(seed + 11));
-        let dg = spill(&g, &format!("gnm-{seed}.bin"));
+        let dg = spill(&g, &dir, &format!("gnm-{seed}.bin"));
         for gamma in 1..=4u32 {
             for k in [1usize, 3, 9] {
                 let reference = TopKQuery::new(gamma).k(k).run(&g).unwrap().communities;
@@ -41,9 +40,10 @@ fn se_answers_match_in_memory_on_random_graphs() {
 fn io_locality_shape() {
     // on a larger skewed graph, LocalSearch-SE must read a small fraction
     // of the file while OnlineAll-SE reads all of it (Figures 16–17)
+    let dir = ScratchDir::new("ic-it-se");
     let n = 5_000;
     let g = assemble(n, &barabasi_albert(n, 6, 31), WeightKind::PageRank);
-    let dg = spill(&g, "ba-locality.bin");
+    let dg = spill(&g, &dir, "ba-locality.bin");
     let (_, ls) = semi_external::local_search_se_top_k(&dg, 4, 5).unwrap();
     let (_, oa) = semi_external::online_all_se_top_k(&dg, 4, 5).unwrap();
     assert_eq!(oa.io.edges_read(), g.m() as u64);
@@ -59,9 +59,10 @@ fn io_locality_shape() {
 
 #[test]
 fn se_io_grows_with_k() {
+    let dir = ScratchDir::new("ic-it-se");
     let n = 3_000;
     let g = assemble(n, &barabasi_albert(n, 5, 13), WeightKind::PageRank);
-    let dg = spill(&g, "ba-growth.bin");
+    let dg = spill(&g, &dir, "ba-growth.bin");
     let mut prev = 0u64;
     for k in [1usize, 5, 25, 125] {
         let (_, st) = semi_external::local_search_se_top_k(&dg, 3, k).unwrap();

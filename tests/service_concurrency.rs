@@ -178,14 +178,19 @@ fn concurrent_mixed_workload_matches_single_threaded_search() {
     // cannot guarantee that by itself — mode is deliberately not part of
     // the cache key, so under some interleavings every forced-mode query
     // lands on a hit another algorithm populated. Drive one guaranteed
-    // miss per algorithm (fresh k values no thread used) and check the
-    // answers against the single-threaded search while we're at it.
+    // miss per algorithm (a fresh graph *name* per algorithm: with the
+    // prefix-aware cache, no k against an already-queried lane is safe
+    // from being served by slicing) and check the answers against the
+    // single-threaded search while we're at it.
     for (i, algo) in CORE_ALGORITHMS.into_iter().enumerate() {
-        let k = 11 + i; // distinct, uncached (γ, k) per algorithm
+        let k = 11 + i;
+        let name = format!("post-{algo}");
+        svc.register(&name, graphs[0].1.clone());
         let resp = svc
-            .query(Query::new("gnm", 2, k).with_mode(Mode::Forced(algo)))
+            .query(Query::new(&name, 2, k).with_mode(Mode::Forced(algo)))
             .expect("post-pass query succeeds");
         assert!(!resp.cached, "{algo}: key must be fresh");
+        assert!(!resp.coalesced, "{algo}: nothing to coalesce with");
         assert_eq!(resp.explain.algorithm, algo);
         assert!(resp.search_stats.is_some(), "{algo}: uniform stats");
         assert_matches_direct(&resp.communities, &graphs[0].1, 2, k);
@@ -225,6 +230,123 @@ fn assert_matches_direct(
     for (x, y) in got.iter().zip(&expected) {
         assert_eq!(x.members, y.members);
     }
+}
+
+/// The single-flight guarantee (this PR's acceptance test): 32 threads
+/// fire the *same* cold query through `execute_inline` simultaneously,
+/// and the search must run exactly once — one cache miss, every other
+/// thread either coalesced onto the in-flight execution or (if it
+/// arrived after the answer landed) served from the cache. The search is
+/// made slow enough (forced OnlineAll on a 40k-edge graph) that under
+/// any realistic scheduling all 31 non-leaders arrive while the leader
+/// is still computing.
+#[test]
+fn thundering_herd_executes_the_search_exactly_once() {
+    const THREADS: usize = 32;
+    let g = assemble(
+        10_000,
+        &barabasi_albert(10_000, 4, 77),
+        WeightKind::PageRank,
+    );
+    let svc = Service::new(ServiceConfig {
+        workers: 4,
+        cache_capacity: 64,
+        cache_shards: 4,
+    });
+    svc.register("herd", g.clone());
+    let reference = reference_top_k(&g, 2, 32);
+
+    // raw threads through execute_inline (not the pool, whose fixed
+    // width would serialize the herd and mask the race being tested)
+    let start = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                svc.execute_inline(
+                    &Query::new("herd", 2, 32).with_mode(Mode::Forced(Algorithm::OnlineAll)),
+                )
+                .expect("query succeeds")
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // every thread got the full, correct answer
+    let executed: Vec<_> = responses
+        .iter()
+        .filter(|r| !r.cached && !r.coalesced)
+        .collect();
+    for r in &responses {
+        assert_eq!(r.communities.len(), reference.len());
+        for (a, b) in r.communities.iter().zip(reference.iter()) {
+            assert_eq!(a.members, b.members);
+        }
+    }
+    // ...but only one of them computed it
+    let stats = svc.stats();
+    assert_eq!(stats.cache_misses, 1, "the herd executed more than once");
+    assert_eq!(executed.len(), 1, "exactly one leader");
+    assert_eq!(stats.queries, THREADS as u64);
+    assert_eq!(
+        stats.coalesced + stats.cache_hits,
+        (THREADS - 1) as u64,
+        "everyone else was coalesced or cache-served: {stats:?}"
+    );
+    assert!(
+        stats.coalesced >= 1,
+        "a slow search must coalesce at least some of a 32-thread herd"
+    );
+    assert_eq!(stats.executions(Algorithm::OnlineAll), 1);
+}
+
+/// `query_batch` answers must be indistinguishable from the same queries
+/// issued one by one against a fresh service — while executing once per
+/// `(graph, γ, family)` group instead of once per request.
+#[test]
+fn batched_answers_equal_individual_answers() {
+    let g = assemble(180, &gnm(180, 700, 11), WeightKind::Uniform(42));
+    let queries: Vec<Query> = [
+        ("g", 2u32, 1usize),
+        ("g", 2, 8),
+        ("g", 2, 250),
+        ("g", 3, 3),
+        ("g", 3, 8),
+        ("g", 4, 1),
+        ("g", 2, 8), // exact duplicate rides along
+    ]
+    .into_iter()
+    .map(|(name, gamma, k)| Query::new(name, gamma, k))
+    .collect();
+
+    let batched_svc = Service::with_defaults();
+    batched_svc.register("g", g.clone());
+    let batched = batched_svc.query_batch(&queries);
+
+    let individual_svc = Service::with_defaults();
+    individual_svc.register("g", g.clone());
+
+    for (q, b) in queries.iter().zip(&batched) {
+        let b = b.as_ref().expect("all queries valid");
+        let individual = individual_svc.query(q.clone()).expect("query succeeds");
+        assert_eq!(
+            b.communities.len(),
+            individual.communities.len(),
+            "{q:?}: count"
+        );
+        for (x, y) in b.communities.iter().zip(individual.communities.iter()) {
+            assert_eq!(x.keynode, y.keynode, "{q:?}");
+            assert_eq!(x.members, y.members, "{q:?}");
+            assert_eq!(x.influence, y.influence, "{q:?}");
+        }
+    }
+    // 3 lanes (γ=2, γ=3, γ=4) → exactly 3 searches for 7 requests
+    let stats = batched_svc.stats();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.cache_misses, 3, "one search per group: {stats:?}");
+    assert_eq!(stats.queries, queries.len() as u64);
 }
 
 /// The invalidation guarantee under *concurrent* load: while reader
