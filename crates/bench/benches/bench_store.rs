@@ -1,0 +1,63 @@
+//! Storage-backend comparison: the same cold top-k query answered from
+//! the in-memory CSR vs the file-backed `.icsr` store.
+//!
+//! Every iteration runs the full search (no result cache anywhere), so
+//! the numbers isolate the storage seam itself: `memory` is plain
+//! LocalSearch over the resident CSR, `file` is LocalSearch-SE reading
+//! its answer prefix from disk through [`FileCsr`], and `file_stream` is
+//! OnlineAll-SE paying for the whole edge file. Recorded in
+//! `BENCH_2026-08.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_core::query::{AlgorithmId, TopKQuery};
+use ic_graph::{save_icsr, FileCsr, GraphStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
+    let dir = std::env::temp_dir().join("ic_bench_store");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for name in ["email", "youtube"] {
+        let path = dir.join(format!("{name}.icsr"));
+        let g = dataset(name, Scale::Small);
+        save_icsr(g, &path).expect("save_icsr");
+        let memory = GraphStore::Memory(Arc::new(g.clone()));
+        let file = GraphStore::File(Arc::new(FileCsr::open(&path).expect("open icsr")));
+        let q = TopKQuery::new(10).k(10);
+
+        group.bench_function(format!("query_cold/memory/{name}/k10"), |b| {
+            b.iter(|| {
+                AlgorithmId::LocalSearch
+                    .resolve()
+                    .run_store(&memory, &q)
+                    .expect("memory run")
+            })
+        });
+        group.bench_function(format!("query_cold/file/{name}/k10"), |b| {
+            b.iter(|| {
+                AlgorithmId::LocalSearchSE
+                    .resolve()
+                    .run_store(&file, &q)
+                    .expect("file run")
+            })
+        });
+        group.bench_function(format!("query_cold/file_stream/{name}/k10"), |b| {
+            b.iter(|| {
+                AlgorithmId::OnlineAllSE
+                    .resolve()
+                    .run_store(&file, &q)
+                    .expect("file stream run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -37,6 +37,13 @@ impl Community {
         self.members.iter().map(|&r| g.external_id(r)).collect()
     }
 
+    /// Members translated to external ids through any storage backend
+    /// (file-backed stores keep the id table resident, so this never
+    /// performs I/O).
+    pub fn external_members_in(&self, store: &ic_graph::GraphStore) -> Vec<u64> {
+        self.members.iter().map(|&r| store.external_id(r)).collect()
+    }
+
     /// External id of the keynode.
     pub fn external_keynode(&self, g: &WeightedGraph) -> u64 {
         g.external_id(self.keynode)

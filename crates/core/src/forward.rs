@@ -29,6 +29,7 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
         final_prefix_len: g.n(),
         final_prefix_size: prefix.size(),
         total_counted_size: prefix.size(),
+        ..SearchStats::default()
     };
     // pass 1: global counting peel
     let total = count_ic(&prefix, gamma);

@@ -70,6 +70,11 @@ pub struct SearchStats {
     pub final_prefix_size: u64,
     /// Sum of sizes of all counted prefixes (total counting work).
     pub total_counted_size: u64,
+    /// Bytes read from disk-resident edge storage (zero for fully
+    /// in-memory runs; populated by the semi-external executors).
+    pub bytes_read: u64,
+    /// Read operations issued against disk-resident edge storage.
+    pub read_ops: u64,
 }
 
 /// Query result: materialized communities (top first), the compact forest,

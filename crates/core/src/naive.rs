@@ -49,6 +49,7 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
         final_prefix_len: g.n(),
         final_prefix_size: g.size(),
         total_counted_size: g.size(),
+        ..SearchStats::default()
     };
     flat_result(all, stats)
 }

@@ -152,6 +152,7 @@ pub(crate) fn query_top_k(g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
         final_prefix_len: g.n(),
         final_prefix_size: prefix.size(),
         total_counted_size: prefix.size() + run.component_work,
+        ..SearchStats::default()
     };
     let communities = run
         .kept

@@ -102,6 +102,7 @@ impl<'g> ProgressiveSearch<'g> {
             final_prefix_len: self.prev_len,
             final_prefix_size: self.prev_size,
             total_counted_size: self.total_counted_size,
+            ..SearchStats::default()
         }
     }
 

@@ -60,7 +60,7 @@
 
 use std::fmt;
 
-use ic_graph::WeightedGraph;
+use ic_graph::{GraphStore, WeightedGraph};
 
 use crate::community::{Community, CommunityForest};
 use crate::local_search::{CountStrategy, SearchResult, SearchStats};
@@ -103,6 +103,8 @@ pub enum QueryError {
     /// Query-dependent weighting ([`crate::query_weights::closest`])
     /// needs at least one source vertex.
     EmptySourceSet,
+    /// A file-backed store failed mid-query (read error, vanished file).
+    Io(String),
 }
 
 impl fmt::Display for QueryError {
@@ -125,7 +127,8 @@ impl fmt::Display for QueryError {
             QueryError::UnknownAlgorithm(token) => write!(
                 f,
                 "unknown mode {token:?} (expected auto, local_search, progressive, \
-                 forward, online_all, backward, naive, truss)"
+                 forward, online_all, backward, naive, truss, local_search_se, \
+                 online_all_se)"
             ),
             QueryError::EmptySourceSet => {
                 write!(
@@ -133,6 +136,7 @@ impl fmt::Display for QueryError {
                     "query-dependent weighting needs at least one source vertex"
                 )
             }
+            QueryError::Io(msg) => write!(f, "storage i/o failed: {msg}"),
         }
     }
 }
@@ -161,6 +165,13 @@ pub enum AlgorithmId {
     Naive,
     /// LocalSearch-Truss (Algorithm 6): influential γ-truss communities.
     Truss,
+    /// LocalSearch-SE (§3.1 Remark): the semi-external progressive local
+    /// search — the only local algorithm that can answer against a
+    /// file-backed [`GraphStore`].
+    LocalSearchSE,
+    /// OnlineAll-SE: the semi-external global baseline (streams the
+    /// whole edge file before reporting anything).
+    OnlineAllSE,
 }
 
 /// Which answer family an algorithm produces. Two queries with the same
@@ -179,7 +190,7 @@ pub enum AnswerFamily {
 impl AlgorithmId {
     /// All algorithms, in display order. The first four are the
     /// interchangeable planner-selectable family.
-    pub const ALL: [AlgorithmId; 7] = [
+    pub const ALL: [AlgorithmId; 9] = [
         AlgorithmId::LocalSearch,
         AlgorithmId::Progressive,
         AlgorithmId::Forward,
@@ -187,6 +198,8 @@ impl AlgorithmId {
         AlgorithmId::Backward,
         AlgorithmId::Naive,
         AlgorithmId::Truss,
+        AlgorithmId::LocalSearchSE,
+        AlgorithmId::OnlineAllSE,
     ];
 
     /// Stable lower-case name used by wire protocols and stats.
@@ -199,6 +212,8 @@ impl AlgorithmId {
             AlgorithmId::Backward => "backward",
             AlgorithmId::Naive => "naive",
             AlgorithmId::Truss => "truss",
+            AlgorithmId::LocalSearchSE => "local_search_se",
+            AlgorithmId::OnlineAllSE => "online_all_se",
         }
     }
 
@@ -212,6 +227,8 @@ impl AlgorithmId {
             AlgorithmId::Backward => 4,
             AlgorithmId::Naive => 5,
             AlgorithmId::Truss => 6,
+            AlgorithmId::LocalSearchSE => 7,
+            AlgorithmId::OnlineAllSE => 8,
         }
     }
 
@@ -233,6 +250,8 @@ impl AlgorithmId {
             AlgorithmId::Backward => &exec::Backward,
             AlgorithmId::Naive => &exec::Naive,
             AlgorithmId::Truss => &exec::Truss,
+            AlgorithmId::LocalSearchSE => &exec::LocalSearchSE,
+            AlgorithmId::OnlineAllSE => &exec::OnlineAllSE,
         }
     }
 }
@@ -255,6 +274,8 @@ impl std::str::FromStr for AlgorithmId {
             "backward" => Ok(AlgorithmId::Backward),
             "naive" => Ok(AlgorithmId::Naive),
             "truss" => Ok(AlgorithmId::Truss),
+            "local_search_se" | "local_se" => Ok(AlgorithmId::LocalSearchSE),
+            "online_all_se" | "onlineall_se" => Ok(AlgorithmId::OnlineAllSE),
             other => Err(QueryError::UnknownAlgorithm(other.to_string())),
         }
     }
@@ -533,6 +554,22 @@ pub trait Algorithm: fmt::Debug + Send + Sync {
     /// which does); degenerate parameters may panic here.
     fn run(&self, g: &WeightedGraph, q: &TopKQuery) -> SearchResult;
 
+    /// Answers a validated query against a [`GraphStore`], whatever its
+    /// backend. The default handles the memory backend (delegating to
+    /// [`Algorithm::run`]) and reports [`QueryError::Unsupported`] for
+    /// file-backed stores — only the semi-external executors override
+    /// it, streaming the `.icsr` adjacency instead of demanding random
+    /// access. Real I/O failures surface as [`QueryError::Io`].
+    fn run_store(&self, store: &GraphStore, q: &TopKQuery) -> Result<SearchResult, QueryError> {
+        match store.as_memory() {
+            Some(g) => Ok(self.run(g, q)),
+            None => Err(QueryError::Unsupported {
+                algorithm: self.id(),
+                feature: "file-backed graph stores",
+            }),
+        }
+    }
+
     /// Streams the answer. The default is the batch-emulating adapter
     /// (compute [`Algorithm::run`], iterate its communities in order);
     /// the progressive algorithm overrides it with the true lazy stream.
@@ -647,6 +684,14 @@ pub mod exec {
     #[derive(Debug, Clone, Copy, Default)]
     pub struct Truss;
 
+    /// LocalSearch-SE (the semi-external progressive local search).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct LocalSearchSE;
+
+    /// OnlineAll-SE (the semi-external global baseline).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct OnlineAllSE;
+
     impl Algorithm for LocalSearch {
         fn id(&self) -> AlgorithmId {
             AlgorithmId::LocalSearch
@@ -730,6 +775,55 @@ pub mod exec {
 
         fn run(&self, g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
             crate::truss::search::query_top_k(g, q)
+        }
+    }
+
+    impl Algorithm for LocalSearchSE {
+        fn id(&self) -> AlgorithmId {
+            AlgorithmId::LocalSearchSE
+        }
+
+        fn run(&self, g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+            // in-memory source: the zero-I/O MemEdges walk cannot fail
+            let (cs, se) =
+                crate::semi_external::local_search_se_top_k(g, q.gamma_value(), q.k_value())
+                    .expect("in-memory semi-external run performs no I/O");
+            crate::semi_external::se_search_result(cs, se)
+        }
+
+        fn run_store(&self, store: &GraphStore, q: &TopKQuery) -> Result<SearchResult, QueryError> {
+            let (gamma, k) = (q.gamma_value(), q.k_value());
+            let run = match store {
+                GraphStore::Memory(g) => {
+                    crate::semi_external::local_search_se_top_k(&**g, gamma, k)
+                }
+                GraphStore::File(f) => crate::semi_external::local_search_se_top_k(&**f, gamma, k),
+            };
+            let (cs, se) = run.map_err(|e| QueryError::Io(e.to_string()))?;
+            Ok(crate::semi_external::se_search_result(cs, se))
+        }
+    }
+
+    impl Algorithm for OnlineAllSE {
+        fn id(&self) -> AlgorithmId {
+            AlgorithmId::OnlineAllSE
+        }
+
+        fn run(&self, g: &WeightedGraph, q: &TopKQuery) -> SearchResult {
+            let (cs, se) =
+                crate::semi_external::online_all_se_top_k(g, q.gamma_value(), q.k_value())
+                    .expect("in-memory semi-external run performs no I/O");
+            crate::semi_external::se_search_result(cs, se)
+        }
+
+        fn run_store(&self, store: &GraphStore, q: &TopKQuery) -> Result<SearchResult, QueryError> {
+            let (gamma, k) = (q.gamma_value(), q.k_value());
+            let run = match store {
+                GraphStore::Memory(g) => crate::semi_external::online_all_se_top_k(&**g, gamma, k),
+                GraphStore::File(f) => crate::semi_external::online_all_se_top_k(&**f, gamma, k),
+            };
+            let (cs, se) = run.map_err(|e| QueryError::Io(e.to_string()))?;
+            Ok(crate::semi_external::se_search_result(cs, se))
         }
     }
 }
@@ -983,6 +1077,56 @@ mod tests {
         assert!(QueryError::UnknownAlgorithm("warp".into())
             .to_string()
             .contains("warp"));
+    }
+
+    #[test]
+    fn run_store_dispatches_by_backend() {
+        use ic_graph::{save_icsr, FileCsr};
+        let g = figure3();
+        let dir = ic_graph::scratch::ScratchDir::new("ic-query-store");
+        let path = dir.file("fig3.icsr");
+        save_icsr(&g, &path).unwrap();
+        let mem = GraphStore::Memory(std::sync::Arc::new(figure3()));
+        let file = GraphStore::File(std::sync::Arc::new(FileCsr::open(&path).unwrap()));
+
+        let q = TopKQuery::new(3).k(4);
+        let reference = q.run(&g).unwrap();
+        for id in [AlgorithmId::LocalSearchSE, AlgorithmId::OnlineAllSE] {
+            let via_mem = id.resolve().run_store(&mem, &q).unwrap();
+            let via_file = id.resolve().run_store(&file, &q).unwrap();
+            for got in [&via_mem, &via_file] {
+                assert_eq!(got.communities.len(), 4, "{id}");
+                for (a, b) in got.communities.iter().zip(&reference.communities) {
+                    assert_eq!(a.members, b.members, "{id}");
+                }
+            }
+            assert_eq!(via_mem.stats.bytes_read, 0, "memory walk is free");
+            assert!(via_file.stats.bytes_read > 0, "{id}: file reads counted");
+            assert_eq!(
+                via_file.stats.bytes_read,
+                via_file.stats.read_ops * 4,
+                "{id}: 4 bytes per icsr record"
+            );
+        }
+        // every random-access algorithm degrades gracefully on file stores
+        for id in AlgorithmId::ALL {
+            if matches!(id, AlgorithmId::LocalSearchSE | AlgorithmId::OnlineAllSE) {
+                continue;
+            }
+            let q = if id == AlgorithmId::Truss {
+                TopKQuery::new(4)
+            } else {
+                q
+            };
+            assert!(
+                matches!(
+                    id.resolve().run_store(&file, &q).unwrap_err(),
+                    QueryError::Unsupported { .. }
+                ),
+                "{id}"
+            );
+            assert!(id.resolve().run_store(&mem, &q).is_ok(), "{id}");
+        }
     }
 
     /// The static-dispatch executors must forward to exactly the builder

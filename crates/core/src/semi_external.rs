@@ -17,9 +17,10 @@
 
 use crate::community::Community;
 use crate::enumerate::ForestBuilder;
+use crate::local_search::{SearchResult, SearchStats};
 use crate::online_all::online_all_core;
 use crate::peel::{PeelConfig, PeelEngine, PeelGraph, PeelOutput};
-use ic_graph::{DiskGraph, IoStats, Rank};
+use ic_graph::{IoStats, PrefixEdges, Rank, SemiExternalSource};
 
 /// Measurements of a semi-external run (the y-axes of Figures 16–17).
 #[derive(Debug, Clone, Copy, Default)]
@@ -79,15 +80,18 @@ impl PeelGraph for ResidentGraph {
 /// Disk-backed progressive local search. Identical control flow to
 /// [`crate::progressive::ProgressiveSearch`], but prefix growth performs
 /// real file reads (counted) and the resident subgraph is built
-/// incrementally from the records.
-pub fn local_search_se_top_k(
-    dg: &DiskGraph,
+/// incrementally from the records. Generic over every
+/// [`SemiExternalSource`] backend: record-pair [`ic_graph::DiskGraph`]
+/// files, `.icsr` [`ic_graph::FileCsr`] stores, and (with zero I/O) the
+/// in-memory [`ic_graph::WeightedGraph`].
+pub fn local_search_se_top_k<S: SemiExternalSource>(
+    dg: &S,
     gamma: u32,
     k: usize,
 ) -> std::io::Result<(Vec<Community>, SeStats)> {
     assert!(gamma >= 1 && k >= 1);
     let n = dg.n();
-    let mut cursor = dg.cursor()?;
+    let mut cursor = dg.open_edges()?;
     let mut resident = ResidentGraph::default();
     let mut record_buf: Vec<(Rank, Rank)> = Vec::new();
 
@@ -138,7 +142,7 @@ pub fn local_search_se_top_k(
     }
 
     let stats = SeStats {
-        io: cursor.stats(),
+        io: cursor.io_stats(),
         peak_resident_edges: resident.edges,
         visited_vertices: resident.len,
     };
@@ -154,15 +158,16 @@ pub fn local_search_se_top_k(
 
 /// Disk-backed OnlineAll: streams the **entire** edge file into memory
 /// (counting the I/O), then runs OnlineAll in memory. Peak resident size
-/// is the whole graph — the contrast of Figure 17.
-pub fn online_all_se_top_k(
-    dg: &DiskGraph,
+/// is the whole graph — the contrast of Figure 17. Generic over every
+/// [`SemiExternalSource`] backend like [`local_search_se_top_k`].
+pub fn online_all_se_top_k<S: SemiExternalSource>(
+    dg: &S,
     gamma: u32,
     k: usize,
 ) -> std::io::Result<(Vec<Community>, SeStats)> {
     assert!(gamma >= 1 && k >= 1);
     let n = dg.n();
-    let mut cursor = dg.cursor()?;
+    let mut cursor = dg.open_edges()?;
     let mut resident = ResidentGraph::default();
     resident.grow_vertices(n);
     while let Some((lo, hi)) = cursor.next_edge()? {
@@ -170,7 +175,7 @@ pub fn online_all_se_top_k(
     }
     let run = online_all_core(&resident, gamma, k);
     let stats = SeStats {
-        io: cursor.stats(),
+        io: cursor.io_stats(),
         peak_resident_edges: resident.edges,
         visited_vertices: n,
     };
@@ -187,13 +192,29 @@ pub fn online_all_se_top_k(
     Ok((communities, stats))
 }
 
+/// Re-expresses a semi-external run in the uniform [`SearchResult`]
+/// shape: the visited prefix becomes the accessed-prefix stats, the
+/// [`IoStats`] land in [`SearchStats::bytes_read`]/[`SearchStats::read_ops`]
+/// — the counters the service `STATS` verb surfaces per query.
+pub(crate) fn se_search_result(communities: Vec<Community>, se: SeStats) -> SearchResult {
+    let stats = SearchStats {
+        rounds: 1,
+        final_prefix_len: se.visited_vertices,
+        final_prefix_size: se.visited_vertices as u64 + se.peak_resident_edges as u64,
+        total_counted_size: se.visited_vertices as u64 + se.peak_resident_edges as u64,
+        bytes_read: se.io.bytes_read,
+        read_ops: se.io.read_ops,
+    };
+    crate::query::flat_result(communities, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ic_graph::generators::{assemble, barabasi_albert, WeightKind};
     use ic_graph::paper::figure3;
     use ic_graph::scratch::ScratchDir;
-    use ic_graph::WeightedGraph;
+    use ic_graph::{DiskGraph, WeightedGraph};
 
     fn disk(g: &WeightedGraph, dir: &ScratchDir, name: &str) -> DiskGraph {
         DiskGraph::create(g, dir.file(name)).unwrap()

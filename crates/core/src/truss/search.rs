@@ -42,6 +42,7 @@ impl TrussResult {
             final_prefix_len: self.accessed_len,
             final_prefix_size: self.accessed_size,
             total_counted_size: self.accessed_size,
+            ..SearchStats::default()
         };
         flat_result(self.communities, stats)
     }

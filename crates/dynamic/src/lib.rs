@@ -28,6 +28,11 @@
 //! * [`DynamicGraph::query`] answers `ic-core`'s unified
 //!   [`ic_core::TopKQuery`] against the committed snapshot, so dynamic
 //!   graphs speak the same request/response surface as everything else.
+//! * [`wal`] — a line-oriented write-ahead log for the mutate/commit
+//!   cycle: ops are appended as they are accepted and a fsync'd
+//!   `commit <generation>` record marks each published snapshot, so a
+//!   serving layer can replay committed generations after a restart and
+//!   discard any uncommitted (possibly torn) tail.
 //!
 //! # Example
 //!
@@ -50,6 +55,8 @@
 
 pub mod cores;
 pub mod graph;
+pub mod wal;
 
 pub use cores::{CoreTracker, MaintenanceStats};
 pub use graph::{CommitReceipt, DynamicError, DynamicGraph, UpdateOp};
+pub use wal::{committed_ops, read_wal, WalRecord, WalWriter};

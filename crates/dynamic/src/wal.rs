@@ -1,0 +1,337 @@
+//! Write-ahead log for dynamic updates.
+//!
+//! The mutate/commit split of [`crate::DynamicGraph`] is purely
+//! in-memory: a crash between `UPDATE` and `COMMIT` loses the buffered
+//! ops, and a crash after `COMMIT` loses the whole graph. This module
+//! supplies the durability half. The serving layer appends every
+//! accepted update to a per-graph log before acknowledging it, and
+//! appends a `commit <generation>` record — followed by `fsync` — when a
+//! snapshot is published. Recovery replays the log against the last
+//! snapshot on disk: every op up to the final commit record is
+//! re-applied, anything after it (an uncommitted tail, possibly torn
+//! mid-line by the crash) is discarded.
+//!
+//! # Format
+//!
+//! The log is line-oriented text, one record per line:
+//!
+//! ```text
+//! add_edge <u> <v> [<default_weight>]
+//! del_edge <u> <v>
+//! add_vertex <v> <weight>
+//! del_vertex <v>
+//! reweight <v> <weight>
+//! commit <generation>
+//! ```
+//!
+//! Vertex ids are external ids (the space `UPDATE` lines speak), weights
+//! are printed with Rust's shortest round-tripping `f64` formatting, so
+//! decode(encode(op)) == op exactly. Text keeps the log greppable during
+//! an incident, and a torn final line is detected by parse failure
+//! rather than needing checksums.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::UpdateOp;
+
+/// One record in the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalRecord {
+    /// An accepted (but not necessarily committed) update.
+    Op(UpdateOp),
+    /// A published snapshot: every op above this line is folded into the
+    /// registry generation named here.
+    Commit(u64),
+}
+
+impl WalRecord {
+    /// The single-line wire form of this record (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            WalRecord::Op(UpdateOp::InsertEdge {
+                u,
+                v,
+                default_weight: Some(w),
+            }) => format!("add_edge {u} {v} {w}"),
+            WalRecord::Op(UpdateOp::InsertEdge {
+                u,
+                v,
+                default_weight: None,
+            }) => format!("add_edge {u} {v}"),
+            WalRecord::Op(UpdateOp::DeleteEdge { u, v }) => format!("del_edge {u} {v}"),
+            WalRecord::Op(UpdateOp::AddVertex { v, weight }) => format!("add_vertex {v} {weight}"),
+            WalRecord::Op(UpdateOp::RemoveVertex { v }) => format!("del_vertex {v}"),
+            WalRecord::Op(UpdateOp::Reweight { v, weight }) => format!("reweight {v} {weight}"),
+            WalRecord::Commit(generation) => format!("commit {generation}"),
+        }
+    }
+
+    /// Parse one log line. `None` means the line is malformed — during
+    /// recovery that is treated as a torn tail, not an error.
+    pub fn decode(line: &str) -> Option<WalRecord> {
+        let mut parts = line.split_ascii_whitespace();
+        let verb = parts.next()?;
+        let rec = match verb {
+            "add_edge" => {
+                let u = parts.next()?.parse().ok()?;
+                let v = parts.next()?.parse().ok()?;
+                let default_weight = match parts.next() {
+                    Some(w) => Some(parse_weight(w)?),
+                    None => None,
+                };
+                WalRecord::Op(UpdateOp::InsertEdge {
+                    u,
+                    v,
+                    default_weight,
+                })
+            }
+            "del_edge" => WalRecord::Op(UpdateOp::DeleteEdge {
+                u: parts.next()?.parse().ok()?,
+                v: parts.next()?.parse().ok()?,
+            }),
+            "add_vertex" => WalRecord::Op(UpdateOp::AddVertex {
+                v: parts.next()?.parse().ok()?,
+                weight: parse_weight(parts.next()?)?,
+            }),
+            "del_vertex" => WalRecord::Op(UpdateOp::RemoveVertex {
+                v: parts.next()?.parse().ok()?,
+            }),
+            "reweight" => WalRecord::Op(UpdateOp::Reweight {
+                v: parts.next()?.parse().ok()?,
+                weight: parse_weight(parts.next()?)?,
+            }),
+            "commit" => WalRecord::Commit(parts.next()?.parse().ok()?),
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(rec)
+    }
+}
+
+/// Weights must survive a round trip and stay applicable, so reject the
+/// non-finite spellings `parse::<f64>` would otherwise accept.
+fn parse_weight(token: &str) -> Option<f64> {
+    let w: f64 = token.parse().ok()?;
+    w.is_finite().then_some(w)
+}
+
+/// Appender for one graph's write-ahead log.
+///
+/// `append_op` flushes to the OS after every record (a lost buffer would
+/// silently drop acknowledged updates); `append_commit` additionally
+/// `fsync`s, making the commit point itself durable. Ops between the
+/// last commit and a crash may or may not survive — recovery discards
+/// them either way, which matches the protocol contract that only
+/// `COMMIT` publishes.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+}
+
+impl WalWriter {
+    /// Open (or create) the log at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<WalWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(WalWriter { file })
+    }
+
+    /// Append one update record and flush it to the OS.
+    pub fn append_op(&mut self, op: &UpdateOp) -> io::Result<()> {
+        self.write_line(&WalRecord::Op(*op).encode())
+    }
+
+    /// Append a commit record for `generation` and `fsync` the log.
+    pub fn append_commit(&mut self, generation: u64) -> io::Result<()> {
+        self.write_line(&WalRecord::Commit(generation).encode())?;
+        self.file.sync_data()
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+}
+
+/// Read every well-formed record from the log at `path`.
+///
+/// Parsing stops at the first malformed or unterminated line: a crash
+/// can tear at most the final append, so everything after the first bad
+/// line is by construction an uncommitted tail. A missing file is an
+/// empty log, not an error.
+pub fn read_wal(path: impl AsRef<Path>) -> io::Result<Vec<WalRecord>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    read_wal_from(file)
+}
+
+/// [`read_wal`] over any reader (exposed for tests over in-memory logs).
+pub fn read_wal_from(input: impl Read) -> io::Result<Vec<WalRecord>> {
+    let mut records = Vec::new();
+    let mut reader = BufReader::new(input);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        if !line.ends_with('\n') {
+            // Torn final append: the record never fully hit the disk.
+            break;
+        }
+        match WalRecord::decode(line.trim_end_matches(['\n', '\r'])) {
+            Some(rec) => records.push(rec),
+            None => break,
+        }
+    }
+    Ok(records)
+}
+
+/// Split a replayed log into its durable prefix: the ops covered by the
+/// last commit record, and that commit's generation (`None` when the log
+/// holds no commit — then no op is durable and the vec is empty).
+pub fn committed_ops(records: &[WalRecord]) -> (Vec<UpdateOp>, Option<u64>) {
+    let mut durable = Vec::new();
+    let mut pending = Vec::new();
+    let mut generation = None;
+    for rec in records {
+        match rec {
+            WalRecord::Op(op) => pending.push(*op),
+            WalRecord::Commit(gen) => {
+                durable.append(&mut pending);
+                generation = Some(*gen);
+            }
+        }
+    }
+    (durable, generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_graph::scratch::ScratchDir;
+
+    fn sample_ops() -> Vec<UpdateOp> {
+        vec![
+            UpdateOp::InsertEdge {
+                u: 7,
+                v: 9,
+                default_weight: None,
+            },
+            UpdateOp::InsertEdge {
+                u: 100,
+                v: 9,
+                default_weight: Some(0.1 + 0.2), // non-representable sum
+            },
+            UpdateOp::DeleteEdge { u: 7, v: 9 },
+            UpdateOp::AddVertex {
+                v: 41,
+                weight: 1e-300,
+            },
+            UpdateOp::RemoveVertex { v: 41 },
+            UpdateOp::Reweight {
+                v: 9,
+                weight: f64::MAX,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_round_trips_exactly() {
+        for op in sample_ops() {
+            let rec = WalRecord::Op(op);
+            assert_eq!(WalRecord::decode(&rec.encode()), Some(rec));
+        }
+        let commit = WalRecord::Commit(u64::MAX);
+        assert_eq!(WalRecord::decode(&commit.encode()), Some(commit));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for line in [
+            "",
+            "add_edge",
+            "add_edge 1",
+            "add_edge 1 2 3 4",
+            "add_edge 1 2 NaN",
+            "add_vertex 5 inf",
+            "reweight 5 -inf",
+            "del_vertex x",
+            "commit",
+            "commit -1",
+            "commit 1 2",
+            "frobnicate 1 2",
+        ] {
+            assert_eq!(WalRecord::decode(line), None, "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn writer_then_reader_round_trips_through_a_file() {
+        let dir = ScratchDir::new("wal-round-trip");
+        let path = dir.path().join("g.wal");
+        let ops = sample_ops();
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            for op in &ops[..3] {
+                w.append_op(op).unwrap();
+            }
+            w.append_commit(2).unwrap();
+        }
+        // Re-open appends, never truncates.
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            for op in &ops[3..] {
+                w.append_op(op).unwrap();
+            }
+            w.append_commit(3).unwrap();
+        }
+        let records = read_wal(&path).unwrap();
+        assert_eq!(records.len(), ops.len() + 2);
+        let (durable, generation) = committed_ops(&records);
+        assert_eq!(durable, ops);
+        assert_eq!(generation, Some(3));
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        // Final line torn mid-record: no terminating newline.
+        let log = "add_vertex 1 2.5\ncommit 2\nadd_edge 1 2\nadd_vertex 9 3.";
+        let records = read_wal_from(log.as_bytes()).unwrap();
+        assert_eq!(records.len(), 3);
+        let (durable, generation) = committed_ops(&records);
+        assert_eq!(durable, vec![UpdateOp::AddVertex { v: 1, weight: 2.5 }]);
+        assert_eq!(generation, Some(2));
+    }
+
+    #[test]
+    fn garbage_line_truncates_the_replay() {
+        let log = "add_vertex 1 2.5\ncommit 5\n\u{0}\u{0}garbage\ncommit 9\n";
+        let records = read_wal_from(log.as_bytes()).unwrap();
+        let (durable, generation) = committed_ops(&records);
+        assert_eq!(durable.len(), 1);
+        assert_eq!(generation, Some(5));
+    }
+
+    #[test]
+    fn log_without_commit_yields_nothing_durable() {
+        let log = "add_vertex 1 2.5\nadd_edge 1 2 0.5\n";
+        let (durable, generation) = committed_ops(&read_wal_from(log.as_bytes()).unwrap());
+        assert!(durable.is_empty());
+        assert_eq!(generation, None);
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty_log() {
+        let dir = ScratchDir::new("wal-missing");
+        assert_eq!(read_wal(dir.path().join("nope.wal")).unwrap(), Vec::new());
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`disk`] — a disk-resident edge store sorted by decreasing edge weight
 //!   with byte-level I/O accounting, the substrate for the semi-external
 //!   algorithms (Eval-VI).
+//! * [`store`] — pluggable storage backends behind one [`GraphStore`]
+//!   seam: the in-memory CSR plus a file-backed `.icsr` CSR opened under
+//!   a memory budget, and the [`store::SemiExternalSource`] trait the
+//!   semi-external executors are generic over.
 //! * [`stats`] — the statistics of Table 1 (n, m, dmax, davg, γmax).
 //! * [`scratch`] — unique, self-cleaning temp directories for the
 //!   disk-backed test suites across the workspace.
@@ -36,6 +40,7 @@ pub mod prefix;
 pub mod rng;
 pub mod scratch;
 pub mod stats;
+pub mod store;
 pub mod suite;
 
 pub use builder::{GraphBuilder, GraphError};
@@ -44,3 +49,7 @@ pub use graph::{Rank, WeightedGraph};
 pub use prefix::Prefix;
 pub use rng::Pcg32;
 pub use stats::GraphStats;
+pub use store::{
+    save_icsr, FileCsr, FileCsrEdges, GraphStore, MemEdges, PrefixEdges, SemiExternalSource,
+    StorageKind, ICSR_RECORD_BYTES,
+};

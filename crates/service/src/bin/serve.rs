@@ -10,6 +10,13 @@
 //! `--preload` registers two small Table 1 stand-in datasets (`email`,
 //! `wiki`) so the server is immediately queryable; otherwise clients
 //! register graphs themselves via `LOAD`/`GEN`.
+//!
+//! `--data-dir DIR` makes the instance durable: registrations are
+//! snapshotted under `DIR`, every accepted `UPDATE` is write-ahead
+//! logged before it is acknowledged, `COMMIT` fsyncs a generation
+//! record, and a restart with the same `--data-dir` replays the
+//! manifest and WALs so committed graphs and generations come back
+//! (uncommitted update tails are discarded, as the protocol promises).
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -21,6 +28,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServiceConfig::default();
     let mut preload = false;
+    let mut data_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,10 +41,14 @@ fn main() -> ExitCode {
                 Some(v) => config.cache_capacity = v,
                 None => return usage("--cache needs a number"),
             },
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = Some(dir),
+                None => return usage("--data-dir needs a directory"),
+            },
             "--preload" => preload = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: serve [addr] [--workers N] [--cache N] [--preload]\n\
+                    "usage: serve [addr] [--workers N] [--cache N] [--data-dir DIR] [--preload]\n\
                      protocol: {HELP}"
                 );
                 return ExitCode::SUCCESS;
@@ -46,7 +58,28 @@ fn main() -> ExitCode {
         }
     }
 
-    let svc = Service::new(config);
+    let svc = match &data_dir {
+        Some(dir) => match Service::with_persistence(config, dir) {
+            Ok(svc) => {
+                for entry in svc.graphs() {
+                    println!(
+                        "recovered {}: n={} m={} gamma_max={} generation={}",
+                        entry.name,
+                        entry.stats.n,
+                        entry.stats.m,
+                        entry.stats.gamma_max,
+                        entry.generation
+                    );
+                }
+                svc
+            }
+            Err(e) => {
+                eprintln!("cannot recover data dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Service::new(config),
+    };
     if preload {
         for name in ["email", "wiki"] {
             let entry = svc.register(name, ic_graph::suite::small_dataset(name));

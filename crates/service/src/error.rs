@@ -18,6 +18,14 @@ pub enum ServiceError {
     /// A dynamic update was rejected (unknown vertex, duplicate edge,
     /// non-finite weight, …); the graph state is unchanged.
     Update(String),
+    /// A storage-backend operation failed or was requested of a backend
+    /// that cannot serve it (e.g. dynamic updates on a file-backed
+    /// store, or an I/O error while streaming a `.icsr` file).
+    Storage(String),
+    /// The durability layer (WAL append, manifest write, recovery
+    /// replay) failed; the in-memory state is still consistent but is no
+    /// longer guaranteed to survive a restart.
+    Persistence(String),
     /// The worker pool or a session worker shut down mid-request.
     WorkerGone,
 }
@@ -30,6 +38,8 @@ impl fmt::Display for ServiceError {
             ServiceError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             ServiceError::GraphLoad(msg) => write!(f, "graph load failed: {msg}"),
             ServiceError::Update(msg) => write!(f, "update rejected: {msg}"),
+            ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ServiceError::Persistence(msg) => write!(f, "persistence error: {msg}"),
             ServiceError::WorkerGone => write!(f, "worker shut down while serving the request"),
         }
     }

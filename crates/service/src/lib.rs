@@ -37,6 +37,12 @@
 //!   the compacted snapshot in under a new registry generation, so the
 //!   result cache invalidates by construction; the planner consults the
 //!   overlay's stale-core fraction ([`planner::plan_dynamic`]).
+//! * durability — [`service::Service::with_persistence`] pins the whole
+//!   registry to a data directory: registrations snapshot to disk,
+//!   updates append to a per-graph [`ic_dynamic::wal`] write-ahead log
+//!   before they are acknowledged, commits fsync a generation record,
+//!   and a restarted service replays manifest + WAL so every *committed*
+//!   generation comes back (uncommitted tails are discarded).
 //! * [`protocol`] / [`server`] — a line-oriented text protocol (`LOAD`,
 //!   `QUERY`, `UPDATE`, `COMMIT`, `NEXT`, `STATS`, `EXPLAIN`, …) and the
 //!   TCP front-end behind the `serve` binary.
@@ -72,6 +78,7 @@
 pub mod cache;
 pub mod error;
 pub mod inflight;
+mod persist;
 pub mod planner;
 pub mod pool;
 pub mod protocol;
@@ -85,7 +92,7 @@ pub use cache::{CacheHit, CacheKey, ResultCache};
 pub use error::ServiceError;
 pub use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
 pub use inflight::InflightTable;
-pub use planner::{plan, plan_dynamic, Algorithm, Explain, Mode, Query};
+pub use planner::{plan, plan_dynamic, plan_stored, Algorithm, Explain, Mode, Query};
 pub use pool::WorkerPool;
 pub use registry::{GraphRegistry, RegisteredGraph};
 pub use server::serve;

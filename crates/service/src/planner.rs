@@ -31,7 +31,7 @@
 
 use ic_core::query::Selection;
 use ic_core::{AnswerFamily, TopKQuery};
-use ic_graph::GraphStats;
+use ic_graph::{GraphStats, StorageKind};
 
 use crate::error::ServiceError;
 
@@ -135,6 +135,14 @@ pub struct Explain {
     /// mean `gamma_max` no longer describes what the graph will look like
     /// after the next `COMMIT`; see [`STALE_CORE_CUTOFF`].
     pub stale_core_fraction: f64,
+    /// The storage backend the plan dispatches against. File-backed
+    /// stores restrict the choice to the semi-external executors.
+    pub storage: StorageKind,
+    /// Estimated bytes the plan will read from disk-resident edge
+    /// storage (0 for memory-resident graphs). OnlineAll-SE streams the
+    /// whole adjacency section; LocalSearch-SE reads roughly the answer
+    /// prefix's share of it.
+    pub est_bytes: u64,
 }
 
 /// Stale-core fraction above which the planner stops trusting the
@@ -148,6 +156,26 @@ pub const STALE_CORE_CUTOFF: f64 = 0.25;
 /// a stale-core fraction of 0.
 pub fn plan(stats: &GraphStats, gamma: u32, k: usize, mode: Mode) -> Explain {
     plan_dynamic(stats, gamma, k, mode, 0.0)
+}
+
+/// Estimated adjacency bytes a plan reads from a file-backed store.
+/// OnlineAll-SE streams the whole section; LocalSearch-SE reads the
+/// answer prefix's share of it, approximated by the reach fraction
+/// `(k + γ) / n` of the edges (the file is sorted by lower-endpoint
+/// rank, so a prefix of vertices owns roughly that share of records).
+fn estimate_file_bytes(stats: &GraphStats, algorithm: Algorithm, reach: usize) -> u64 {
+    let record = ic_graph::ICSR_RECORD_BYTES as u64;
+    let all = stats.m as u64 * record;
+    match algorithm {
+        Algorithm::OnlineAllSE => all,
+        _ => {
+            if stats.n == 0 {
+                return 0;
+            }
+            let share = (stats.m as u64).saturating_mul(reach.min(stats.n) as u64) / stats.n as u64;
+            (share * record).min(all).max(record)
+        }
+    }
 }
 
 /// Picks the algorithm for `(γ, k)` on a graph with the given statistics
@@ -178,6 +206,39 @@ pub fn plan_dynamic(
     mode: Mode,
     stale_core_fraction: f64,
 ) -> Explain {
+    plan_stored(
+        stats,
+        gamma,
+        k,
+        mode,
+        stale_core_fraction,
+        StorageKind::Memory,
+    )
+}
+
+/// Picks the algorithm for `(γ, k)` with the storage backend as an
+/// explicit planning dimension. Memory-resident stores plan exactly as
+/// [`plan_dynamic`]; file-backed stores restrict `Auto` to the
+/// semi-external executors — the only algorithms that can answer without
+/// a memory-resident adjacency — and estimate the bytes the choice will
+/// read:
+///
+/// * `k + γ ≥ n` (or `γ > γmax` with fresh cores — the emptiness check
+///   must still stream everything once) — **OnlineAll-SE**: one
+///   sequential pass over the whole adjacency section.
+/// * otherwise — **LocalSearch-SE**: reads only the grown prefix, I/O
+///   proportional to `size(G≥τ*)`.
+///
+/// A forced mode is honored as-is (the executor itself rejects
+/// memory-only algorithms on file stores with a typed error).
+pub fn plan_stored(
+    stats: &GraphStats,
+    gamma: u32,
+    k: usize,
+    mode: Mode,
+    stale_core_fraction: f64,
+    storage: StorageKind,
+) -> Explain {
     let base = |algorithm: Algorithm, reason: &'static str, forced: bool| Explain {
         algorithm,
         reason,
@@ -186,9 +247,39 @@ pub fn plan_dynamic(
         m: stats.m,
         gamma_max: stats.gamma_max,
         stale_core_fraction,
+        storage,
+        est_bytes: 0,
+    };
+    let reach_for_estimate = k.saturating_add(gamma as usize);
+    let with_bytes = |mut e: Explain| {
+        if storage == StorageKind::File {
+            e.est_bytes = estimate_file_bytes(stats, e.algorithm, reach_for_estimate);
+        }
+        e
     };
     if let Mode::Forced(algorithm) = mode {
-        return base(algorithm, "explicit mode override", true);
+        return with_bytes(base(algorithm, "explicit mode override", true));
+    }
+    if storage == StorageKind::File {
+        let n = stats.n;
+        let reach = k.saturating_add(gamma as usize);
+        let choice = if reach >= n || gamma > stats.gamma_max {
+            base(
+                Algorithm::OnlineAllSE,
+                "file-backed store with a whole-graph answer prefix (or an \
+                 infeasible gamma to disprove): one sequential pass over the \
+                 edge file enumerates everything",
+                false,
+            )
+        } else {
+            base(
+                Algorithm::LocalSearchSE,
+                "file-backed store: semi-external local search reads only the \
+                 prefix the answer needs, I/O proportional to size(G>=tau*)",
+                false,
+            )
+        };
+        return with_bytes(choice);
     }
     let n = stats.n;
     let reach = k.saturating_add(gamma as usize);
@@ -348,6 +439,77 @@ mod tests {
         for algo in Algorithm::ALL {
             let q = Query::new("g", 3, 4).with_mode(Mode::Forced(algo));
             assert_eq!(q.answer_family(), algo.family(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn memory_storage_plans_report_zero_bytes() {
+        let e = plan(&stats(1000, 5000, 8), 3, 20, Mode::Auto);
+        assert_eq!(e.storage, StorageKind::Memory);
+        assert_eq!(e.est_bytes, 0);
+    }
+
+    #[test]
+    fn file_storage_restricts_auto_to_semi_external() {
+        let s = stats(1000, 5000, 8);
+        for gamma in 1..=10u32 {
+            for k in [1usize, 2, 5, 50, 100, 600, 2000] {
+                let e = plan_stored(&s, gamma, k, Mode::Auto, 0.0, StorageKind::File);
+                assert!(
+                    matches!(
+                        e.algorithm,
+                        Algorithm::LocalSearchSE | Algorithm::OnlineAllSE
+                    ),
+                    "gamma={gamma} k={k} planned {}",
+                    e.algorithm
+                );
+                assert_eq!(e.storage, StorageKind::File);
+                assert!(e.est_bytes > 0, "file plans always read something");
+            }
+        }
+        // small answers read a prefix, whole-graph answers stream the file
+        let small = plan_stored(&s, 3, 5, Mode::Auto, 0.0, StorageKind::File);
+        assert_eq!(small.algorithm, Algorithm::LocalSearchSE);
+        let whole = plan_stored(&s, 3, 2000, Mode::Auto, 0.0, StorageKind::File);
+        assert_eq!(whole.algorithm, Algorithm::OnlineAllSE);
+        assert_eq!(
+            whole.est_bytes,
+            5000 * ic_graph::ICSR_RECORD_BYTES as u64,
+            "OnlineAll-SE streams the whole adjacency section"
+        );
+        assert!(small.est_bytes < whole.est_bytes);
+        // an infeasible gamma still needs the full-stream emptiness check
+        let empty = plan_stored(&s, 9, 1, Mode::Auto, 0.0, StorageKind::File);
+        assert_eq!(empty.algorithm, Algorithm::OnlineAllSE);
+    }
+
+    #[test]
+    fn forced_mode_survives_file_storage() {
+        let s = stats(1000, 5000, 8);
+        let e = plan_stored(
+            &s,
+            3,
+            4,
+            Mode::Forced(Algorithm::LocalSearch),
+            0.0,
+            StorageKind::File,
+        );
+        assert_eq!(e.algorithm, Algorithm::LocalSearch);
+        assert!(e.forced);
+        assert_eq!(e.storage, StorageKind::File);
+    }
+
+    #[test]
+    fn memory_auto_never_plans_semi_external() {
+        let s = stats(200, 900, 8);
+        for gamma in 1..=10u32 {
+            for k in [1usize, 2, 5, 50, 100, 250] {
+                let algo = plan(&s, gamma, k, Mode::Auto).algorithm;
+                assert!(
+                    !matches!(algo, Algorithm::LocalSearchSE | Algorithm::OnlineAllSE),
+                    "gamma={gamma} k={k} planned {algo}"
+                );
+            }
         }
     }
 

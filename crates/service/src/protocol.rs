@@ -8,6 +8,13 @@
 //!
 //! ```text
 //! LOAD <name> <path>                     register a graph file (ICG1 or text)
+//! LOADX <name> <path.icsr> [budget]      register a file-backed `.icsr` store
+//!                                        (vertex data resident under the
+//!                                        optional byte budget, edges on disk;
+//!                                        queries dispatch to the
+//!                                        semi-external executors)
+//! SAVE <name> <path>                     write a memory-resident graph as a
+//!                                        `.icsr` file for LOADX
 //! GEN <name> gnm <n> <m> <seed>          register synthetic G(n,m)
 //! GEN <name> ba <n> <d> <seed>           register synthetic Barabási–Albert
 //! GEN <name> rmat <scale> <ef> <seed>    register synthetic R-MAT
@@ -35,7 +42,9 @@
 //!                                        (an empty batch with done=0 just
 //!                                        means n was 0)
 //! CLOSE <session>                        close a session
-//! STATS                                  hit/miss/latency counters
+//! STATS                                  hit/miss/latency counters, then one
+//!                                        `S` row per registered store with
+//!                                        its cumulative I/O, then `END`
 //! HELP                                   this listing
 //! QUIT                                   close the connection
 //! ```
@@ -53,14 +62,15 @@ use std::sync::Arc;
 
 use ic_core::Community;
 use ic_dynamic::UpdateOp;
-use ic_graph::WeightedGraph;
+use ic_graph::GraphStore;
 
 use crate::error::ServiceError;
 use crate::planner::{parse_mode, Mode, Query};
 use crate::service::{QueryResponse, Service, SyntheticSpec};
 
 /// Help text returned by `HELP` (and useful as a banner).
-pub const HELP: &str = "commands: LOAD <name> <path> | GEN <name> gnm|ba|rmat <args> <seed> | \
+pub const HELP: &str = "commands: LOAD <name> <path> | LOADX <name> <path.icsr> [budget] | \
+SAVE <name> <path> | GEN <name> gnm|ba|rmat <args> <seed> | \
 GRAPHS | QUERY <graph> <gamma> <k> [mode] | \
 BATCH <graph> <gamma> <k> [mode] ; <graph> <gamma> <k> [mode] ; ... | \
 EXPLAIN <graph> <gamma> <k> [mode] | \
@@ -103,6 +113,29 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
                 entry.stats.m,
                 entry.stats.gamma_max,
             ))
+        }
+        "LOADX" => {
+            if args.len() < 2 || args.len() > 3 {
+                return Err(usage(&verb, "LOADX <name> <path.icsr> [budget_bytes]"));
+            }
+            let budget = match args.get(2) {
+                Some(s) => Some(parse_num::<u64>("budget_bytes", s)?),
+                None => None,
+            };
+            let entry = svc.register_file(args[0], args[1], budget)?;
+            Ok(format!(
+                "OK graph={} n={} m={} gamma_max={} storage={}",
+                entry.name,
+                entry.stats.n,
+                entry.stats.m,
+                entry.stats.gamma_max,
+                entry.storage(),
+            ))
+        }
+        "SAVE" => {
+            let [name, path] = expect_args::<2>(&verb, &args)?;
+            svc.save_store(name, path)?;
+            Ok(format!("OK saved={name} path={path}"))
         }
         "GEN" => {
             let [name, kind, a, b, seed] = expect_args::<5>(&verb, &args)?;
@@ -161,8 +194,17 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             let query = parse_query(&verb, &args)?;
             let e = svc.explain(&query)?;
             Ok(format!(
-                "OK algo={} forced={} n={} m={} gamma_max={} stale_core={:.4} reason={}",
-                e.algorithm, e.forced, e.n, e.m, e.gamma_max, e.stale_core_fraction, e.reason
+                "OK algo={} forced={} n={} m={} gamma_max={} stale_core={:.4} \
+                 storage={} est_bytes={} reason={}",
+                e.algorithm,
+                e.forced,
+                e.n,
+                e.m,
+                e.gamma_max,
+                e.stale_core_fraction,
+                e.storage,
+                e.est_bytes,
+                e.reason
             ))
         }
         "UPDATE" => {
@@ -205,9 +247,10 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             // Print through the instance the session actually streams
             // from — the name may have been re-registered to a different
             // graph mid-session, whose rank space would not match.
-            let g = svc
-                .session_graph_instance(id)
-                .ok_or(ServiceError::UnknownSession(id))?;
+            let g = GraphStore::Memory(
+                svc.session_graph_instance(id)
+                    .ok_or(ServiceError::UnknownSession(id))?,
+            );
             let (batch, done) = svc.session_next_full(id, n)?;
             // done comes from the session iterator, never from batch
             // emptiness: NEXT <s> 0 on a live stream is count=0 done=0
@@ -250,6 +293,14 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
                 svc.graphs().len(),
                 svc.cache_len(),
             ));
+            // one `S` row per registered store with its cumulative I/O
+            for (name, kind, io) in svc.store_io() {
+                out.push_str(&format!(
+                    "\nS graph={name} storage={kind} io_bytes={} io_ops={}",
+                    io.bytes_read, io.read_ops
+                ));
+            }
+            out.push_str("\nEND");
             Ok(out)
         }
         "QUIT" => Ok("OK bye".to_string()),
@@ -397,12 +448,13 @@ fn format_query_response(resp: &QueryResponse) -> String {
     out
 }
 
-fn push_communities(out: &mut String, communities: &[Community], g: &WeightedGraph) {
+fn push_communities(out: &mut String, communities: &[Community], g: &GraphStore) {
     for c in communities {
         out.push_str(&format!("\nC influence={} members=", c.influence));
         // canonical wire form: external ids ascending (rank order is an
-        // internal detail clients should not have to know about)
-        let mut ids = c.external_members(g);
+        // internal detail clients should not have to know about); the id
+        // table is memory-resident for every backend, so no I/O here
+        let mut ids = c.external_members_in(g);
         ids.sort_unstable();
         for (i, id) in ids.iter().enumerate() {
             if i > 0 {
@@ -636,6 +688,97 @@ mod tests {
         let stats = handle_line(&svc, "STATS");
         assert!(stats.contains("queries=1"), "{stats}");
         assert!(stats.contains("graphs=2"), "{stats}");
+    }
+
+    #[test]
+    fn save_loadx_round_trip_over_the_wire() {
+        let dir = ic_graph::scratch::ScratchDir::new("ic-protocol-icsr");
+        let svc = svc();
+        let path = dir.file("fig3.icsr");
+        let path = path.to_str().unwrap();
+
+        let saved = handle_line(&svc, &format!("SAVE fig3 {path}"));
+        assert!(saved.starts_with("OK saved=fig3"), "{saved}");
+        let loaded = handle_line(&svc, &format!("LOADX disk {path}"));
+        assert!(loaded.contains("graph=disk"), "{loaded}");
+        assert!(loaded.contains("storage=file"), "{loaded}");
+
+        // identical answers through the wire, semi-external dispatch
+        let mem = handle_line(&svc, "QUERY fig3 3 4");
+        let file = handle_line(&svc, "QUERY disk 3 4");
+        let tail = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+        assert_eq!(tail(&mem), tail(&file), "\nmem: {mem}\nfile: {file}");
+        let explain = handle_line(&svc, "EXPLAIN disk 3 4");
+        assert!(explain.contains("storage=file"), "{explain}");
+        assert!(explain.contains("algo=local_search_se"), "{explain}");
+        assert!(!explain.contains("est_bytes=0 "), "{explain}");
+
+        // STATS carries a per-store I/O row for the file store
+        let stats = handle_line(&svc, "STATS");
+        assert!(stats.contains("S graph=disk storage=file"), "{stats}");
+        assert!(stats.contains("S graph=fig3 storage=memory"), "{stats}");
+        assert!(stats.ends_with("END"), "{stats}");
+        let disk_row = stats
+            .lines()
+            .find(|l| l.starts_with("S graph=disk"))
+            .unwrap();
+        assert!(!disk_row.contains("io_bytes=0"), "{disk_row}");
+    }
+
+    #[test]
+    fn explain_reports_memory_storage_for_resident_graphs() {
+        let svc = svc();
+        let reply = handle_line(&svc, "EXPLAIN fig3 3 4");
+        assert!(reply.contains("storage=memory"), "{reply}");
+        assert!(reply.contains("est_bytes=0"), "{reply}");
+    }
+
+    #[test]
+    fn hostile_loadx_and_save_are_err_lines() {
+        let dir = ic_graph::scratch::ScratchDir::new("ic-protocol-icsr-err");
+        let svc = svc();
+        let bad = dir.file("bad.icsr");
+        std::fs::write(&bad, b"ICSR nonsense").unwrap();
+        let bad = bad.to_str().unwrap().to_string();
+        for line in [
+            "LOADX".to_string(),
+            "LOADX onlyname".to_string(),
+            "LOADX x y z extra".to_string(),
+            "LOADX x /nonexistent/path.icsr".to_string(),
+            format!("LOADX x {bad}"),
+            format!("LOADX x {bad} notanumber"),
+            "SAVE".to_string(),
+            "SAVE fig3".to_string(),
+            "SAVE nope /tmp/out.icsr".to_string(),
+            "SAVE fig3 /nonexistent-dir-zzz/out.icsr".to_string(),
+        ] {
+            let reply = handle_line(&svc, &line);
+            assert!(reply.starts_with("ERR "), "{line:?} -> {reply}");
+        }
+        // the hostile attempts left the service fully functional
+        assert!(handle_line(&svc, "QUERY fig3 3 4").contains("count=4"));
+    }
+
+    #[test]
+    fn file_backed_rejections_are_err_lines() {
+        let dir = ic_graph::scratch::ScratchDir::new("ic-protocol-icsr-rej");
+        let svc = svc();
+        let path = dir.file("g.icsr");
+        let path = path.to_str().unwrap();
+        handle_line(&svc, &format!("SAVE fig3 {path}"));
+        assert!(handle_line(&svc, &format!("LOADX gx {path}")).starts_with("OK"));
+        for line in [
+            "UPDATE gx ADD 1 2 1.0",
+            "COMMIT gx",
+            "OPEN gx 3",
+            "QUERY gx 3 4 local_search",
+        ] {
+            let reply = handle_line(&svc, line);
+            assert!(reply.starts_with("ERR storage error"), "{line} -> {reply}");
+        }
+        // but semi-external queries answer fine
+        assert!(handle_line(&svc, "QUERY gx 3 4").contains("count=4"));
+        assert!(handle_line(&svc, "QUERY gx 3 4 online_all_se").contains("count=4"));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! every connection handler.
 //!
 //! A batch query flows: validate → look up graph →
-//! [`plan_dynamic`] (fed the graph's stale-core fraction) → probe the
+//! [`plan_stored`] (fed the graph's stale-core fraction and its storage
+//! backend) → probe the
 //! cache keyed by `(graph, generation, γ, k, family)` — prefix-aware
 //! within the core family, so a larger-k entry of the same lane serves
 //! smaller k by slicing — → join the key's *single flight*: concurrent
@@ -30,15 +31,16 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use ic_core::local_search::SearchStats;
-use ic_core::Community;
+use ic_core::{Community, QueryError};
 use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
 use ic_graph::generators::{assemble, barabasi_albert, gnm, rmat, RmatParams, WeightKind};
-use ic_graph::{io, WeightedGraph};
+use ic_graph::{io, save_icsr, FileCsr, GraphStore, IoStats, WeightedGraph};
 
 use crate::cache::{slice_prefix, CacheKey, ResultCache};
 use crate::error::ServiceError;
 use crate::inflight::{InflightTable, Join};
-use crate::planner::{plan_dynamic, Explain, Mode, Query};
+use crate::persist::Persistence;
+use crate::planner::{plan_stored, Explain, Mode, Query};
 use crate::pool::WorkerPool;
 use crate::registry::{GraphRegistry, RegisteredGraph};
 use crate::session::Session;
@@ -70,10 +72,10 @@ impl Default for ServiceConfig {
 pub struct QueryResponse {
     /// Name of the graph the query ran against.
     pub graph: String,
-    /// The exact graph instance the query ran against — the rank space
-    /// `communities` lives in. Translate members through *this* instance
+    /// The exact store the query ran against — the rank space
+    /// `communities` lives in. Translate members through *this* handle
     /// (not a fresh registry lookup, which may have been replaced).
-    pub graph_instance: Arc<WeightedGraph>,
+    pub graph_instance: GraphStore,
     /// The top-k communities, highest influence first (shared with the
     /// cache — cloning the response never copies the communities).
     pub communities: Arc<Vec<Community>>,
@@ -173,12 +175,49 @@ pub struct Service {
     /// Per-name dynamic overlays, created lazily by the first update.
     /// Queries only take the cheap read path (absent for static graphs).
     dynamics: RwLock<HashMap<String, DynamicOverlay>>,
+    /// The `--data-dir` durability layer; `None` for in-memory services.
+    persist: Option<Mutex<Persistence>>,
 }
 
 impl Service {
     /// Builds a service and wraps it in the [`Arc`] everything downstream
     /// (pool dispatch, connection handlers) needs.
     pub fn new(config: ServiceConfig) -> Arc<Self> {
+        Self::build(config, None)
+    }
+
+    /// A service with [`ServiceConfig::default`] sizing.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// Builds a service whose registrations, updates, and commits are
+    /// durable under `data_dir` (the `serve --data-dir` flag), after
+    /// first recovering whatever a previous incarnation committed there:
+    /// memory-resident graphs come back from their `ICG1` snapshot plus
+    /// the committed prefix of their write-ahead log (uncommitted tails
+    /// are discarded), file-backed graphs are reopened from their
+    /// recorded `.icsr` path, and every graph keeps the generation number
+    /// clients saw at its last registration or commit.
+    ///
+    /// Durability failures after construction never corrupt in-memory
+    /// serving: registration hooks mark the layer degraded, and every
+    /// later `UPDATE`/`COMMIT` reports [`ServiceError::Persistence`]
+    /// rather than acknowledging churn that would not survive a restart.
+    pub fn with_persistence(
+        config: ServiceConfig,
+        data_dir: impl AsRef<std::path::Path>,
+    ) -> Result<Arc<Self>, ServiceError> {
+        let (persistence, recovered) = Persistence::open(data_dir.as_ref())?;
+        let svc = Self::build(config, Some(Mutex::new(persistence)));
+        for g in recovered {
+            svc.registry
+                .register_recovered(&g.name, g.store, g.stats, g.generation);
+        }
+        Ok(svc)
+    }
+
+    fn build(config: ServiceConfig, persist: Option<Mutex<Persistence>>) -> Arc<Self> {
         Arc::new(Service {
             registry: GraphRegistry::new(),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
@@ -188,12 +227,8 @@ impl Service {
             sessions: Mutex::new(HashMap::new()),
             next_session_id: AtomicU64::new(1),
             dynamics: RwLock::new(HashMap::new()),
+            persist,
         })
-    }
-
-    /// A service with [`ServiceConfig::default`] sizing.
-    pub fn with_defaults() -> Arc<Self> {
-        Self::new(ServiceConfig::default())
     }
 
     // ----- graph management --------------------------------------------
@@ -211,7 +246,18 @@ impl Service {
         let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
         dynamics.remove(name);
         self.cache.invalidate_graph(name);
-        self.registry.register(name, graph)
+        let entry = self.registry.register(name, graph);
+        if let Some(persist) = &self.persist {
+            let snapshot = entry
+                .store
+                .as_memory()
+                .expect("register() always produces a memory store");
+            persist
+                .lock()
+                .expect("persistence lock poisoned")
+                .record_memory(name, snapshot, entry.generation);
+        }
+        entry
     }
 
     /// Loads a graph file (binary `ICG1` or the `v`/`e` edge-list text
@@ -231,6 +277,49 @@ impl Service {
     /// Builds a synthetic graph from a recipe and registers it.
     pub fn register_synthetic(&self, name: &str, spec: SyntheticSpec) -> RegisteredGraph {
         self.register(name, spec.build())
+    }
+
+    /// Opens a `.icsr` file as a file-backed store (vertex data resident,
+    /// edges on disk) and registers it under `name` — the `LOADX` verb.
+    /// `budget` caps the resident bytes ([`FileCsr::open_with_budget`]);
+    /// `None` uses the paper's 1 GB default. The file is opened and
+    /// validated *before* the registry is touched, so a hostile or
+    /// missing file leaves the existing registration (if any) serving.
+    pub fn register_file(
+        &self,
+        name: &str,
+        path: &str,
+        budget: Option<u64>,
+    ) -> Result<RegisteredGraph, ServiceError> {
+        let csr = match budget {
+            Some(b) => FileCsr::open_with_budget(path, b),
+            None => FileCsr::open(path),
+        }
+        .map_err(|e| ServiceError::GraphLoad(format!("{path}: {e}")))?;
+        let stats = csr.stats();
+        let store = GraphStore::File(Arc::new(csr));
+        let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
+        dynamics.remove(name);
+        self.cache.invalidate_graph(name);
+        let entry = self.registry.register_store(name, store, stats);
+        if let Some(persist) = &self.persist {
+            persist
+                .lock()
+                .expect("persistence lock poisoned")
+                .record_file(name, path, budget, entry.generation);
+        }
+        Ok(entry)
+    }
+
+    /// Saves a registered memory-resident graph as a `.icsr` file — the
+    /// `SAVE` verb. The file can then be served file-backed via
+    /// [`Service::register_file`] (here or by another process). Saving a
+    /// graph that is *already* file-backed is a typed error: its edges
+    /// live in the file it was opened from.
+    pub fn save_store(&self, name: &str, path: &str) -> Result<(), ServiceError> {
+        let entry = self.registry.get(name)?;
+        let graph = entry.memory()?;
+        save_icsr(graph, path).map_err(|e| ServiceError::Storage(format!("{path}: {e}")))
     }
 
     /// All registered graphs, sorted by name.
@@ -264,7 +353,7 @@ impl Service {
                 let entry = self.registry.get(name)?;
                 Some(DynamicOverlay {
                     base_generation: entry.generation,
-                    graph: DynamicGraph::from_arc(entry.graph),
+                    graph: DynamicGraph::from_arc(Arc::clone(entry.memory()?)),
                 })
             }
         };
@@ -281,7 +370,7 @@ impl Service {
                 // write locks: rebuild from the current snapshot
                 _ => DynamicOverlay {
                     base_generation: entry.generation,
-                    graph: DynamicGraph::from_arc(Arc::clone(&entry.graph)),
+                    graph: DynamicGraph::from_arc(Arc::clone(entry.memory()?)),
                 },
             };
             dynamics.insert(name.to_string(), overlay);
@@ -295,6 +384,16 @@ impl Service {
         let dg = &mut overlay.graph;
         dg.apply(op)
             .map_err(|e| ServiceError::Update(e.to_string()))?;
+        // Durability before acknowledgement: the op is in the overlay
+        // either way (in-memory state stays consistent), but if the WAL
+        // append fails the client must hear that this update would not
+        // survive a restart.
+        if let Some(persist) = &self.persist {
+            persist
+                .lock()
+                .expect("persistence lock poisoned")
+                .append_op(name, &op)?;
+        }
         Ok(UpdateStatus {
             pending: dg.pending_updates(),
             stale_core_fraction: dg.stale_core_fraction(),
@@ -317,10 +416,12 @@ impl Service {
     ) -> Result<(RegisteredGraph, CommitReceipt), ServiceError> {
         let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
         let Some(overlay) = dynamics.get_mut(name) else {
-            // no overlay: nothing to fold in
+            // no overlay: nothing to fold in (file-backed stores never
+            // have overlays — update() rejects them — so the memory
+            // accessor below doubles as the typed rejection for COMMIT)
             let entry = self.registry.get(name)?;
             let receipt = CommitReceipt {
-                graph: Arc::clone(&entry.graph),
+                graph: Arc::clone(entry.memory()?),
                 stats: entry.stats,
                 ops_applied: 0,
                 cores_visited: 0,
@@ -339,6 +440,15 @@ impl Service {
                 .register_prepared(name, Arc::clone(&receipt.graph), receipt.stats);
         // the overlay now tracks the registration it just produced
         overlay.base_generation = entry.generation;
+        // The commit record is what makes the WAL's pending ops durable:
+        // recovery replays exactly the ops above the last `commit` line,
+        // re-deriving this same snapshot under this same generation.
+        if let Some(persist) = &self.persist {
+            persist
+                .lock()
+                .expect("persistence lock poisoned")
+                .append_commit(name, entry.generation)?;
+        }
         Ok((entry, receipt))
     }
 
@@ -368,12 +478,13 @@ impl Service {
         query.validate()?;
         let entry = self.registry.get(&query.graph)?;
         let stale = self.stale_core_fraction(&query.graph);
-        Ok(plan_dynamic(
+        Ok(plan_stored(
             &entry.stats,
             query.gamma,
             query.k,
             query.mode,
             stale,
+            entry.store.kind(),
         ))
     }
 
@@ -387,7 +498,14 @@ impl Service {
         let core_query = query.to_core()?;
         let entry = self.registry.get(&query.graph)?;
         let stale = self.stale_core_fraction(&query.graph);
-        let explain = plan_dynamic(&entry.stats, query.gamma, query.k, query.mode, stale);
+        let explain = plan_stored(
+            &entry.stats,
+            query.gamma,
+            query.k,
+            query.mode,
+            stale,
+            entry.store.kind(),
+        );
         // The key carries the generation of the instance this execution
         // read (so a result computed against a since-replaced graph is
         // inserted under the stale generation and never served again) and
@@ -403,7 +521,7 @@ impl Service {
         let start = Instant::now();
         let response = |communities, cached, coalesced, search_stats| QueryResponse {
             graph: query.graph.clone(),
-            graph_instance: Arc::clone(&entry.graph),
+            graph_instance: entry.store.clone(),
             communities,
             explain: explain.clone(),
             cached,
@@ -435,9 +553,19 @@ impl Service {
                         }
                         return Ok(resp);
                     }
-                    // If the search below panics, the flight guard wakes
-                    // followers empty-handed and one of them re-leads.
-                    let result = explain.algorithm.resolve().run(&entry.graph, &core_query);
+                    // If the search below panics (or errors out through
+                    // `?`), the flight guard wakes followers empty-handed
+                    // and one of them re-leads — and hits the same typed
+                    // error itself rather than hanging.
+                    let result = explain
+                        .algorithm
+                        .resolve()
+                        .run_store(&entry.store, &core_query)
+                        .map_err(|e| match e {
+                            QueryError::Unsupported { .. } => ServiceError::Storage(e.to_string()),
+                            QueryError::Io(_) => ServiceError::Storage(e.to_string()),
+                            other => ServiceError::InvalidQuery(other.to_string()),
+                        })?;
                     let communities = Arc::new(result.communities);
                     self.cache.insert(key.clone(), communities.clone());
                     flight.publish(communities.clone());
@@ -488,7 +616,7 @@ impl Service {
     /// Answers many queries with as few searches as possible: requests
     /// are grouped by `(graph, generation, γ, answer-family)`, each group
     /// executes **once** at the group's largest k (planned by
-    /// [`plan_dynamic`] for that k), and every member receives its own
+    /// [`plan_stored`] for that k), and every member receives its own
     /// prefix of the group answer — valid because communities are
     /// enumerated in decreasing influence order, so top-k is a prefix of
     /// top-k′ for k ≤ k′ (§4 of the paper). The prefix guarantee is a
@@ -638,7 +766,7 @@ impl Service {
                 }
                 Ok(QueryResponse {
                     graph: group_resp.graph.clone(),
-                    graph_instance: Arc::clone(&group_resp.graph_instance),
+                    graph_instance: group_resp.graph_instance.clone(),
                     communities,
                     explain: group_resp.explain.clone(),
                     cached: if pos == 0 { group_resp.cached } else { true },
@@ -663,7 +791,9 @@ impl Service {
     /// Opens a progressive session on a registered graph; returns its id.
     pub fn open_session(&self, graph: &str, gamma: u32) -> Result<u64, ServiceError> {
         let entry = self.registry.get(graph)?;
-        let session = Session::open(graph, entry.graph, gamma)?;
+        // progressive sessions need random access to the adjacency, so
+        // file-backed stores are rejected with the typed storage error
+        let session = Session::open(graph, Arc::clone(entry.memory()?), gamma)?;
         let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
         self.sessions
             .lock()
@@ -756,6 +886,31 @@ impl Service {
         let mut stats = self.stats.snapshot();
         stats.worker_panics = self.pool.panic_count();
         stats
+    }
+
+    /// Why durability was lost, if it was: the first persistence-hook
+    /// failure on a [`Service::with_persistence`] instance. `None` for
+    /// purely in-memory services and for healthy durable ones. Once set,
+    /// every subsequent `UPDATE`/`COMMIT` fails with
+    /// [`ServiceError::Persistence`] rather than over-promising.
+    pub fn persistence_degraded(&self) -> Option<String> {
+        self.persist.as_ref().and_then(|p| {
+            p.lock()
+                .expect("persistence lock poisoned")
+                .degraded()
+                .map(str::to_string)
+        })
+    }
+
+    /// Cumulative I/O per registered store, sorted by name — the
+    /// `STATS` verb's per-store rows. Memory stores report zeros; file
+    /// stores report every byte read since they were opened.
+    pub fn store_io(&self) -> Vec<(String, ic_graph::StorageKind, IoStats)> {
+        self.registry
+            .list()
+            .into_iter()
+            .map(|e| (e.name.clone(), e.store.kind(), e.store.io_totals()))
+            .collect()
     }
 
     /// Number of entries currently cached.
@@ -955,7 +1110,7 @@ mod tests {
         // every successful slot matches its individually computed answer
         for (q, r) in queries.iter().zip(&results).take(5) {
             let resp = r.as_ref().expect("valid slots succeed");
-            let reference = direct_top_k(&resp.graph_instance, q.gamma, q.k);
+            let reference = direct_top_k(resp.graph_instance.as_memory().unwrap(), q.gamma, q.k);
             assert_eq!(resp.communities.len(), reference.len(), "{q:?}");
             for (a, b) in resp.communities.iter().zip(&reference) {
                 assert_eq!(a.members, b.members, "{q:?}");
@@ -1203,7 +1358,10 @@ mod tests {
         let (entry, receipt) = svc.commit_updates("fig3").unwrap();
         assert_eq!(entry.generation, before.generation);
         assert_eq!(receipt.ops_applied, 0);
-        assert!(Arc::ptr_eq(&entry.graph, &before.graph));
+        assert!(Arc::ptr_eq(
+            entry.memory().unwrap(),
+            before.memory().unwrap()
+        ));
         // same once an overlay exists but holds nothing pending
         svc.update(
             "fig3",
@@ -1282,5 +1440,122 @@ mod tests {
         assert!(svc
             .load_path("missing", dir.file("nope.icg").to_str().unwrap())
             .is_err());
+    }
+
+    #[test]
+    fn save_then_file_backed_round_trip_matches_memory() {
+        let dir = ic_graph::scratch::ScratchDir::new("ic-service-icsr");
+        let svc = service_with_fig3();
+        let path = dir.file("fig3.icsr");
+        svc.save_store("fig3", path.to_str().unwrap()).unwrap();
+
+        let entry = svc
+            .register_file("fig3x", path.to_str().unwrap(), None)
+            .unwrap();
+        assert_eq!(entry.storage(), ic_graph::StorageKind::File);
+        assert_eq!(entry.stats, svc.graph("fig3").unwrap().stats);
+
+        // auto dispatch picks a semi-external executor and the answers
+        // match the memory-resident registration exactly
+        for (gamma, k) in [(3u32, 1usize), (3, 4), (2, 3), (1, 100)] {
+            let mem = svc.query(Query::new("fig3", gamma, k)).unwrap();
+            let file = svc.query(Query::new("fig3x", gamma, k)).unwrap();
+            assert!(
+                matches!(
+                    file.explain.algorithm,
+                    Algorithm::LocalSearchSE | Algorithm::OnlineAllSE
+                ),
+                "gamma={gamma} k={k} planned {}",
+                file.explain.algorithm
+            );
+            assert_eq!(file.explain.storage, ic_graph::StorageKind::File);
+            assert!(file.explain.est_bytes > 0);
+            assert_eq!(file.communities.len(), mem.communities.len());
+            for (a, b) in file.communities.iter().zip(mem.communities.iter()) {
+                assert_eq!(a.members, b.members, "gamma={gamma} k={k}");
+                assert_eq!(a.influence, b.influence);
+            }
+            if !file.cached {
+                let stats = file.search_stats.expect("miss reports stats");
+                assert!(stats.bytes_read > 0, "file-backed runs perform I/O");
+            }
+        }
+        // the store-level I/O counters saw those reads
+        let io = svc.store_io();
+        let row = io.iter().find(|(n, _, _)| n == "fig3x").unwrap();
+        assert_eq!(row.1, ic_graph::StorageKind::File);
+        assert!(row.2.bytes_read > 0);
+        let mem_row = io.iter().find(|(n, _, _)| n == "fig3").unwrap();
+        assert_eq!(mem_row.2.bytes_read, 0);
+    }
+
+    #[test]
+    fn file_backed_stores_reject_memory_only_operations() {
+        let dir = ic_graph::scratch::ScratchDir::new("ic-service-icsr-rej");
+        let svc = service_with_fig3();
+        let path = dir.file("g.icsr");
+        svc.save_store("fig3", path.to_str().unwrap()).unwrap();
+        svc.register_file("gx", path.to_str().unwrap(), None)
+            .unwrap();
+
+        // dynamic updates, commits, and sessions need random access
+        assert!(matches!(
+            svc.update("gx", UpdateOp::DeleteEdge { u: 3, v: 11 }),
+            Err(ServiceError::Storage(_))
+        ));
+        assert!(matches!(
+            svc.commit_updates("gx"),
+            Err(ServiceError::Storage(_))
+        ));
+        assert!(matches!(
+            svc.open_session("gx", 3),
+            Err(ServiceError::Storage(_))
+        ));
+        // re-saving a file-backed store is refused (its edges already
+        // live in the file it was opened from)
+        assert!(matches!(
+            svc.save_store("gx", dir.file("copy.icsr").to_str().unwrap()),
+            Err(ServiceError::Storage(_))
+        ));
+        // a forced memory-only algorithm errors rather than panicking
+        assert!(matches!(
+            svc.query(Query::new("gx", 3, 4).with_mode(Mode::Forced(Algorithm::LocalSearch))),
+            Err(ServiceError::Storage(_))
+        ));
+        // the forced *semi-external* algorithms still run
+        let forced = svc
+            .query(Query::new("gx", 3, 4).with_mode(Mode::Forced(Algorithm::OnlineAllSE)))
+            .unwrap();
+        assert_eq!(forced.communities.len(), 4);
+    }
+
+    #[test]
+    fn register_file_failures_leave_the_registry_untouched() {
+        let dir = ic_graph::scratch::ScratchDir::new("ic-service-icsr-err");
+        let svc = service_with_fig3();
+        let before = svc.graph("fig3").unwrap();
+        // missing file
+        assert!(matches!(
+            svc.register_file("fig3", dir.file("nope.icsr").to_str().unwrap(), None),
+            Err(ServiceError::GraphLoad(_))
+        ));
+        // hostile bytes
+        let bad = dir.file("bad.icsr");
+        std::fs::write(&bad, b"not an icsr file at all").unwrap();
+        assert!(matches!(
+            svc.register_file("fig3", bad.to_str().unwrap(), None),
+            Err(ServiceError::GraphLoad(_))
+        ));
+        // over-budget open
+        let good = dir.file("good.icsr");
+        svc.save_store("fig3", good.to_str().unwrap()).unwrap();
+        assert!(matches!(
+            svc.register_file("fig3", good.to_str().unwrap(), Some(16)),
+            Err(ServiceError::GraphLoad(_))
+        ));
+        // the original registration still serves, same generation
+        let after = svc.graph("fig3").unwrap();
+        assert_eq!(after.generation, before.generation);
+        assert!(svc.query(Query::new("fig3", 3, 4)).is_ok());
     }
 }

@@ -12,7 +12,7 @@ use influential_communities::prelude::{AlgorithmId, Community, Selection, TopKQu
 use influential_communities::search::local_search::{
     CountStrategy, LocalSearch, LocalSearchOptions,
 };
-use influential_communities::search::{naive, truss, ProgressiveSearch};
+use influential_communities::search::{naive, semi_external, truss, ProgressiveSearch};
 use influential_communities::service::planner::PROGRESSIVE_K_CUTOFF;
 use influential_communities::service::{plan, Algorithm, Mode, Query, Service, ServiceConfig};
 use proptest::prelude::*;
@@ -327,6 +327,16 @@ fn direct_call(g: &WeightedGraph, id: AlgorithmId, gamma: u32, k: usize) -> Vec<
             all
         }
         AlgorithmId::Truss => truss::local_top_k(g, gamma, k).communities,
+        AlgorithmId::LocalSearchSE => {
+            semi_external::local_search_se_top_k(g, gamma, k)
+                .expect("in-memory source cannot fail")
+                .0
+        }
+        AlgorithmId::OnlineAllSE => {
+            semi_external::online_all_se_top_k(g, gamma, k)
+                .expect("in-memory source cannot fail")
+                .0
+        }
         other => unreachable!("unhandled algorithm {other}"),
     }
 }

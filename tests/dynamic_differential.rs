@@ -283,12 +283,12 @@ fn service_update_stream_matches_rebuild() {
                     let am: Vec<Vec<u64>> = a
                         .communities
                         .iter()
-                        .map(|c| c.external_members(&a.graph_instance))
+                        .map(|c| c.external_members_in(&a.graph_instance))
                         .collect();
                     let bm: Vec<Vec<u64>> = b
                         .communities
                         .iter()
-                        .map(|c| c.external_members(&b.graph_instance))
+                        .map(|c| c.external_members_in(&b.graph_instance))
                         .collect();
                     assert_eq!(am, bm, "γ={gamma} k={k} after {accepted} ops");
                 }

@@ -1,0 +1,253 @@
+//! Kill-and-restart recovery for the `--data-dir` durability layer.
+//!
+//! Each case builds a [`Service::with_persistence`] instance, drives it
+//! through registrations / updates / commits, *drops it cold* (no
+//! orderly shutdown exists to lean on — dropping the service is the
+//! crash), then reopens the same data directory with a fresh instance
+//! and checks the recovered world:
+//!
+//! * every committed generation comes back under its original number,
+//! * recovered answers equal the answers served before the "crash",
+//! * acknowledged-but-uncommitted updates are discarded (the protocol
+//!   only promises durability at `COMMIT`),
+//! * file-backed (`LOADX`) registrations are reopened from their
+//!   `.icsr` pointer and still plan semi-externally,
+//! * a WAL tail torn mid-record by the crash does not poison recovery.
+
+use influential_communities::graph::paper::figure3;
+use influential_communities::graph::scratch::ScratchDir;
+use influential_communities::graph::StorageKind;
+use influential_communities::prelude::*;
+use influential_communities::service::ServiceError;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+fn durable(dir: &Path) -> Arc<Service> {
+    Service::with_persistence(ServiceConfig::default(), dir).expect("open data dir")
+}
+
+fn top_k(svc: &Arc<Service>, name: &str, gamma: u32, k: usize) -> Vec<Community> {
+    svc.query(Query::new(name, gamma, k))
+        .expect("query")
+        .communities
+        .to_vec()
+}
+
+#[test]
+fn committed_generations_survive_a_restart() {
+    let scratch = ScratchDir::new("recovery-basic");
+    let dir = scratch.path().join("data");
+
+    let (generation, before) = {
+        let svc = durable(&dir);
+        svc.register("fig3", figure3());
+        // one committed batch of churn...
+        svc.update(
+            "fig3",
+            UpdateOp::AddVertex {
+                v: 100,
+                weight: 21.5,
+            },
+        )
+        .unwrap();
+        svc.update(
+            "fig3",
+            UpdateOp::InsertEdge {
+                u: 100,
+                v: 12,
+                default_weight: None,
+            },
+        )
+        .unwrap();
+        let (entry, receipt) = svc.commit_updates("fig3").unwrap();
+        assert_eq!(receipt.ops_applied, 2);
+        // ...and an acknowledged tail that must NOT survive
+        svc.update("fig3", UpdateOp::RemoveVertex { v: 100 })
+            .unwrap();
+        assert!(svc.persistence_degraded().is_none());
+        (entry.generation, top_k(&svc, "fig3", 3, 4))
+    }; // <- crash
+
+    let svc = durable(&dir);
+    let entry = svc.graph("fig3").expect("fig3 recovered");
+    assert_eq!(
+        entry.generation, generation,
+        "recovered graphs keep the generation clients saw at commit"
+    );
+    assert_eq!(
+        entry.stats.n,
+        figure3().n() + 1,
+        "committed AddVertex survived"
+    );
+    assert_eq!(top_k(&svc, "fig3", 3, 4), before);
+    assert_eq!(
+        svc.pending_updates("fig3"),
+        0,
+        "the uncommitted tail was discarded"
+    );
+    // the recovered instance keeps full dynamic service
+    svc.update("fig3", UpdateOp::Reweight { v: 12, weight: 1.0 })
+        .unwrap();
+    let (entry2, _) = svc.commit_updates("fig3").unwrap();
+    assert!(
+        entry2.generation > generation,
+        "post-recovery generations stay strictly monotone"
+    );
+}
+
+#[test]
+fn multiple_graphs_and_commit_rounds_recover_independently() {
+    let scratch = ScratchDir::new("recovery-multi");
+    let dir = scratch.path().join("data");
+
+    let (gen_a, gen_b, a_before, b_before) = {
+        let svc = durable(&dir);
+        svc.register("a", figure3());
+        svc.register("b", figure3());
+        // two commit rounds on `a`
+        svc.update("a", UpdateOp::AddVertex { v: 50, weight: 3.0 })
+            .unwrap();
+        svc.commit_updates("a").unwrap();
+        svc.update(
+            "a",
+            UpdateOp::InsertEdge {
+                u: 50,
+                v: 1,
+                default_weight: None,
+            },
+        )
+        .unwrap();
+        let (ea, _) = svc.commit_updates("a").unwrap();
+        // `b` stays at its registration baseline
+        let eb = svc.graph("b").unwrap();
+        (
+            ea.generation,
+            eb.generation,
+            top_k(&svc, "a", 2, 8),
+            top_k(&svc, "b", 2, 8),
+        )
+    };
+
+    let svc = durable(&dir);
+    assert_eq!(svc.graph("a").unwrap().generation, gen_a);
+    assert_eq!(svc.graph("b").unwrap().generation, gen_b);
+    assert_eq!(top_k(&svc, "a", 2, 8), a_before);
+    assert_eq!(top_k(&svc, "b", 2, 8), b_before);
+    // the graphs really did diverge: only `a` carries the committed churn
+    assert_eq!(svc.graph("a").unwrap().stats.n, figure3().n() + 1);
+    assert_eq!(svc.graph("b").unwrap().stats.n, figure3().n());
+}
+
+#[test]
+fn file_backed_registrations_recover_from_their_pointer() {
+    let scratch = ScratchDir::new("recovery-loadx");
+    let dir = scratch.path().join("data");
+    let icsr = scratch.path().join("fig3.icsr");
+
+    let (generation, before) = {
+        let svc = durable(&dir);
+        svc.register("fig3", figure3());
+        svc.save_store("fig3", icsr.to_str().unwrap()).unwrap();
+        let entry = svc
+            .register_file("fig3x", icsr.to_str().unwrap(), None)
+            .unwrap();
+        (entry.generation, top_k(&svc, "fig3x", 3, 4))
+    };
+
+    let svc = durable(&dir);
+    let entry = svc.graph("fig3x").expect("file-backed graph recovered");
+    assert_eq!(entry.generation, generation);
+    assert_eq!(entry.store.kind(), StorageKind::File);
+    let plan = svc.explain(&Query::new("fig3x", 3, 4)).unwrap();
+    assert_eq!(plan.storage, StorageKind::File);
+    assert_eq!(top_k(&svc, "fig3x", 3, 4), before);
+    assert_eq!(
+        top_k(&svc, "fig3", 3, 4),
+        before,
+        "memory twin recovered too"
+    );
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_the_last_commit() {
+    let scratch = ScratchDir::new("recovery-torn");
+    let dir = scratch.path().join("data");
+
+    let (generation, before) = {
+        let svc = durable(&dir);
+        svc.register("fig3", figure3());
+        svc.update("fig3", UpdateOp::AddVertex { v: 77, weight: 9.0 })
+            .unwrap();
+        let (entry, _) = svc.commit_updates("fig3").unwrap();
+        (entry.generation, top_k(&svc, "fig3", 3, 4))
+    };
+
+    // Simulate a crash mid-append: every WAL in the data dir gets a torn
+    // (unterminated, half-written) record glued to its end.
+    let mut torn = 0;
+    for f in fs::read_dir(&dir).unwrap().flatten() {
+        if f.path().extension().is_some_and(|e| e == "wal") {
+            let mut bytes = fs::read(f.path()).unwrap();
+            bytes.extend_from_slice(b"add_vertex 99 1");
+            fs::write(f.path(), bytes).unwrap();
+            torn += 1;
+        }
+    }
+    assert_eq!(torn, 1, "expected exactly one WAL on disk");
+
+    let svc = durable(&dir);
+    let entry = svc.graph("fig3").unwrap();
+    assert_eq!(entry.generation, generation);
+    assert_eq!(entry.stats.n, figure3().n() + 1, "committed op survived");
+    assert_eq!(top_k(&svc, "fig3", 3, 4), before);
+}
+
+#[test]
+fn re_registration_supersedes_committed_history() {
+    let scratch = ScratchDir::new("recovery-rereg");
+    let dir = scratch.path().join("data");
+
+    {
+        let svc = durable(&dir);
+        svc.register("fig3", figure3());
+        svc.update("fig3", UpdateOp::AddVertex { v: 60, weight: 2.0 })
+            .unwrap();
+        svc.commit_updates("fig3").unwrap();
+        // wholesale replacement: the committed churn belongs to the old
+        // incarnation and must not replay onto the new snapshot
+        svc.register("fig3", figure3());
+    }
+
+    let svc = durable(&dir);
+    assert_eq!(svc.graph("fig3").unwrap().stats.n, figure3().n());
+}
+
+#[test]
+fn in_memory_services_are_unaffected_and_errors_stay_typed() {
+    // No data dir: the persistence hooks must be entirely absent.
+    let svc = Service::with_defaults();
+    svc.register("fig3", figure3());
+    assert!(svc.persistence_degraded().is_none());
+    svc.update(
+        "fig3",
+        UpdateOp::AddVertex {
+            v: 5000,
+            weight: 1.0,
+        },
+    )
+    .unwrap();
+    svc.commit_updates("fig3").unwrap();
+
+    // A data dir whose manifest is garbage is a typed recovery error.
+    let scratch = ScratchDir::new("recovery-garbage");
+    let dir = scratch.path().join("data");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("MANIFEST"), b"not a manifest\n").unwrap();
+    match Service::with_persistence(ServiceConfig::default(), &dir) {
+        Err(ServiceError::Persistence(msg)) => {
+            assert!(msg.contains("manifest"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected a Persistence error, got {other:?}"),
+    }
+}

@@ -110,6 +110,20 @@ fn malformed_and_truncated_lines_error_cleanly() {
         "UPDATE nope ADD 1 2 1.0",
         "COMMIT nope",
         "LOAD ghost /nonexistent/path/graph.icg",
+        // storage verbs: truncated, hostile paths, bad budgets
+        "LOADX",
+        "LOADX x",
+        "LOADX ghost /nonexistent/path/graph.icsr",
+        "LOADX ghost /dev/null",
+        "LOADX ghost /etc/hostname",
+        "LOADX ghost ../../../../etc/passwd",
+        "LOADX ghost /nonexistent/path/graph.icsr not-a-budget",
+        "LOADX ghost /nonexistent/path/graph.icsr 64 extra",
+        "SAVE",
+        "SAVE fig3",
+        "SAVE nope /tmp/never-written.icsr",
+        "SAVE fig3 /nonexistent/dir/never-written.icsr",
+        "SAVE fig3 /tmp/a.icsr extra",
     ];
     for &line in cases {
         let reply = feed(&svc, line);
@@ -150,8 +164,8 @@ fn oversized_inputs_do_not_panic_or_allocate_absurdly() {
 fn seeded_token_fuzzing_never_panics() {
     let svc = svc();
     let verbs = [
-        "LOAD", "GEN", "GRAPHS", "QUERY", "BATCH", "EXPLAIN", "UPDATE", "COMMIT", "OPEN", "NEXT",
-        "CLOSE", "STATS", "HELP", "QUIT", "update", "Commit", "batch", "",
+        "LOAD", "LOADX", "SAVE", "GEN", "GRAPHS", "QUERY", "BATCH", "EXPLAIN", "UPDATE", "COMMIT",
+        "OPEN", "NEXT", "CLOSE", "STATS", "HELP", "QUIT", "update", "Commit", "batch", "",
     ];
     let tokens = [
         "fig3",
@@ -332,7 +346,7 @@ fn service_still_answers_correctly_after_the_barrage() {
     assert_eq!(resp.communities.len(), expected.len());
     for (a, b) in resp.communities.iter().zip(&expected) {
         assert_eq!(
-            a.external_members(&resp.graph_instance),
+            a.external_members_in(&resp.graph_instance),
             b.external_members(&reference)
         );
     }

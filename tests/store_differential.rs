@@ -1,0 +1,161 @@
+//! Differential test for the storage-backend seam: a file-backed
+//! `.icsr` store must be *indistinguishable* from the in-memory CSR it
+//! was saved from — same communities, in the same order, with the same
+//! members — for every core-family algorithm in the registry.
+//!
+//! The grid crosses several graphs (the paper's running example plus the
+//! two synthetic families the serving suite uses) with γ ∈ {1..4} and
+//! k ∈ {1, 3, 8, 64}. For each cell the in-memory answer of every
+//! core-family [`AlgorithmId`] is compared against both semi-external
+//! executors running on the file-backed store; the file-backed run must
+//! also actually touch the disk (nonzero I/O counters in its
+//! [`SearchStats`]) — otherwise the test would pass vacuously with a
+//! memory store in a trench coat.
+//!
+//! A service-level case closes the loop the protocol exposes: `SAVE`
+//! then `LOADX` a graph, and the planner must route every auto-mode
+//! query on the file-backed name to a semi-external executor (visible
+//! through EXPLAIN) while returning bit-identical community lists.
+
+use influential_communities::graph::generators::{assemble, barabasi_albert, gnm, WeightKind};
+use influential_communities::graph::paper::figure3;
+use influential_communities::graph::scratch::ScratchDir;
+use influential_communities::graph::{save_icsr, FileCsr, GraphStore, StorageKind, WeightedGraph};
+use influential_communities::search::query::{AlgorithmId, AnswerFamily};
+use influential_communities::search::TopKQuery;
+use influential_communities::service::{Mode, Query, Service};
+use std::sync::Arc;
+
+const GAMMAS: [u32; 4] = [1, 2, 3, 4];
+const KS: [usize; 4] = [1, 3, 8, 64];
+
+fn graphs() -> Vec<(&'static str, WeightedGraph)> {
+    vec![
+        ("figure3", figure3()),
+        (
+            "gnm",
+            assemble(300, &gnm(300, 1200, 7), WeightKind::Uniform(7)),
+        ),
+        (
+            "ba",
+            assemble(250, &barabasi_albert(250, 4, 11), WeightKind::PageRank),
+        ),
+    ]
+}
+
+/// Every registered algorithm answering the core (Definition 2.2)
+/// problem — the truss family answers a different question and has no
+/// semi-external twin to agree with.
+fn core_algorithms() -> Vec<AlgorithmId> {
+    AlgorithmId::ALL
+        .into_iter()
+        .filter(|a| a.family() == AnswerFamily::Core)
+        .collect()
+}
+
+#[test]
+fn file_backed_store_matches_memory_for_every_core_algorithm() {
+    let scratch = ScratchDir::new("store-differential");
+    for (name, graph) in graphs() {
+        let path = scratch.path().join(format!("{name}.icsr"));
+        save_icsr(&graph, &path).expect("save_icsr");
+        let file = GraphStore::File(Arc::new(FileCsr::open(&path).expect("open icsr")));
+        let memory = GraphStore::Memory(Arc::new(graph));
+
+        for gamma in GAMMAS {
+            for k in KS {
+                let q = TopKQuery::new(gamma).k(k);
+                // Reference answer: plain in-memory LocalSearch.
+                let reference = AlgorithmId::LocalSearch
+                    .resolve()
+                    .run_store(&memory, &q)
+                    .expect("memory run");
+
+                for algo in core_algorithms() {
+                    // Every core algorithm agrees on the memory store...
+                    let mem = algo
+                        .resolve()
+                        .run_store(&memory, &q)
+                        .expect("memory stores serve every algorithm");
+                    assert_eq!(
+                        mem.communities, reference.communities,
+                        "{name}: γ={gamma} k={k}: {algo:?} disagrees in memory"
+                    );
+                    // ...and its file-backed twin (the semi-external
+                    // executors are the only ones that serve file
+                    // stores) must reproduce it exactly.
+                    if matches!(algo, AlgorithmId::LocalSearchSE | AlgorithmId::OnlineAllSE) {
+                        let disk = algo
+                            .resolve()
+                            .run_store(&file, &q)
+                            .expect("file-backed run");
+                        assert_eq!(
+                            disk.communities, reference.communities,
+                            "{name}: γ={gamma} k={k}: {algo:?} disagrees on disk"
+                        );
+                        assert!(
+                            disk.stats.bytes_read > 0 && disk.stats.read_ops > 0,
+                            "{name}: γ={gamma} k={k}: {algo:?} reported no I/O \
+                             on a file-backed store"
+                        );
+                        assert_eq!(mem.stats.bytes_read, 0, "memory runs must not count I/O");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn service_save_loadx_differential_with_storage_aware_planning() {
+    let scratch = ScratchDir::new("store-differential-svc");
+    let svc = Service::with_defaults();
+    for (name, graph) in graphs() {
+        svc.register(name, graph);
+        let path = scratch.path().join(format!("{name}.icsr"));
+        let disk_name = format!("{name}-disk");
+        svc.save_store(name, path.to_str().unwrap()).expect("SAVE");
+        let entry = svc
+            .register_file(&disk_name, path.to_str().unwrap(), None)
+            .expect("LOADX");
+        assert_eq!(entry.store.kind(), StorageKind::File);
+
+        for gamma in GAMMAS {
+            for k in KS {
+                let mem_q = Query::new(name, gamma, k);
+                let disk_q = Query::new(&disk_name, gamma, k);
+                let mem_plan = svc.explain(&mem_q).expect("explain mem");
+                let disk_plan = svc.explain(&disk_q).expect("explain disk");
+                assert_eq!(mem_plan.storage, StorageKind::Memory);
+                assert_eq!(disk_plan.storage, StorageKind::File);
+                assert!(
+                    matches!(
+                        disk_plan.algorithm,
+                        AlgorithmId::LocalSearchSE | AlgorithmId::OnlineAllSE
+                    ),
+                    "{disk_name}: γ={gamma} k={k}: auto planned {:?} for a file store",
+                    disk_plan.algorithm
+                );
+                assert!(
+                    disk_plan.est_bytes > 0,
+                    "file-backed plans must estimate their I/O"
+                );
+
+                let mem = svc.query(mem_q).expect("memory query");
+                let disk = svc.query(disk_q).expect("file-backed query");
+                assert_eq!(
+                    mem.communities, disk.communities,
+                    "{disk_name}: γ={gamma} k={k}: answers diverge across backends"
+                );
+            }
+        }
+
+        // Forcing the streaming executor must agree too (it reads the
+        // whole edge file rather than the answer prefix).
+        let forced = svc
+            .query(Query::new(&disk_name, 3, 4).with_mode(Mode::Forced(AlgorithmId::OnlineAllSE)))
+            .expect("forced online_all_se");
+        let reference = svc.query(Query::new(name, 3, 4)).expect("memory reference");
+        assert_eq!(forced.communities, reference.communities);
+    }
+}
