@@ -23,6 +23,7 @@ fn service_with(workers: usize) -> Arc<Service> {
         workers,
         cache_capacity: 512,
         cache_shards: 8,
+        ..ServiceConfig::default()
     });
     svc.register("email", dataset("email", Scale::Small).clone());
     svc.register("wiki", dataset("wiki", Scale::Small).clone());

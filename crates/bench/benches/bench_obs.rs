@@ -1,0 +1,70 @@
+//! Observability overhead: the cached hot path through the full service
+//! stack with tracing + histograms always on, next to the raw cost of
+//! the primitives themselves (one histogram record, one full trace, one
+//! exposition render). `query_cached_k32` here is the same workload as
+//! `service/query_cached_k32` in `bench_service.rs` — comparing the two
+//! across commits is the ≤5% overhead check for the observability layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ic_bench::{dataset, Scale};
+use ic_obs::{Histogram, QueryTrace, Stage};
+use ic_service::{Query, Service, ServiceConfig};
+use std::time::Duration;
+
+fn service() -> std::sync::Arc<Service> {
+    let svc = Service::new(ServiceConfig {
+        workers: 4,
+        cache_capacity: 512,
+        cache_shards: 8,
+        ..ServiceConfig::default()
+    });
+    svc.register("email", dataset("email", Scale::Small).clone());
+    svc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300));
+
+    // the cached hot path, every query traced and recorded
+    let svc = service();
+    let _ = svc.query(Query::new("email", 8, 32)).unwrap(); // prime
+    group.bench_function("query_cached_k32", |b| {
+        b.iter(|| black_box(svc.query(Query::new("email", 8, 32)).unwrap()))
+    });
+
+    // one atomic histogram record (the per-query steady-state cost)
+    let h = Histogram::new();
+    let mut v = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(0x9E37_79B9).wrapping_mul(31) % 50_000_000;
+            h.record(black_box(v));
+        })
+    });
+
+    // a full trace lifecycle: start, five laps, finish
+    group.bench_function("trace_full_lifecycle", |b| {
+        b.iter(|| {
+            let mut t = QueryTrace::start();
+            for stage in Stage::ALL {
+                t.lap(stage);
+            }
+            t.finish();
+            black_box(t.total_ns())
+        })
+    });
+
+    // one full Prometheus exposition render (scrape cost, off hot path)
+    group.bench_function("metrics_render", |b| {
+        b.iter(|| black_box(svc.metrics_text().len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

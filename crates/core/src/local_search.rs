@@ -75,6 +75,14 @@ pub struct SearchStats {
     pub bytes_read: u64,
     /// Read operations issued against disk-resident edge storage.
     pub read_ops: u64,
+    /// Wall-clock nanoseconds spent counting (the peel rounds of
+    /// Alg. 1 lines 3–5). Zero for executors that don't separate the
+    /// two phases.
+    pub count_ns: u64,
+    /// Wall-clock nanoseconds spent enumerating the final answer
+    /// (EnumIC, Alg. 1 line 6). Zero for executors that don't separate
+    /// the two phases.
+    pub enumerate_ns: u64,
 }
 
 /// Query result: materialized communities (top first), the compact forest,
@@ -116,6 +124,7 @@ impl LocalSearch {
         let mut prefix = Prefix::with_len(g, params.initial_prefix_len(g.n()));
 
         // lines 3–5: count, and grow geometrically while insufficient
+        let count_start = std::time::Instant::now();
         loop {
             stats.rounds += 1;
             stats.total_counted_size += prefix.size();
@@ -132,17 +141,20 @@ impl LocalSearch {
             let target = (prefix.size() as f64 * self.opts.delta).ceil() as u64;
             prefix.extend_to_size(target.max(prefix.size() + 1));
         }
+        stats.count_ns = count_start.elapsed().as_nanos() as u64;
         stats.final_prefix_len = prefix.len();
         stats.final_prefix_size = prefix.size();
 
         // line 6: EnumIC on the final prefix. When counting used
         // OnlineAll, the cvs for the final prefix has not been built yet.
+        let enum_start = std::time::Instant::now();
         if self.opts.counting == CountStrategy::OnlineAll {
             self.engine
                 .peel(&prefix, PeelConfig::new(gamma), &mut self.out);
         }
         let forest = enum_ic(&prefix, &self.out, k, |r| g.weight(r));
         let communities = forest.communities();
+        stats.enumerate_ns = enum_start.elapsed().as_nanos() as u64;
         SearchResult {
             communities,
             forest,

@@ -204,6 +204,7 @@ pub(crate) fn se_search_result(communities: Vec<Community>, se: SeStats) -> Sear
         total_counted_size: se.visited_vertices as u64 + se.peak_resident_edges as u64,
         bytes_read: se.io.bytes_read,
         read_ops: se.io.read_ops,
+        ..SearchStats::default()
     };
     crate::query::flat_result(communities, stats)
 }

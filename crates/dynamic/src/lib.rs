@@ -59,4 +59,4 @@ pub mod wal;
 
 pub use cores::{CoreTracker, MaintenanceStats};
 pub use graph::{CommitReceipt, DynamicError, DynamicGraph, UpdateOp};
-pub use wal::{committed_ops, read_wal, WalRecord, WalWriter};
+pub use wal::{committed_ops, read_wal, WalRecord, WalStats, WalWriter};

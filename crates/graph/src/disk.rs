@@ -39,6 +39,17 @@ impl IoStats {
     pub fn edges_read(&self) -> u64 {
         self.bytes_read / RECORD_BYTES as u64
     }
+
+    /// The I/O performed since `earlier` was snapshotted — the per-query
+    /// attribution the serving layer's traces record. Counters are
+    /// monotone per store; saturating keeps a racy or mismatched
+    /// baseline harmless (a zero delta, never a wrapped giant).
+    pub fn delta_since(self, earlier: IoStats) -> IoStats {
+        IoStats {
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+        }
+    }
 }
 
 /// A graph whose edges live in a file, plus the in-memory per-vertex
@@ -179,6 +190,24 @@ mod tests {
 
     fn sample() -> WeightedGraph {
         assemble(50, &gnm(50, 120, 23), WeightKind::Uniform(23))
+    }
+
+    #[test]
+    fn io_stats_delta_is_saturating() {
+        let early = IoStats {
+            bytes_read: 100,
+            read_ops: 3,
+        };
+        let late = IoStats {
+            bytes_read: 900,
+            read_ops: 10,
+        };
+        let d = late.delta_since(early);
+        assert_eq!(d.bytes_read, 800);
+        assert_eq!(d.read_ops, 7);
+        // a mismatched baseline saturates to zero instead of wrapping
+        let z = early.delta_since(late);
+        assert_eq!(z, IoStats::default());
     }
 
     #[test]

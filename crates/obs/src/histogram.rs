@@ -1,0 +1,336 @@
+//! Lock-free log-linear latency histogram (HDR-style).
+//!
+//! The recording surface is a flat array of relaxed atomic counters, so
+//! any number of threads record concurrently with one `fetch_add` each —
+//! no locks, no allocation after construction. The bucket layout is
+//! *log-linear*: each power-of-two octave is split into
+//! [`SUB_BUCKETS`] equal sub-buckets, which bounds the relative
+//! quantization error of any reported quantile at `1/SUB_BUCKETS`
+//! (3.125%) while keeping the whole `u64` range addressable in
+//! [`BUCKET_COUNT`] buckets (~15 KiB of counters). Values below
+//! `2 * SUB_BUCKETS` are recorded exactly, one bucket per value.
+//!
+//! Quantiles are extracted from a [`HistogramSnapshot`]: the reported
+//! value is the *upper bound* of the bucket holding the requested rank
+//! (clamped to the recorded maximum), so for any recorded distribution
+//!
+//! ```text
+//! exact_quantile <= reported <= exact_quantile * (1 + 1/SUB_BUCKETS) + 1
+//! ```
+//!
+//! — the property the observability test suite checks against an exact
+//! sorted reference.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-buckets per power-of-two octave.
+pub const SUB_BITS: u32 = 5;
+
+/// Linear sub-buckets per octave; also the inverse of the worst-case
+/// relative quantization error (1/32 = 3.125%).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Total buckets needed to cover the full `u64` range: `2 * SUB_BUCKETS`
+/// exact low buckets plus `SUB_BUCKETS` per remaining octave (the
+/// highest value, `u64::MAX`, lands at shift `63 - SUB_BITS`).
+pub const BUCKET_COUNT: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// Bucket index of a recorded value. Values below `2 * SUB_BUCKETS` map
+/// one-to-one; larger values keep their top `SUB_BITS + 1` significant
+/// bits.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < (2 * SUB_BUCKETS) as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+    (shift as usize + 1) * SUB_BUCKETS + sub
+}
+
+/// Largest value mapping to bucket `index` — the value quantiles report.
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    if index < 2 * SUB_BUCKETS {
+        return index as u64;
+    }
+    let shift = (index / SUB_BUCKETS - 1) as u32;
+    let sub = (index % SUB_BUCKETS) as u64;
+    // the very top bucket's bound is 2^64: widen so the -1 lands exactly
+    // on u64::MAX instead of overflowing
+    ((((SUB_BUCKETS as u64 + sub + 1) as u128) << shift) - 1).min(u64::MAX as u128) as u64
+}
+
+/// A mergeable, lock-free histogram of `u64` samples (nanoseconds, by
+/// convention). All methods take `&self`; share it freely across
+/// threads.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free and allocation-free: five relaxed
+    /// atomic operations.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram's counts into this one (used to combine
+    /// per-thread recorders).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reads every counter into a plain, immutable snapshot. Concurrent
+    /// recorders keep running; the snapshot is eventually consistent,
+    /// never a linearizable cut (same contract as the service counters).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`Histogram`]; the quantile/exposition
+/// surface.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample; 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// containing rank `ceil(q * count)`, clamped to the recorded
+    /// maximum. Exact for values below `2 * SUB_BUCKETS`; otherwise
+    /// within a `1/SUB_BUCKETS` relative error above the exact order
+    /// statistic. Returns 0 on an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Samples with value `<= bound` — exact when `bound` is a bucket
+    /// boundary (any `2^i - 1` for `i > SUB_BITS`, which is what the
+    /// Prometheus exposition uses), otherwise the count up to the last
+    /// whole bucket below `bound`.
+    pub fn count_le(&self, bound: u64) -> u64 {
+        let mut total = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if bucket_upper(i) > bound {
+                break;
+            }
+            total += n;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact order statistic matching `quantile`'s rank definition.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_contiguous() {
+        // every value maps into a bucket whose bounds contain it, and
+        // bucket boundaries are crossed in order
+        let mut last = 0usize;
+        let mut v = 0u64;
+        while v < 1 << 22 {
+            let i = bucket_index(v);
+            assert!(i == last || i == last + 1, "gap at {v}: {last} -> {i}");
+            assert!(bucket_upper(i) >= v, "upper({i}) < {v}");
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v, "v={v} below its bucket");
+            }
+            last = i;
+            v += 1 + v / 64; // dense at small values, sparse later
+        }
+        // extremes stay in range
+        assert!(bucket_index(u64::MAX) < BUCKET_COUNT);
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..(2 * SUB_BUCKETS as u64) {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let sorted: Vec<u64> = (0..(2 * SUB_BUCKETS as u64)).collect();
+            assert_eq!(s.quantile(q), exact_quantile(&sorted, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_bucket_error() {
+        let mut values: Vec<u64> = (0..5000u64).map(|i| i * i % 777_777 + i * 31).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&values, q);
+            let got = s.quantile(q);
+            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            assert!(
+                got <= exact + exact / SUB_BUCKETS as u64 + 1,
+                "q={q}: {got} too far above exact {exact}"
+            );
+        }
+        assert_eq!(s.count(), 5000);
+        assert_eq!(s.min(), values[0]);
+        assert_eq!(s.max(), *values.last().unwrap());
+        assert_eq!(s.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..1000u64 {
+            let side = if v % 3 == 0 { &a } else { &b };
+            side.record(v * 17 % 4096);
+            all.record(v * 17 % 4096);
+        }
+        a.merge(&b);
+        let sa = a.snapshot();
+        let sall = all.snapshot();
+        assert_eq!(sa.count(), sall.count());
+        assert_eq!(sa.sum(), sall.sum());
+        assert_eq!(sa.min(), sall.min());
+        assert_eq!(sa.max(), sall.max());
+        for q in [0.1, 0.5, 0.9, 0.999] {
+            assert_eq!(sa.quantile(q), sall.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn count_le_is_exact_at_power_of_two_boundaries() {
+        let h = Histogram::new();
+        for v in [3u64, 100, 1000, 1023, 1024, 5000, 1 << 20] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count_le(1023), 4);
+        assert_eq!(s.count_le((1 << 13) - 1), 6);
+        assert_eq!(s.count_le(u64::MAX), 7);
+        assert_eq!(s.count_le(0), 0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0);
+    }
+}

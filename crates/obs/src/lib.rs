@@ -1,0 +1,30 @@
+//! `ic-obs` — std-only observability primitives for the
+//! influential-communities serving stack.
+//!
+//! Three pieces, all allocation-free on the hot path:
+//!
+//! * [`histogram::Histogram`] — a lock-free log-linear (HDR-style)
+//!   latency histogram: relaxed atomic buckets, mergeable across
+//!   threads, quantiles within a 1/32 relative error of the exact order
+//!   statistic. The serving layer keeps one per query class
+//!   (cold / cached / prefix-served / coalesced-follower / batch) and
+//!   one per storage backend.
+//! * [`trace::QueryTrace`] — per-query span tracing: a `Copy` value
+//!   whose [`trace::Stage`] timings *tile* the query's wall-clock
+//!   (queue → plan → cache probe → execute → serialize), so stage sums
+//!   reconstruct end-to-end latency — the numbers `EXPLAIN ANALYZE` and
+//!   the slow-query log report.
+//! * [`prometheus::PromText`] — a minimal Prometheus text-exposition
+//!   (0.0.4) builder for the `METRICS` verb and the `--metrics-addr`
+//!   scrape listener.
+//!
+//! The crate depends only on `std`; it sits below `ic-service` and knows
+//! nothing about graphs or queries beyond these shapes.
+
+pub mod histogram;
+pub mod prometheus;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT, SUB_BITS, SUB_BUCKETS};
+pub use prometheus::{escape_label_value, PromText, LATENCY_LE_BOUNDS_NS};
+pub use trace::{QueryClass, QueryTrace, Stage, STAGE_COUNT};

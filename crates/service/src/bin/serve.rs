@@ -11,6 +11,11 @@
 //! `wiki`) so the server is immediately queryable; otherwise clients
 //! register graphs themselves via `LOAD`/`GEN`.
 //!
+//! `--metrics-addr ADDR` additionally serves the Prometheus text
+//! exposition over plain HTTP on `ADDR` (the same body the `METRICS`
+//! protocol verb returns), and `--slowlog-ms MS` sets the slow-query
+//! retention threshold (`SLOWLOG` lists retained traces).
+//!
 //! `--data-dir DIR` makes the instance durable: registrations are
 //! snapshotted under `DIR`, every accepted `UPDATE` is write-ahead
 //! logged before it is acknowledged, `COMMIT` fsyncs a generation
@@ -22,13 +27,14 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 use ic_service::protocol::HELP;
-use ic_service::{serve, Service, ServiceConfig};
+use ic_service::{serve, serve_metrics, Service, ServiceConfig};
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServiceConfig::default();
     let mut preload = false;
     let mut data_dir: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,10 +51,19 @@ fn main() -> ExitCode {
                 Some(dir) => data_dir = Some(dir),
                 None => return usage("--data-dir needs a directory"),
             },
+            "--metrics-addr" => match args.next() {
+                Some(a) => metrics_addr = Some(a),
+                None => return usage("--metrics-addr needs an address"),
+            },
+            "--slowlog-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => config.slowlog_threshold = std::time::Duration::from_millis(ms),
+                None => return usage("--slowlog-ms needs a number"),
+            },
             "--preload" => preload = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: serve [addr] [--workers N] [--cache N] [--data-dir DIR] [--preload]\n\
+                    "usage: serve [addr] [--workers N] [--cache N] [--data-dir DIR] \
+                     [--metrics-addr ADDR] [--slowlog-ms MS] [--preload]\n\
                      protocol: {HELP}"
                 );
                 return ExitCode::SUCCESS;
@@ -88,6 +103,26 @@ fn main() -> ExitCode {
                 entry.stats.n, entry.stats.m, entry.stats.gamma_max
             );
         }
+    }
+
+    if let Some(maddr) = metrics_addr {
+        let scrape_listener = match TcpListener::bind(&maddr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cannot bind metrics address {maddr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let svc_for_metrics = std::sync::Arc::clone(&svc);
+        std::thread::Builder::new()
+            .name("ic-metrics-acceptor".to_string())
+            .spawn(move || {
+                if let Err(e) = serve_metrics(scrape_listener, svc_for_metrics) {
+                    eprintln!("metrics endpoint failed: {e}");
+                }
+            })
+            .expect("spawn metrics acceptor");
+        println!("metrics exposition on http://{maddr}/metrics");
     }
 
     let listener = match TcpListener::bind(&addr) {

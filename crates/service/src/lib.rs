@@ -78,6 +78,7 @@
 pub mod cache;
 pub mod error;
 pub mod inflight;
+pub mod metrics;
 mod persist;
 pub mod planner;
 pub mod pool;
@@ -91,11 +92,13 @@ pub mod stats;
 pub use cache::{CacheHit, CacheKey, ResultCache};
 pub use error::ServiceError;
 pub use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
+pub use ic_obs::{QueryClass, QueryTrace, Stage};
 pub use inflight::InflightTable;
+pub use metrics::{ServiceMetrics, SlowQuery};
 pub use planner::{plan, plan_dynamic, plan_stored, Algorithm, Explain, Mode, Query};
 pub use pool::WorkerPool;
 pub use registry::{GraphRegistry, RegisteredGraph};
-pub use server::serve;
+pub use server::{serve, serve_metrics};
 pub use service::{QueryResponse, Service, ServiceConfig, SyntheticSpec, UpdateStatus};
 pub use session::Session;
 pub use stats::ServiceStats;

@@ -45,7 +45,7 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use ic_dynamic::{committed_ops, read_wal, DynamicGraph, UpdateOp, WalWriter};
+use ic_dynamic::{committed_ops, read_wal, DynamicGraph, UpdateOp, WalStats, WalWriter};
 use ic_graph::stats::graph_stats;
 use ic_graph::{io as graph_io, FileCsr, GraphStats, GraphStore, WeightedGraph};
 
@@ -92,6 +92,10 @@ pub(crate) struct Persistence {
     next_id: u64,
     /// First hook failure, if any; see the module docs.
     degraded: Option<String>,
+    /// Committed WAL ops re-applied by the last [`Persistence::open`].
+    replayed_ops: u64,
+    /// Wall-clock nanoseconds that replay took.
+    replay_ns: u64,
 }
 
 impl Persistence {
@@ -105,8 +109,11 @@ impl Persistence {
             entries: HashMap::new(),
             next_id: 1,
             degraded: None,
+            replayed_ops: 0,
+            replay_ns: 0,
         };
         let mut recovered = Vec::new();
+        let replay_start = std::time::Instant::now();
         for (id, generation, kind, name) in p.read_manifest()? {
             let graph = p.recover_entry(id, generation, &kind, &name)?;
             p.next_id = p.next_id.max(id + 1);
@@ -121,6 +128,7 @@ impl Persistence {
             );
             recovered.push(graph);
         }
+        p.replay_ns = replay_start.elapsed().as_nanos() as u64;
         p.collect_garbage();
         Ok((p, recovered))
     }
@@ -128,6 +136,33 @@ impl Persistence {
     /// True once a hook has failed; the error that broke durability.
     pub fn degraded(&self) -> Option<&str> {
         self.degraded.as_deref()
+    }
+
+    /// WAL accounting summed over every graph whose writer this process
+    /// has opened (writers open lazily on the first post-recovery
+    /// append, so a freshly recovered, untouched graph contributes
+    /// zeros).
+    pub fn wal_stats(&self) -> WalStats {
+        let mut total = WalStats::default();
+        for entry in self.entries.values() {
+            if let Some(wal) = &entry.wal {
+                let s = wal.stats();
+                total.ops_appended += s.ops_appended;
+                total.commits += s.commits;
+                total.fsync_ns += s.fsync_ns;
+            }
+        }
+        total
+    }
+
+    /// Committed WAL ops re-applied by the last recovery.
+    pub fn replayed_ops(&self) -> u64 {
+        self.replayed_ops
+    }
+
+    /// Wall-clock nanoseconds the last recovery's replay took.
+    pub fn replay_ns(&self) -> u64 {
+        self.replay_ns
     }
 
     // ----- registration hooks ------------------------------------------
@@ -314,7 +349,7 @@ impl Persistence {
 
     /// Rebuilds one manifest entry: baseline payload + committed WAL ops.
     fn recover_entry(
-        &self,
+        &mut self,
         id: u64,
         manifest_generation: u64,
         kind: &PersistKind,
@@ -355,6 +390,7 @@ impl Persistence {
                     });
                 }
                 let mut dg = DynamicGraph::new(baseline);
+                self.replayed_ops += ops.len() as u64;
                 for op in ops {
                     dg.apply(op).map_err(|e| {
                         persist_err(format!("replaying wal for {name}: {op:?}: {e}"))

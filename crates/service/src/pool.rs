@@ -19,15 +19,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared gauges updated by `submit` and the worker loop: the number of
+/// jobs submitted but not yet dequeued, and the cumulative wall-clock
+/// the workers spent running jobs. `queue_depth > 0` under steady load
+/// means the pool is saturated; `busy_ns / (workers · uptime)` is pool
+/// utilization.
+#[derive(Debug, Default)]
+struct PoolGauges {
+    queued: AtomicU64,
+    busy_ns: AtomicU64,
+    panics: AtomicU64,
+}
 
 /// A fixed set of worker threads executing submitted jobs FIFO.
 #[derive(Debug)]
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
-    panics: Arc<AtomicU64>,
+    gauges: Arc<PoolGauges>,
 }
 
 impl WorkerPool {
@@ -35,21 +48,21 @@ impl WorkerPool {
     pub fn new(workers: usize) -> Self {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
-        let panics = Arc::new(AtomicU64::new(0));
+        let gauges = Arc::new(PoolGauges::default());
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
-                let panics = Arc::clone(&panics);
+                let gauges = Arc::clone(&gauges);
                 std::thread::Builder::new()
                     .name(format!("ic-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &panics))
+                    .spawn(move || worker_loop(&rx, &gauges))
                     .expect("spawning worker thread")
             })
             .collect();
         WorkerPool {
             tx: Some(tx),
             workers,
-            panics,
+            gauges,
         }
     }
 
@@ -60,33 +73,59 @@ impl WorkerPool {
 
     /// Jobs that panicked (and were caught, leaving their worker alive).
     pub fn panic_count(&self) -> u64 {
-        self.panics.load(Ordering::Relaxed)
+        self.gauges.panics.load(Ordering::Relaxed)
+    }
+
+    /// Jobs submitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> u64 {
+        self.gauges.queued.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall-clock nanoseconds workers spent executing jobs.
+    pub fn busy_ns(&self) -> u64 {
+        self.gauges.busy_ns.load(Ordering::Relaxed)
     }
 
     /// Enqueues a job. Returns `false` if the pool is already shut down
     /// (only possible during teardown races).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
         match &self.tx {
-            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            Some(tx) => {
+                // Count before the send: a worker may dequeue (and
+                // decrement) the job the instant it lands, and the gauge
+                // must never underflow below a concurrent submit.
+                self.gauges.queued.fetch_add(1, Ordering::Relaxed);
+                if tx.send(Box::new(job)).is_ok() {
+                    true
+                } else {
+                    self.gauges.queued.fetch_sub(1, Ordering::Relaxed);
+                    false
+                }
+            }
             None => false,
         }
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, gauges: &PoolGauges) {
     loop {
         // Hold the lock only for the dequeue, never during the job.
         let job = match rx.lock().expect("worker queue poisoned").recv() {
             Ok(job) => job,
             Err(_) => return, // channel closed: pool dropped
         };
+        gauges.queued.fetch_sub(1, Ordering::Relaxed);
+        let run_start = Instant::now();
         // AssertUnwindSafe: the job owns everything it touches (a boxed
         // FnOnce moved in); any shared state it reaches is lock-guarded,
         // and a panic mid-job drops its reply sender, which callers
         // already surface as WorkerGone.
         if catch_unwind(AssertUnwindSafe(job)).is_err() {
-            panics.fetch_add(1, Ordering::Relaxed);
+            gauges.panics.fetch_add(1, Ordering::Relaxed);
         }
+        gauges
+            .busy_ns
+            .fetch_add(run_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -140,6 +179,32 @@ mod tests {
             // pool dropped here: must finish every queued job before joining
         }
         assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn gauges_track_queue_depth_and_busy_time() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.busy_ns(), 0);
+        // park the single worker so later submissions pile up measurably
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        assert!(pool.submit(move || {
+            g.wait();
+        }));
+        for _ in 0..5 {
+            assert!(pool.submit(|| std::thread::sleep(Duration::from_millis(1))));
+        }
+        // the first job may or may not have been dequeued yet; the five
+        // behind the parked worker definitely have not
+        assert!(pool.queue_depth() >= 5, "depth={}", pool.queue_depth());
+        gate.wait();
+        // drain: a sentinel job completing implies the five ran first
+        let (tx, rx) = channel();
+        assert!(pool.submit(move || tx.send(()).unwrap()));
+        rx.recv().unwrap();
+        assert_eq!(pool.queue_depth(), 0);
+        assert!(pool.busy_ns() >= 5_000_000, "busy={}", pool.busy_ns());
     }
 
     #[test]

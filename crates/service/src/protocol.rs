@@ -22,6 +22,12 @@
 //! QUERY <graph> <gamma> <k> [mode]       top-k (mode: auto, local_search,
 //!                                        progressive, forward, online_all,
 //!                                        backward, naive, truss)
+//! EXPLAIN ANALYZE <graph> <gamma> <k> [mode]
+//!                                        run the query through the pool and
+//!                                        report the plan next to *measured*
+//!                                        per-stage nanoseconds (queue, plan,
+//!                                        cache, execute, serialize) and the
+//!                                        execution's I/O delta
 //! BATCH <g> <gamma> <k> [mode] ; ...     many queries in one request;
 //!                                        ';'-separated, grouped by
 //!                                        (graph, γ, family) and answered
@@ -45,6 +51,12 @@
 //! STATS                                  hit/miss/latency counters, then one
 //!                                        `S` row per registered store with
 //!                                        its cumulative I/O, then `END`
+//! METRICS                                full Prometheus text exposition
+//!                                        (same body the --metrics-addr
+//!                                        scrape endpoint serves), then `END`
+//! SLOWLOG [n]                            the n most recent slow queries
+//!                                        (default 10), newest first, one `L`
+//!                                        row each with the per-stage trace
 //! HELP                                   this listing
 //! QUIT                                   close the connection
 //! ```
@@ -73,10 +85,10 @@ pub const HELP: &str = "commands: LOAD <name> <path> | LOADX <name> <path.icsr> 
 SAVE <name> <path> | GEN <name> gnm|ba|rmat <args> <seed> | \
 GRAPHS | QUERY <graph> <gamma> <k> [mode] | \
 BATCH <graph> <gamma> <k> [mode] ; <graph> <gamma> <k> [mode] ; ... | \
-EXPLAIN <graph> <gamma> <k> [mode] | \
+EXPLAIN <graph> <gamma> <k> [mode] | EXPLAIN ANALYZE <graph> <gamma> <k> [mode] | \
 UPDATE <graph> ADD|DEL <u> <v> [w] | UPDATE <graph> ADDV|DELV|REWEIGHT <v> [w] | \
 COMMIT <graph> | OPEN <graph> <gamma> | NEXT <session> [n] | CLOSE <session> | \
-STATS | HELP | QUIT";
+STATS | METRICS | SLOWLOG [n] | HELP | QUIT";
 
 /// Hard cap on sub-queries in one `BATCH` line. A request line is
 /// already size-capped by the server; this bounds the *work* one line
@@ -191,6 +203,15 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
         // however the client spaces them
         "BATCH" => handle_batch(svc, &line[verb_token.len()..]),
         "EXPLAIN" => {
+            // `EXPLAIN ANALYZE …` runs the query and reports measured
+            // stage timings next to the plan; plain `EXPLAIN` stays
+            // plan-only.
+            if args
+                .first()
+                .is_some_and(|a| a.eq_ignore_ascii_case("ANALYZE"))
+            {
+                return handle_explain_analyze(svc, &args[1..]);
+            }
             let query = parse_query(&verb, &args)?;
             let e = svc.explain(&query)?;
             Ok(format!(
@@ -303,6 +324,46 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             out.push_str("\nEND");
             Ok(out)
         }
+        "METRICS" => {
+            if !args.is_empty() {
+                return Err(usage(&verb, "METRICS"));
+            }
+            // the exposition body is already newline-terminated
+            Ok(format!("OK metrics\n{}END", svc.metrics_text()))
+        }
+        "SLOWLOG" => {
+            if args.len() > 1 {
+                return Err(usage(&verb, "SLOWLOG [n]"));
+            }
+            let n = match args.first() {
+                Some(s) => parse_num::<usize>("n", s)?,
+                None => 10,
+            };
+            let entries = svc.slowlog(n);
+            let mut out = format!(
+                "OK count={} slow_total={} threshold_ns={}",
+                entries.len(),
+                svc.metrics().slow_total(),
+                svc.metrics().slowlog_threshold_ns(),
+            );
+            for e in entries {
+                out.push_str(&format!(
+                    "\nL seq={} graph={} gamma={} k={} algo={} class={}{} \
+                     io_bytes={} io_ops={}",
+                    e.seq,
+                    e.graph,
+                    e.gamma,
+                    e.k,
+                    e.algorithm,
+                    e.class.name(),
+                    stage_fields(&e.trace),
+                    e.trace.io_bytes,
+                    e.trace.io_ops,
+                ));
+            }
+            out.push_str("\nEND");
+            Ok(out)
+        }
         "QUIT" => Ok("OK bye".to_string()),
         other => Err(ServiceError::InvalidQuery(format!(
             "unknown command {other:?} (try HELP)"
@@ -357,6 +418,49 @@ fn handle_batch(svc: &Arc<Service>, tail: &str) -> Result<String, ServiceError> 
     }
     out.push_str("\nEND");
     Ok(out)
+}
+
+/// `EXPLAIN ANALYZE <graph> <gamma> <k> [mode]`: run the query through
+/// the pool exactly as `QUERY` would, and report the planner's choice
+/// next to the *measured* per-stage nanoseconds from the trace. The
+/// stage fields tile the total exactly (`total_ns` is their sum), so a
+/// client can see where the latency went; `reason` stays last because
+/// its value contains spaces.
+fn handle_explain_analyze(svc: &Arc<Service>, args: &[&str]) -> Result<String, ServiceError> {
+    let query = parse_query("EXPLAIN ANALYZE", args)?;
+    let (resp, trace) = svc.query_traced(query)?;
+    let e = &resp.explain;
+    Ok(format!(
+        "OK algo={} forced={} cached={} coalesced={} count={} n={} m={} \
+         gamma_max={} stale_core={:.4} storage={} est_bytes={}{} \
+         io_bytes={} io_ops={} reason={}",
+        e.algorithm,
+        e.forced,
+        resp.cached,
+        resp.coalesced,
+        resp.communities.len(),
+        e.n,
+        e.m,
+        e.gamma_max,
+        e.stale_core_fraction,
+        e.storage,
+        e.est_bytes,
+        stage_fields(&trace),
+        trace.io_bytes,
+        trace.io_ops,
+        e.reason,
+    ))
+}
+
+/// ` total_ns=… queue_ns=… plan_ns=… cache_ns=… execute_ns=… serialize_ns=…`
+/// — the measured timings shared by `EXPLAIN ANALYZE` and `SLOWLOG` rows.
+/// Leading space; stage order follows [`Stage::ALL`].
+fn stage_fields(trace: &ic_obs::QueryTrace) -> String {
+    let mut out = format!(" total_ns={}", trace.total_ns());
+    for stage in ic_obs::Stage::ALL {
+        out.push_str(&format!(" {}_ns={}", stage.name(), trace.stage_ns(stage)));
+    }
+    out
 }
 
 fn parse_query(verb: &str, args: &[&str]) -> Result<Query, ServiceError> {
@@ -497,6 +601,7 @@ mod tests {
             workers: 2,
             cache_capacity: 16,
             cache_shards: 2,
+            ..ServiceConfig::default()
         });
         svc.register("fig3", figure3());
         svc
@@ -518,6 +623,96 @@ mod tests {
         let _ = handle_line(&svc, "QUERY fig3 3 4");
         let reply = handle_line(&svc, "query fig3 3 4"); // verbs case-insensitive
         assert!(reply.contains("cached=true"), "{reply}");
+    }
+
+    #[test]
+    fn explain_analyze_measures_stages() {
+        let svc = svc();
+        let reply = handle_line(&svc, "EXPLAIN ANALYZE fig3 3 4");
+        assert!(reply.starts_with("OK algo="), "{reply}");
+        assert!(reply.contains("cached=false"), "{reply}");
+        assert!(reply.contains("count=4"), "{reply}");
+        assert!(reply.contains("reason="), "{reply}");
+        // every stage field is present, and the stages tile the total
+        let field = |name: &str| -> u64 {
+            reply
+                .split_ascii_whitespace()
+                .find_map(|t| t.strip_prefix(&format!("{name}=")))
+                .unwrap_or_else(|| panic!("missing {name} in {reply}"))
+                .parse()
+                .unwrap()
+        };
+        let total = field("total_ns");
+        let staged: u64 = [
+            "queue_ns",
+            "plan_ns",
+            "cache_ns",
+            "execute_ns",
+            "serialize_ns",
+        ]
+        .iter()
+        .map(|s| field(s))
+        .sum();
+        assert_eq!(staged, total, "stage timings tile the total: {reply}");
+        assert!(total > 0, "{reply}");
+        assert!(field("execute_ns") > 0, "cold query executed: {reply}");
+        // the analyzed query warmed the cache; a re-run reports the hit
+        let again = handle_line(&svc, "explain analyze fig3 3 4");
+        assert!(again.contains("cached=true"), "{again}");
+        assert!(again.contains("execute_ns=0"), "{again}");
+        // verb remains strict about shape
+        for bad in [
+            "EXPLAIN ANALYZE",
+            "EXPLAIN ANALYZE fig3 3",
+            "EXPLAIN ANALYZE nope 3 4",
+        ] {
+            assert!(handle_line(&svc, bad).starts_with("ERR "), "{bad}");
+        }
+    }
+
+    #[test]
+    fn metrics_verb_returns_prometheus_body() {
+        let svc = svc();
+        let _ = handle_line(&svc, "QUERY fig3 3 4");
+        let reply = handle_line(&svc, "METRICS");
+        assert!(reply.starts_with("OK metrics\n"), "{reply}");
+        assert!(reply.ends_with("\nEND"), "{reply}");
+        assert!(reply.contains("ic_queries_total 1"), "{reply}");
+        assert!(
+            reply.contains("ic_query_latency_ns_bucket{class=\"cold\""),
+            "{reply}"
+        );
+        assert!(handle_line(&svc, "METRICS extra").starts_with("ERR "));
+    }
+
+    #[test]
+    fn slowlog_verb_lists_slow_queries_newest_first() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            cache_capacity: 16,
+            cache_shards: 2,
+            slowlog_threshold: std::time::Duration::ZERO, // everything is slow
+            ..ServiceConfig::default()
+        });
+        svc.register("fig3", figure3());
+        // an idle slowlog is an empty listing, not an error
+        assert!(handle_line(&svc, "SLOWLOG").starts_with("OK count=0 slow_total=0"));
+        let _ = handle_line(&svc, "QUERY fig3 3 4");
+        let _ = handle_line(&svc, "QUERY fig3 3 2"); // prefix-served hit
+        let reply = handle_line(&svc, "SLOWLOG");
+        assert!(reply.starts_with("OK count=2 slow_total=2"), "{reply}");
+        assert!(reply.ends_with("END"), "{reply}");
+        let rows: Vec<&str> = reply.lines().filter(|l| l.starts_with("L ")).collect();
+        assert_eq!(rows.len(), 2, "{reply}");
+        assert!(rows[0].contains("k=2"), "newest first: {reply}");
+        assert!(rows[0].contains("class=prefix_served"), "{reply}");
+        assert!(rows[1].contains("class=cold"), "{reply}");
+        assert!(rows[1].contains("total_ns="), "{reply}");
+        assert!(rows[1].contains("execute_ns="), "{reply}");
+        // SLOWLOG n truncates; hostile forms are ERR lines
+        assert!(handle_line(&svc, "SLOWLOG 1").contains("count=1"));
+        assert!(handle_line(&svc, "SLOWLOG x").starts_with("ERR "));
+        assert!(handle_line(&svc, "SLOWLOG 1 2").starts_with("ERR "));
     }
 
     #[test]

@@ -82,6 +82,41 @@ pub fn handle_connection(stream: TcpStream, svc: &Arc<Service>) -> std::io::Resu
     Ok(())
 }
 
+/// Accepts Prometheus scrapes forever: a minimal HTTP/1.0-style
+/// responder behind the `serve --metrics-addr` flag. Every request —
+/// whatever its path — is answered with the full
+/// [`Service::metrics_text`] body as `text/plain; version=0.0.4` and the
+/// connection is closed. The request head is read in one bounded chunk
+/// and otherwise ignored; scrapers send a few hundred bytes of headers
+/// and nothing this endpoint would act on.
+pub fn serve_metrics(listener: TcpListener, svc: Arc<Service>) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let svc = Arc::clone(&svc);
+        std::thread::Builder::new()
+            .name("ic-metrics".to_string())
+            .spawn(move || {
+                let _ = handle_scrape(stream, &svc);
+            })?;
+    }
+    Ok(())
+}
+
+/// Answers one scrape: read (and discard) a bounded request head, write
+/// the exposition body, close.
+pub fn handle_scrape(mut stream: TcpStream, svc: &Arc<Service>) -> std::io::Result<()> {
+    let mut head = [0u8; 4096];
+    let _ = stream.read(&mut head)?;
+    let body = svc.metrics_text();
+    let mut writer = BufWriter::new(stream);
+    write!(
+        writer,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
 /// Discards input up to and including the next newline, in bounded
 /// chunks (never holding more than one chunk in memory).
 fn drain_line(reader: &mut impl BufRead) -> std::io::Result<()> {
@@ -110,6 +145,7 @@ mod tests {
             workers: 2,
             cache_capacity: 16,
             cache_shards: 2,
+            ..ServiceConfig::default()
         });
         svc.register("fig3", figure3());
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -190,6 +226,7 @@ mod tests {
             workers: 1,
             cache_capacity: 4,
             cache_shards: 1,
+            ..ServiceConfig::default()
         });
         svc.register("fig3", figure3());
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -239,5 +276,43 @@ mod tests {
         }
         writeln!(writer, "QUIT").unwrap();
         writer.flush().unwrap();
+    }
+
+    /// The metrics endpoint answers any HTTP-ish request with a complete
+    /// Prometheus exposition and closes the connection.
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            cache_capacity: 4,
+            cache_shards: 1,
+            ..ServiceConfig::default()
+        });
+        svc.register("fig3", figure3());
+        svc.query(crate::Query::new("fig3", 3, 4)).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc_for_server = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let _ = handle_scrape(stream, &svc_for_server);
+        });
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        write!(client, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        client.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len(), "Content-Length matches the body");
+        assert!(body.contains("ic_queries_total 1"), "{body}");
+        assert!(body.contains("ic_query_latency_ns_bucket{class=\"cold\""));
     }
 }

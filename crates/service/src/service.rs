@@ -32,13 +32,15 @@ use std::time::{Duration, Instant};
 
 use ic_core::local_search::SearchStats;
 use ic_core::{Community, QueryError};
-use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp};
+use ic_dynamic::{CommitReceipt, DynamicGraph, UpdateOp, WalStats};
 use ic_graph::generators::{assemble, barabasi_albert, gnm, rmat, RmatParams, WeightKind};
 use ic_graph::{io, save_icsr, FileCsr, GraphStore, IoStats, WeightedGraph};
+use ic_obs::{QueryClass, QueryTrace, Stage};
 
 use crate::cache::{slice_prefix, CacheKey, ResultCache};
 use crate::error::ServiceError;
 use crate::inflight::{InflightTable, Join};
+use crate::metrics::{ServiceMetrics, SlowQuery};
 use crate::persist::Persistence;
 use crate::planner::{plan_stored, Explain, Mode, Query};
 use crate::pool::WorkerPool;
@@ -55,6 +57,10 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Cache shards (locks); more shards, less contention.
     pub cache_shards: usize,
+    /// Slow-query ring entries retained for `SLOWLOG` (0 disables).
+    pub slowlog_capacity: usize,
+    /// Queries at least this slow end-to-end enter the slow-query ring.
+    pub slowlog_threshold: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +69,8 @@ impl Default for ServiceConfig {
             workers: 4,
             cache_capacity: 1024,
             cache_shards: 8,
+            slowlog_capacity: 64,
+            slowlog_threshold: Duration::from_millis(10),
         }
     }
 }
@@ -169,6 +177,7 @@ pub struct Service {
     cache: ResultCache,
     inflight: InflightTable,
     stats: StatsRecorder,
+    metrics: ServiceMetrics,
     pool: WorkerPool,
     sessions: Mutex<HashMap<u64, Session>>,
     next_session_id: AtomicU64,
@@ -223,6 +232,10 @@ impl Service {
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             inflight: InflightTable::new(),
             stats: StatsRecorder::new(),
+            metrics: ServiceMetrics::new(
+                config.slowlog_capacity,
+                config.slowlog_threshold.as_nanos() as u64,
+            ),
             pool: WorkerPool::new(config.workers),
             sessions: Mutex::new(HashMap::new()),
             next_session_id: AtomicU64::new(1),
@@ -495,6 +508,22 @@ impl Service {
     /// only as the flight's leader. This is the pipeline the pool
     /// workers run.
     pub fn execute_inline(&self, query: &Query) -> Result<QueryResponse, ServiceError> {
+        let mut trace = QueryTrace::start();
+        self.execute_traced(query, &mut trace)
+    }
+
+    /// [`Service::execute_inline`] with the caller's [`QueryTrace`]
+    /// threaded through: every pipeline boundary laps a stage, the
+    /// executed store's `IoStats` delta is attributed, and the finished
+    /// trace is recorded in the per-class latency histograms (and the
+    /// slow-query ring, if it qualifies) before the response returns.
+    /// Callers that pre-charged time (the pool's queue wait) pass the
+    /// trace they already started.
+    pub fn execute_traced(
+        &self,
+        query: &Query,
+        trace: &mut QueryTrace,
+    ) -> Result<QueryResponse, ServiceError> {
         let core_query = query.to_core()?;
         let entry = self.registry.get(&query.graph)?;
         let stale = self.stale_core_fraction(&query.graph);
@@ -518,6 +547,7 @@ impl Service {
             k: query.k,
             family: explain.algorithm.family(),
         };
+        trace.lap(Stage::Plan);
         let start = Instant::now();
         let response = |communities, cached, coalesced, search_stats| QueryResponse {
             graph: query.graph.clone(),
@@ -529,34 +559,60 @@ impl Service {
             latency: start.elapsed(),
             search_stats,
         };
+        // Closes the trace and records it under `class`; response
+        // assembly between the last lap and here lands in Serialize.
+        let finish = |trace: &mut QueryTrace, class: QueryClass| {
+            trace.finish();
+            self.metrics.record_query(
+                class,
+                trace,
+                &query.graph,
+                query.gamma,
+                query.k,
+                explain.algorithm,
+            );
+        };
         loop {
             if let Some(hit) = self.cache.get_serving(&key) {
+                trace.lap(Stage::CacheProbe);
                 let resp = response(hit.communities, true, false, None);
-                if hit.exact {
+                let class = if hit.exact {
                     self.stats.record_hit(resp.latency);
+                    QueryClass::Cached
                 } else {
                     self.stats.record_prefix_hit(resp.latency);
-                }
+                    QueryClass::PrefixServed
+                };
+                finish(trace, class);
                 return Ok(resp);
             }
+            // The failed probe is cache time; the join below may block
+            // for a whole leader execution, which is this query's
+            // (vicarious) execute time, not probe time.
+            trace.lap(Stage::CacheProbe);
             match self.inflight.join(&key) {
                 Join::Leader(flight) => {
                     // Re-probe under leadership: a previous leader may
                     // have published between our miss and the election.
                     if let Some(hit) = self.cache.get_serving(&key) {
+                        trace.lap(Stage::CacheProbe);
                         flight.publish(Arc::clone(&hit.communities));
                         let resp = response(hit.communities, true, false, None);
-                        if hit.exact {
+                        let class = if hit.exact {
                             self.stats.record_hit(resp.latency);
+                            QueryClass::Cached
                         } else {
                             self.stats.record_prefix_hit(resp.latency);
-                        }
+                            QueryClass::PrefixServed
+                        };
+                        finish(trace, class);
                         return Ok(resp);
                     }
                     // If the search below panics (or errors out through
                     // `?`), the flight guard wakes followers empty-handed
                     // and one of them re-leads — and hits the same typed
                     // error itself rather than hanging.
+                    let io_before = entry.store.io_totals();
                     let result = explain
                         .algorithm
                         .resolve()
@@ -566,16 +622,25 @@ impl Service {
                             QueryError::Io(_) => ServiceError::Storage(e.to_string()),
                             other => ServiceError::InvalidQuery(other.to_string()),
                         })?;
+                    trace.lap(Stage::Execute);
+                    let io = entry.store.io_totals().delta_since(io_before);
+                    trace.add_io(io.bytes_read, io.read_ops);
+                    self.metrics
+                        .record_execute(entry.store.kind(), trace.stage_ns(Stage::Execute));
                     let communities = Arc::new(result.communities);
                     self.cache.insert(key.clone(), communities.clone());
                     flight.publish(communities.clone());
                     let resp = response(communities, false, false, Some(result.stats));
                     self.stats.record_miss(explain.algorithm, resp.latency);
+                    finish(trace, QueryClass::Cold);
                     return Ok(resp);
                 }
                 Join::Follower(Some(communities)) => {
+                    // the blocked wait on the leader is execute-by-proxy
+                    trace.lap(Stage::Execute);
                     let resp = response(communities, false, true, None);
                     self.stats.record_coalesced(resp.latency);
+                    finish(trace, QueryClass::CoalescedFollower);
                     return Ok(resp);
                 }
                 // the leader died without publishing; retry (and very
@@ -593,8 +658,12 @@ impl Service {
     ) -> Receiver<Result<QueryResponse, ServiceError>> {
         let (tx, rx) = channel();
         let svc = Arc::clone(self);
+        // The trace starts at submission, so the time until a worker
+        // picks the job up is charged to the Queue stage.
+        let mut trace = QueryTrace::start();
         let accepted = self.pool.submit(move || {
-            let _ = tx.send(svc.execute_inline(&query));
+            trace.lap(Stage::Queue);
+            let _ = tx.send(svc.execute_traced(&query, &mut trace));
         });
         if !accepted {
             // The pool only refuses during teardown; surface that as an
@@ -611,6 +680,29 @@ impl Service {
         self.query_async(query)
             .recv()
             .map_err(|_| ServiceError::WorkerGone)?
+    }
+
+    /// Answers a query through the worker pool and returns the measured
+    /// per-stage trace next to the response — the numbers
+    /// `EXPLAIN ANALYZE` prints beside the planner's estimates. The
+    /// trace's stage timings tile its end-to-end total: queue wait, plan,
+    /// cache probe, execute (with the store's I/O delta), serialize.
+    pub fn query_traced(
+        self: &Arc<Self>,
+        query: Query,
+    ) -> Result<(QueryResponse, QueryTrace), ServiceError> {
+        let (tx, rx) = channel();
+        let svc = Arc::clone(self);
+        let mut trace = QueryTrace::start();
+        let accepted = self.pool.submit(move || {
+            trace.lap(Stage::Queue);
+            let result = svc.execute_traced(&query, &mut trace);
+            let _ = tx.send(result.map(|resp| (resp, trace)));
+        });
+        if !accepted {
+            return Err(ServiceError::WorkerGone);
+        }
+        rx.recv().map_err(|_| ServiceError::WorkerGone)?
     }
 
     /// Answers many queries with as few searches as possible: requests
@@ -760,9 +852,23 @@ impl Service {
             .enumerate()
             .map(|(pos, q)| {
                 let slice_start = Instant::now();
+                let mut member_trace = QueryTrace::start();
                 let communities = slice_prefix(&group_resp.communities, q.k);
                 if pos > 0 {
                     self.stats.record_prefix_hit(slice_start.elapsed());
+                    // histogram the marginal cost (the slice, landing in
+                    // Serialize via finish) under the batch class; the
+                    // group's search already entered the lead query's
+                    // own class
+                    member_trace.finish();
+                    self.metrics.record_query(
+                        QueryClass::Batch,
+                        &member_trace,
+                        &group_resp.graph,
+                        q.gamma,
+                        q.k,
+                        group_resp.explain.algorithm,
+                    );
                 }
                 Ok(QueryResponse {
                     graph: group_resp.graph.clone(),
@@ -913,6 +1019,222 @@ impl Service {
             .collect()
     }
 
+    /// The latency histograms and slow-query ring.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The `n` most recent slow queries, newest first (`SLOWLOG n`).
+    pub fn slowlog(&self, n: usize) -> Vec<SlowQuery> {
+        self.metrics.slowlog(n)
+    }
+
+    /// Aggregated write-ahead-log accounting across every persistent
+    /// graph, plus recovery cost: `(wal, replayed_ops, replay_ns)`.
+    /// `None` for in-memory services (no `--data-dir`).
+    pub fn wal_metrics(&self) -> Option<(WalStats, u64, u64)> {
+        self.persist.as_ref().map(|p| {
+            let p = p.lock().expect("persistence lock poisoned");
+            (p.wal_stats(), p.replayed_ops(), p.replay_ns())
+        })
+    }
+
+    /// The full Prometheus text-exposition body (`METRICS` verb and the
+    /// `--metrics-addr` scrape listener). Counters come from the same
+    /// recorders `STATS` reads; histograms are the per-class /
+    /// per-backend latency distributions with quantile gauges extracted
+    /// at render time.
+    pub fn metrics_text(&self) -> String {
+        let stats = self.stats();
+        let mut p = ic_obs::PromText::new();
+
+        p.header("ic_queries_total", "Queries answered.", "counter");
+        p.sample("ic_queries_total", &[], stats.queries);
+        p.header("ic_cache_hits_total", "Exact result-cache hits.", "counter");
+        p.sample("ic_cache_hits_total", &[], stats.cache_hits);
+        p.header("ic_cache_misses_total", "Result-cache misses.", "counter");
+        p.sample("ic_cache_misses_total", &[], stats.cache_misses);
+        p.header(
+            "ic_prefix_served_total",
+            "Queries served by slicing a larger-k cached answer.",
+            "counter",
+        );
+        p.sample("ic_prefix_served_total", &[], stats.prefix_served);
+        p.header(
+            "ic_coalesced_total",
+            "Queries coalesced onto an identical in-flight execution.",
+            "counter",
+        );
+        p.sample("ic_coalesced_total", &[], stats.coalesced);
+        p.header("ic_batches_total", "Batch requests.", "counter");
+        p.sample("ic_batches_total", &[], stats.batches);
+        p.header(
+            "ic_sessions_opened_total",
+            "Progressive sessions opened.",
+            "counter",
+        );
+        p.sample("ic_sessions_opened_total", &[], stats.sessions_opened);
+        p.header(
+            "ic_sessions_closed_total",
+            "Progressive sessions closed.",
+            "counter",
+        );
+        p.sample("ic_sessions_closed_total", &[], stats.sessions_closed);
+        p.header(
+            "ic_communities_streamed_total",
+            "Communities streamed by sessions.",
+            "counter",
+        );
+        p.sample(
+            "ic_communities_streamed_total",
+            &[],
+            stats.communities_streamed,
+        );
+        p.header(
+            "ic_worker_panics_total",
+            "Jobs that panicked (workers survive).",
+            "counter",
+        );
+        p.sample("ic_worker_panics_total", &[], stats.worker_panics);
+
+        p.header(
+            "ic_executions_total",
+            "Algorithm executions by planner choice.",
+            "counter",
+        );
+        for algo in crate::planner::Algorithm::ALL {
+            p.sample(
+                "ic_executions_total",
+                &[("algorithm", algo.name())],
+                stats.executions(algo),
+            );
+        }
+
+        p.header("ic_pool_workers", "Worker threads in the pool.", "gauge");
+        p.sample("ic_pool_workers", &[], self.pool.worker_count() as u64);
+        p.header(
+            "ic_pool_queue_depth",
+            "Jobs submitted but not yet picked up by a worker.",
+            "gauge",
+        );
+        p.sample("ic_pool_queue_depth", &[], self.pool.queue_depth());
+        p.header(
+            "ic_pool_busy_ns_total",
+            "Cumulative nanoseconds workers spent executing jobs.",
+            "counter",
+        );
+        p.sample("ic_pool_busy_ns_total", &[], self.pool.busy_ns());
+
+        p.header("ic_cache_entries", "Result-cache entries.", "gauge");
+        p.sample("ic_cache_entries", &[], self.cache.len() as u64);
+        p.header("ic_graphs", "Registered graphs.", "gauge");
+        p.sample("ic_graphs", &[], self.registry.list().len() as u64);
+        p.header(
+            "ic_slow_queries_total",
+            "Queries that crossed the slowlog threshold.",
+            "counter",
+        );
+        p.sample("ic_slow_queries_total", &[], self.metrics.slow_total());
+
+        p.header(
+            "ic_store_io_bytes_total",
+            "Bytes read per registered store.",
+            "counter",
+        );
+        let io = self.store_io();
+        for (name, kind, io_stats) in &io {
+            p.sample(
+                "ic_store_io_bytes_total",
+                &[("graph", name), ("storage", kind.name())],
+                io_stats.bytes_read,
+            );
+        }
+        p.header(
+            "ic_store_io_ops_total",
+            "Read operations per registered store.",
+            "counter",
+        );
+        for (name, kind, io_stats) in &io {
+            p.sample(
+                "ic_store_io_ops_total",
+                &[("graph", name), ("storage", kind.name())],
+                io_stats.read_ops,
+            );
+        }
+
+        if let Some((wal, replayed_ops, replay_ns)) = self.wal_metrics() {
+            p.header(
+                "ic_wal_ops_appended_total",
+                "Update records appended to write-ahead logs.",
+                "counter",
+            );
+            p.sample("ic_wal_ops_appended_total", &[], wal.ops_appended);
+            p.header(
+                "ic_wal_commits_total",
+                "Commit records appended (each fsyncs).",
+                "counter",
+            );
+            p.sample("ic_wal_commits_total", &[], wal.commits);
+            p.header(
+                "ic_wal_fsync_ns_total",
+                "Nanoseconds spent in commit-time fsync.",
+                "counter",
+            );
+            p.sample("ic_wal_fsync_ns_total", &[], wal.fsync_ns);
+            p.header(
+                "ic_wal_replayed_ops_total",
+                "Ops replayed from write-ahead logs at startup.",
+                "counter",
+            );
+            p.sample("ic_wal_replayed_ops_total", &[], replayed_ops);
+            p.header(
+                "ic_wal_replay_ns_total",
+                "Nanoseconds spent replaying write-ahead logs at startup.",
+                "counter",
+            );
+            p.sample("ic_wal_replay_ns_total", &[], replay_ns);
+        }
+
+        p.header(
+            "ic_query_latency_ns",
+            "End-to-end query latency by answer class.",
+            "histogram",
+        );
+        let mut class_snaps = Vec::new();
+        for class in QueryClass::ALL {
+            let snap = self.metrics.class_snapshot(class);
+            p.histogram("ic_query_latency_ns", &[("class", class.name())], &snap);
+            class_snaps.push((class, snap));
+        }
+        p.header(
+            "ic_query_latency_quantile_ns",
+            "Latency quantiles by answer class (upper bucket bound).",
+            "gauge",
+        );
+        for (class, snap) in &class_snaps {
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+                p.sample(
+                    "ic_query_latency_quantile_ns",
+                    &[("class", class.name()), ("quantile", label)],
+                    snap.quantile(q),
+                );
+            }
+        }
+        p.header(
+            "ic_execute_latency_ns",
+            "Execute-stage latency by storage backend (leader executions).",
+            "histogram",
+        );
+        for kind in [ic_graph::StorageKind::Memory, ic_graph::StorageKind::File] {
+            p.histogram(
+                "ic_execute_latency_ns",
+                &[("storage", kind.name())],
+                &self.metrics.execute_snapshot(kind),
+            );
+        }
+        p.finish()
+    }
+
     /// Number of entries currently cached.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
@@ -960,6 +1282,7 @@ mod tests {
             workers: 2,
             cache_capacity: 32,
             cache_shards: 4,
+            ..ServiceConfig::default()
         });
         svc.register("fig3", figure3());
         svc

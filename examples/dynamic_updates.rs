@@ -19,6 +19,7 @@ fn main() {
         workers: 2,
         cache_capacity: 64,
         cache_shards: 4,
+        ..ServiceConfig::default()
     });
     svc.register("net", figure3());
 

@@ -16,6 +16,7 @@ fn main() {
         workers: 4,
         cache_capacity: 256,
         cache_shards: 8,
+        ..ServiceConfig::default()
     });
 
     // Graphs are registered once and shared, immutably, across workers.

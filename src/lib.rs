@@ -2,13 +2,15 @@
 //!
 //! Re-exports the graph substrates ([`graph`]), the community-search
 //! algorithms ([`search`]), the dynamic-update subsystem ([`dynamic`]),
-//! and the concurrent query-serving subsystem ([`service`]) so that
-//! examples and downstream users need a single dependency. See the
-//! README for a quickstart and for the paper-to-module map.
+//! the observability primitives ([`obs`]), and the concurrent
+//! query-serving subsystem ([`service`]) so that examples and
+//! downstream users need a single dependency. See the README for a
+//! quickstart and for the paper-to-module map.
 
 pub use ic_core as search;
 pub use ic_dynamic as dynamic;
 pub use ic_graph as graph;
+pub use ic_obs as obs;
 pub use ic_service as service;
 
 pub mod prelude {
@@ -39,6 +41,7 @@ pub mod prelude {
     pub use ic_dynamic::{DynamicGraph, UpdateOp};
     pub use ic_graph::generators::{assemble, WeightKind};
     pub use ic_graph::{GraphBuilder, Prefix, WeightedGraph};
+    pub use ic_obs::{Histogram, QueryClass, QueryTrace, Stage};
     pub use ic_service::{
         Mode as QueryMode, Query, QueryResponse, Service, ServiceConfig, ServiceStats,
     };

@@ -1,7 +1,7 @@
 //! Public-API surface snapshot + shim lint gate.
 //!
 //! `api-surface.txt` pins the public item surface of the library crates
-//! (facade, ic-graph, ic-core, ic-dynamic, ic-service): every `pub` item
+//! (facade, ic-graph, ic-core, ic-dynamic, ic-obs, ic-service): every `pub` item
 //! declaration, extracted by a std-only scanner. CI diffs the file, so an
 //! accidental surface change (a leaked helper, a renamed type, a new free
 //! function) fails loudly. If a change is *intended*, regenerate with:
@@ -28,6 +28,7 @@ const ROOTS: &[&str] = &[
     "crates/graph/src",
     "crates/core/src",
     "crates/dynamic/src",
+    "crates/obs/src",
     "crates/service/src",
 ];
 

@@ -157,6 +157,7 @@ proptest! {
             workers: 1,
             cache_capacity: 64,
             cache_shards: 2,
+            ..ServiceConfig::default()
         });
         let stats = svc.register("g", g.clone()).stats;
 

@@ -249,6 +249,7 @@ fn service_update_stream_matches_rebuild() {
         workers: 2,
         cache_capacity: 64,
         cache_shards: 2,
+        ..ServiceConfig::default()
     });
     svc.register("live", g);
     let mut rng = Pcg32::new(0xD1FF);

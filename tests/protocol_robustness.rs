@@ -20,6 +20,7 @@ fn svc() -> Arc<Service> {
         workers: 2,
         cache_capacity: 32,
         cache_shards: 2,
+        ..ServiceConfig::default()
     });
     svc.register("fig3", figure3());
     svc
@@ -66,6 +67,13 @@ fn malformed_and_truncated_lines_error_cleanly() {
         "BATCH ;;;;;;;;",
         "EXPLAIN",
         "EXPLAIN fig3 3",
+        "EXPLAIN ANALYZE",
+        "EXPLAIN ANALYZE fig3",
+        "EXPLAIN ANALYZE fig3 3",
+        "EXPLAIN ANALYZE nope 3 4",
+        "EXPLAIN ANALYZE fig3 3 4 warp",
+        "EXPLAIN ANALYZE fig3 3 4 auto extra",
+        "EXPLAIN ANALYZE fig3 -1 4",
         "OPEN",
         "OPEN fig3",
         "NEXT",
@@ -124,6 +132,13 @@ fn malformed_and_truncated_lines_error_cleanly() {
         "SAVE nope /tmp/never-written.icsr",
         "SAVE fig3 /nonexistent/dir/never-written.icsr",
         "SAVE fig3 /tmp/a.icsr extra",
+        // observability verbs: surplus arguments, numeric garbage
+        "METRICS extra",
+        "METRICS 1 2 3",
+        "SLOWLOG ten",
+        "SLOWLOG -1",
+        "SLOWLOG 1 2",
+        "SLOWLOG 99999999999999999999999999",
     ];
     for &line in cases {
         let reply = feed(&svc, line);

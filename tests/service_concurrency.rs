@@ -66,6 +66,7 @@ fn concurrent_mixed_workload_matches_single_threaded_search() {
         workers: 4,
         cache_capacity: 128,
         cache_shards: 8,
+        ..ServiceConfig::default()
     });
     let graphs = [
         (
@@ -252,6 +253,7 @@ fn thundering_herd_executes_the_search_exactly_once() {
         workers: 4,
         cache_capacity: 64,
         cache_shards: 4,
+        ..ServiceConfig::default()
     });
     svc.register("herd", g.clone());
     let reference = reference_top_k(&g, 2, 32);
@@ -369,6 +371,7 @@ fn replace_graph_mid_flight_never_serves_stale_answers() {
         workers: 4,
         cache_capacity: 64,
         cache_shards: 4,
+        ..ServiceConfig::default()
     });
     svc.register("g", graph_a.clone());
 
