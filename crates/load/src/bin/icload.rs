@@ -1,0 +1,371 @@
+//! `icload` — generate, replay, and sweep open-loop load against the
+//! influential-communities service.
+//!
+//! ```sh
+//! # write a deterministic trace (same flags → byte-identical file)
+//! cargo run --release -p ic-load --bin icload -- gen traces/mixed.trace --seed 42
+//!
+//! # replay it open-loop against a running `serve`, at 2× its native rate
+//! cargo run --release -p ic-load --bin icload -- \
+//!     run traces/mixed.trace --addr 127.0.0.1:7878 --qps 400 --connections 8
+//!
+//! # the committed saturation study: QPS sweep × worker counts against
+//! # in-process servers, JSON curves to BENCH_*-load.json
+//! cargo run --release -p ic-load --bin icload -- \
+//!     study --trace traces/mixed.trace --out BENCH_2026-08-load.json --date 2026-08-08
+//! ```
+//!
+//! `run` prints a [`LoadReport`] as JSON (schedule-based, coordinated-
+//! omission-safe quantiles per class; naive `resp_*` quantiles alongside
+//! for contrast). `study` boots a fresh in-process server per point so
+//! the curves are independent of each other.
+
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ic_load::{generate, replay, LoadReport, ReplayOptions, Trace, WorkloadSpec};
+use ic_service::{serve_with, ServerOptions, Service, ServiceConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("study") => cmd_study(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!(
+                "usage:\n  icload gen <out.trace> [--seed N] [--qps Q] [--duration S] \
+                 [--theta T] [--batch-size B]\n  icload run <trace> --addr HOST:PORT \
+                 [--qps Q] [--connections N] [--json OUT]\n  icload study --out OUT.json \
+                 [--trace TRACE] [--workers 1,2,4,8] [--qps 100,200,400,800] \
+                 [--connections N] [--date YYYY-MM-DD]"
+            );
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage(&format!("unknown command {other:?}")),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("icload: {msg} (try --help)");
+    ExitCode::FAILURE
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut spec = WorkloadSpec::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => spec.seed = v,
+                None => return usage("--seed needs a number"),
+            },
+            "--qps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => spec.qps = v,
+                _ => return usage("--qps needs a positive number"),
+            },
+            "--duration" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => spec.duration_s = v,
+                _ => return usage("--duration needs positive seconds"),
+            },
+            "--theta" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 0.0 => spec.zipf_theta = v,
+                _ => return usage("--theta needs a non-negative number"),
+            },
+            "--batch-size" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => spec.batch_size = v,
+                _ => return usage("--batch-size needs a positive number"),
+            },
+            other if !other.starts_with('-') && out.is_none() => out = Some(PathBuf::from(other)),
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(out) = out else {
+        return usage("gen needs an output path");
+    };
+    let trace = generate(&spec);
+    if let Err(e) = trace.save(&out) {
+        eprintln!("icload: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {}: {} events over {}s at {} qps (seed {})",
+        out.display(),
+        trace.events.len(),
+        trace.duration_s,
+        trace.qps,
+        trace.seed
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut opts = ReplayOptions::new("", 4);
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => opts.addr = a.clone(),
+                None => return usage("--addr needs an address"),
+            },
+            "--qps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 => opts.target_qps = v,
+                _ => return usage("--qps needs a positive number"),
+            },
+            "--connections" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => opts.connections = v,
+                _ => return usage("--connections needs a positive number"),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            other if !other.starts_with('-') && trace_path.is_none() => {
+                trace_path = Some(PathBuf::from(other))
+            }
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return usage("run needs a trace path");
+    };
+    if opts.addr.is_empty() {
+        return usage("run needs --addr");
+    }
+    let trace = match Trace::load(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("icload: bad trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match replay(&trace, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("icload: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = report.to_json();
+    match json_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("icload: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} ({} ok, {} errors, achieved {:.1} qps)",
+                path.display(),
+                report.ok,
+                report.protocol_errors + report.io_errors,
+                report.achieved_qps
+            );
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Boots a fresh in-process server and returns its address. The accept
+/// thread is leaked deliberately: each study point's server lives for
+/// the remainder of this short-lived process.
+fn boot_server(workers: usize) -> std::io::Result<String> {
+    let svc = Service::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let options = ServerOptions {
+        idle_timeout: Some(std::time::Duration::from_secs(30)),
+    };
+    std::thread::Builder::new()
+        .name("icload-server".to_string())
+        .spawn(move || {
+            let _ = serve_with(&listener, svc, options);
+        })
+        .map(|_| addr)
+}
+
+fn cmd_study(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut workers = vec![1usize, 2, 4, 8];
+    let mut qps_levels = vec![100.0f64, 200.0, 400.0, 800.0];
+    let mut connections = 8usize;
+    let mut date = String::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage("--out needs a path"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => return usage("--trace needs a path"),
+            },
+            "--workers" => match it.next().map(|v| parse_list::<usize>(v)) {
+                Some(Ok(list)) if !list.is_empty() => workers = list,
+                _ => return usage("--workers needs a comma list of counts"),
+            },
+            "--qps" => match it.next().map(|v| parse_list::<f64>(v)) {
+                Some(Ok(list)) if !list.is_empty() => qps_levels = list,
+                _ => return usage("--qps needs a comma list of rates"),
+            },
+            "--connections" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => connections = v,
+                _ => return usage("--connections needs a positive number"),
+            },
+            "--date" => match it.next() {
+                Some(d) => date = d.clone(),
+                None => return usage("--date needs a value"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(out) = out else {
+        return usage("study needs --out");
+    };
+    let trace = match &trace_path {
+        Some(p) => match Trace::load(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("icload: bad trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => generate(&WorkloadSpec {
+            duration_s: 8.0,
+            ..WorkloadSpec::default()
+        }),
+    };
+
+    let mut points: Vec<(usize, LoadReport)> = Vec::new();
+    for &w in &workers {
+        for &q in &qps_levels {
+            let addr = match boot_server(w) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("icload: cannot boot server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let opts = ReplayOptions {
+                addr,
+                connections,
+                target_qps: q,
+            };
+            match replay(&trace, &opts) {
+                Ok(report) => {
+                    eprintln!(
+                        "workers={w} target={q} qps: achieved {:.1} qps, \
+                         p50 {:.0} µs, p99 {:.0} µs, p999 {:.0} µs, {} errors",
+                        report.achieved_qps,
+                        report.p50_us,
+                        report.p99_us,
+                        report.p999_us,
+                        report.protocol_errors + report.io_errors
+                    );
+                    points.push((w, report));
+                }
+                Err(e) => {
+                    eprintln!("icload: replay failed at workers={w} qps={q}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let json = study_json(&trace, trace_path.as_deref(), connections, &date, &points);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("icload: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} points)", out.display(), points.len());
+    ExitCode::SUCCESS
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, T::Err> {
+    s.split(',').map(|p| p.trim().parse()).collect()
+}
+
+fn study_json(
+    trace: &Trace,
+    trace_path: Option<&Path>,
+    connections: usize,
+    date: &str,
+    points: &[(usize, LoadReport)],
+) -> String {
+    let mut out = String::from("{\n");
+    if !date.is_empty() {
+        let _ = writeln!(out, "  \"date\": \"{date}\",");
+    }
+    let _ = writeln!(out, "  \"bench\": \"icload saturation study\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p ic-load --bin icload -- study\",",
+    );
+    let _ = writeln!(
+        out,
+        "  \"notes\": \"open-loop replay; p50/p99/p999 are schedule-based \
+         (coordinated-omission-safe) microseconds over all classes; each point \
+         boots a fresh in-process server\",",
+    );
+    let trace_name = trace_path
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|| "<generated>".to_string());
+    let _ = writeln!(
+        out,
+        "  \"trace\": {{\"path\": \"{trace_name}\", \"seed\": {}, \"qps\": {}, \
+         \"duration_s\": {}, \"events\": {}}},",
+        trace.seed,
+        trace.qps,
+        trace.duration_s,
+        trace.events.len()
+    );
+    let _ = writeln!(out, "  \"connections\": {connections},");
+    out.push_str("  \"points\": [\n");
+    for (i, (w, r)) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workers\": {w}, \"target_qps\": {:.1}, \"achieved_qps\": {:.1}, \
+             \"wall_s\": {:.3}, \"ok\": {}, \"protocol_errors\": {}, \"io_errors\": {}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"classes\": {{",
+            r.target_qps,
+            r.achieved_qps,
+            r.wall_s,
+            r.ok,
+            r.protocol_errors,
+            r.io_errors,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+        );
+        for (j, c) in r.classes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\"{}\": {{\"count\": {}, \"errors\": {}, \"p50_us\": {:.1}, \
+                 \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
+                c.class.name(),
+                c.count,
+                c.errors,
+                c.p50_us,
+                c.p99_us,
+                c.p999_us,
+            );
+            if j + 1 < r.classes.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

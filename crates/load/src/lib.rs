@@ -1,0 +1,43 @@
+//! `ic-load` — the open-loop load harness for the influential-communities
+//! service.
+//!
+//! The paper's premise is *online* top-k community search; this crate is
+//! how the serving stack gets held to that under sustained, realistic
+//! traffic instead of isolated round-trips:
+//!
+//! * [`workload`] — deterministic workload generation: Poisson arrivals
+//!   at a configurable QPS, a categorical class mix (cold / cached /
+//!   batch / session / update-commit), and Zipf-skewed (graph, γ, k)
+//!   popularity, all driven by one seed.
+//! * [`trace`] — the replayable plain-text trace format ([`Trace`]):
+//!   prelude requests plus timed events; same seed → byte-identical
+//!   file.
+//! * [`replay`](mod@replay) — the open-loop TCP replayer: N client connections fire
+//!   events at their *scheduled* times (optionally rescaled to a target
+//!   QPS) and latency is measured from the intended send time, so the
+//!   histograms are coordinated-omission-safe. Per-class
+//!   [`ic_obs::Histogram`]s, merged into a [`LoadReport`].
+//! * [`report`] — machine-readable JSON reports ([`LoadReport::to_json`]).
+//!
+//! The `icload` binary wraps it all: `icload gen` writes a trace,
+//! `icload run` replays one against a live server, and `icload study`
+//! sweeps QPS × worker counts against in-process servers to produce the
+//! committed saturation curves (`BENCH_*-load.json`).
+//!
+//! ```no_run
+//! use ic_load::{generate, replay, ReplayOptions, WorkloadSpec};
+//!
+//! let trace = generate(&WorkloadSpec::default());
+//! let report = replay(&trace, &ReplayOptions::new("127.0.0.1:7878", 4)).unwrap();
+//! println!("{}", report.to_json());
+//! ```
+
+pub mod replay;
+pub mod report;
+pub mod trace;
+pub mod workload;
+
+pub use replay::{replay, ReplayOptions};
+pub use report::{ClassReport, LoadReport};
+pub use trace::{LoadClass, Trace, TraceEvent};
+pub use workload::{generate, ClassMix, GraphSpec, WorkloadSpec, Zipf};

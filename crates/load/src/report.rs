@@ -1,0 +1,156 @@
+//! Machine-readable replay reports: plain structs plus a hand-rolled
+//! JSON writer (std-only, like everything else in the workspace). All
+//! latency figures are microseconds; `p*` quantiles are schedule-based
+//! (coordinated-omission-safe), `resp_*` are naive send-to-reply.
+
+use std::fmt::Write as _;
+
+use crate::trace::LoadClass;
+
+/// Per-class replay results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The traffic class.
+    pub class: LoadClass,
+    /// Events fully answered `OK`.
+    pub count: u64,
+    /// Events that failed (protocol `ERR` or I/O).
+    pub errors: u64,
+    /// Schedule-based (intended-send → completion) quantiles, µs.
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub p999_us: f64,
+    pub mean_us: f64,
+    pub max_us: f64,
+    /// Naive (actual-send → completion) quantiles, µs — kept for
+    /// contrast; the gap to `p*` is the coordinated-omission error.
+    pub resp_p50_us: f64,
+    pub resp_p99_us: f64,
+}
+
+/// One replay run's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// The rate the schedule aimed for (the trace's native rate if no
+    /// target was set).
+    pub target_qps: f64,
+    /// Client connections used.
+    pub connections: usize,
+    /// Wall-clock from schedule start to last completion, seconds.
+    pub wall_s: f64,
+    /// Events attempted.
+    pub sent: u64,
+    /// Events fully answered `OK`.
+    pub ok: u64,
+    /// Events rejected by the server (`ERR` reply).
+    pub protocol_errors: u64,
+    /// Events lost to connection failures.
+    pub io_errors: u64,
+    /// `ok / wall_s` — what the server actually sustained.
+    pub achieved_qps: f64,
+    /// Schedule-based quantiles over every class merged, µs.
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub p999_us: f64,
+    /// Per-class breakdown (classes with no events are omitted).
+    pub classes: Vec<ClassReport>,
+}
+
+/// Formats an `f64` for JSON: fixed-point, finite by construction here
+/// (histogram quantiles and wall-clock ratios are never NaN/∞).
+fn num(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+impl LoadReport {
+    /// Serializes the report as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"target_qps\": {},", num(self.target_qps, 1));
+        let _ = writeln!(out, "  \"connections\": {},", self.connections);
+        let _ = writeln!(out, "  \"wall_s\": {},", num(self.wall_s, 3));
+        let _ = writeln!(out, "  \"sent\": {},", self.sent);
+        let _ = writeln!(out, "  \"ok\": {},", self.ok);
+        let _ = writeln!(out, "  \"protocol_errors\": {},", self.protocol_errors);
+        let _ = writeln!(out, "  \"io_errors\": {},", self.io_errors);
+        let _ = writeln!(out, "  \"achieved_qps\": {},", num(self.achieved_qps, 1));
+        let _ = writeln!(out, "  \"p50_us\": {},", num(self.p50_us, 1));
+        let _ = writeln!(out, "  \"p99_us\": {},", num(self.p99_us, 1));
+        let _ = writeln!(out, "  \"p999_us\": {},", num(self.p999_us, 1));
+        out.push_str("  \"classes\": [\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"class\": \"{}\", \"count\": {}, \"errors\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+                 \"mean_us\": {}, \"max_us\": {}, \
+                 \"resp_p50_us\": {}, \"resp_p99_us\": {}}}",
+                c.class.name(),
+                c.count,
+                c.errors,
+                num(c.p50_us, 1),
+                num(c.p99_us, 1),
+                num(c.p999_us, 1),
+                num(c.mean_us, 1),
+                num(c.max_us, 1),
+                num(c.resp_p50_us, 1),
+                num(c.resp_p99_us, 1),
+            );
+            out.push_str(if i + 1 < self.classes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LoadReport {
+        LoadReport {
+            target_qps: 200.0,
+            connections: 4,
+            wall_s: 8.0125,
+            sent: 1600,
+            ok: 1595,
+            protocol_errors: 5,
+            io_errors: 0,
+            achieved_qps: 199.06,
+            p50_us: 812.4,
+            p99_us: 9120.0,
+            p999_us: 22400.5,
+            classes: vec![ClassReport {
+                class: LoadClass::Cached,
+                count: 900,
+                errors: 0,
+                p50_us: 300.0,
+                p99_us: 2100.0,
+                p999_us: 4000.0,
+                mean_us: 450.0,
+                max_us: 5000.0,
+                resp_p50_us: 280.0,
+                resp_p99_us: 1900.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_eyeball() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"target_qps\": 200.0"));
+        assert!(json.contains("\"class\": \"cached\""));
+        assert!(json.contains("\"p99_us\": 2100.0"));
+        assert!(!json.contains("NaN"));
+        // no trailing comma before the closing bracket
+        assert!(!json.contains(",\n  ]"));
+    }
+}

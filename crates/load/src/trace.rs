@@ -1,0 +1,280 @@
+//! The replayable workload-trace format.
+//!
+//! A trace is a plain-text file: comment headers carrying the generation
+//! parameters, `P` *prelude* lines (protocol requests run sequentially
+//! before the clock starts — graph registration, typically), then `E`
+//! *event* lines, one scheduled request per line:
+//!
+//! ```text
+//! # ic-load trace v1
+//! # seed=42 qps=200 duration_s=10 events=1987
+//! P GEN g0 gnm 2000 8000 7
+//! E 3512 cached QUERY g0 3 8
+//! E 9044 session OPEN g0 3 | NEXT $S 4 | CLOSE $S
+//! ```
+//!
+//! An event carries its intended send time in microseconds from the
+//! start of the run, the [`LoadClass`] it was drawn for, and one or more
+//! protocol request lines separated by ` | `. The placeholder `$S`
+//! resolves to the session id captured from the most recent
+//! `OK session=<id>` reply within the same event, so a session event is
+//! self-contained. Traces are deterministic: the same
+//! [`crate::WorkloadSpec`] always serializes to the same bytes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Traffic class an event was drawn for. Classes shape the *request*
+/// (the server decides how it answers); per-class histograms let a
+/// report separate "cached lookups got slower" from "cold searches got
+/// slower".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadClass {
+    /// Long-tail `QUERY` unlikely to be cached (unpopular k).
+    Cold,
+    /// `QUERY` drawn Zipf-skewed from a small popular (graph, γ, k) grid.
+    Cached,
+    /// One `BATCH` of popular sub-queries.
+    Batch,
+    /// `OPEN` → progressive `NEXT` pulls → `CLOSE`.
+    Session,
+    /// Buffered `UPDATE` followed by `COMMIT` (bumps the graph
+    /// generation, invalidating cached results — the churn that keeps a
+    /// long run from degenerating into pure cache hits).
+    Update,
+}
+
+impl LoadClass {
+    /// Every class, in serialization order.
+    pub const ALL: [LoadClass; 5] = [
+        LoadClass::Cold,
+        LoadClass::Cached,
+        LoadClass::Batch,
+        LoadClass::Session,
+        LoadClass::Update,
+    ];
+
+    /// Stable lowercase name used in trace files and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadClass::Cold => "cold",
+            LoadClass::Cached => "cached",
+            LoadClass::Batch => "batch",
+            LoadClass::Session => "session",
+            LoadClass::Update => "update",
+        }
+    }
+
+    /// Dense index into per-class arrays, in [`Self::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            LoadClass::Cold => 0,
+            LoadClass::Cached => 1,
+            LoadClass::Batch => 2,
+            LoadClass::Session => 3,
+            LoadClass::Update => 4,
+        }
+    }
+
+    /// Inverse of [`Self::name`].
+    pub fn parse(name: &str) -> Option<LoadClass> {
+        LoadClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// One scheduled request (or request chain) in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Intended send time, microseconds from the start of the run.
+    pub at_us: u64,
+    /// Traffic class the event was drawn for.
+    pub class: LoadClass,
+    /// Protocol request lines sent back-to-back on one connection; `$S`
+    /// is replaced by the session id captured earlier in the same event.
+    pub steps: Vec<String>,
+}
+
+/// A full replayable workload: prelude plus timed events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Seed the trace was generated from (informational).
+    pub seed: u64,
+    /// Arrival rate the event timestamps encode; replaying "at native
+    /// speed" means this many events per second on average.
+    pub qps: f64,
+    /// Scheduled duration in seconds (the last event lands before this).
+    pub duration_s: f64,
+    /// Requests run sequentially before the clock starts.
+    pub prelude: Vec<String>,
+    /// Timed events, non-decreasing in `at_us`.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Separator between the steps of a compound event.
+const STEP_SEP: &str = " | ";
+
+impl Trace {
+    /// Serializes to the plain-text format. Deterministic: equal traces
+    /// produce byte-identical text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# ic-load trace v1\n");
+        let _ = writeln!(
+            out,
+            "# seed={} qps={} duration_s={} events={}",
+            self.seed,
+            self.qps,
+            self.duration_s,
+            self.events.len()
+        );
+        for line in &self.prelude {
+            let _ = writeln!(out, "P {line}");
+        }
+        for ev in &self.events {
+            let _ = writeln!(
+                out,
+                "E {} {} {}",
+                ev.at_us,
+                ev.class.name(),
+                ev.steps.join(STEP_SEP)
+            );
+        }
+        out
+    }
+
+    /// Parses the plain-text format; returns a description of the first
+    /// malformed line on failure.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut trace = Trace {
+            seed: 0,
+            qps: 0.0,
+            duration_s: 0.0,
+            prelude: Vec::new(),
+            events: Vec::new(),
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                // header metadata rides in key=val pairs; unknown keys
+                // and free-text comments are ignored
+                for pair in comment.split_whitespace() {
+                    if let Some((key, val)) = pair.split_once('=') {
+                        match key {
+                            "seed" => trace.seed = val.parse().unwrap_or(0),
+                            "qps" => trace.qps = val.parse().unwrap_or(0.0),
+                            "duration_s" => trace.duration_s = val.parse().unwrap_or(0.0),
+                            _ => {}
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some(req) = line.strip_prefix("P ") {
+                trace.prelude.push(req.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("E ") {
+                let mut parts = rest.splitn(3, ' ');
+                let at_us = parts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| format!("line {}: bad timestamp: {line:?}", lineno + 1))?;
+                let class = parts
+                    .next()
+                    .and_then(LoadClass::parse)
+                    .ok_or_else(|| format!("line {}: bad class: {line:?}", lineno + 1))?;
+                let payload = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing payload: {line:?}", lineno + 1))?;
+                let steps: Vec<String> = payload.split(STEP_SEP).map(String::from).collect();
+                if steps.iter().any(|s| s.is_empty()) {
+                    return Err(format!("line {}: empty step: {line:?}", lineno + 1));
+                }
+                trace.events.push(TraceEvent {
+                    at_us,
+                    class,
+                    steps,
+                });
+                continue;
+            }
+            return Err(format!("line {}: unrecognized: {line:?}", lineno + 1));
+        }
+        Ok(trace)
+    }
+
+    /// Reads and parses a trace file.
+    pub fn load(path: &Path) -> Result<Trace, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Trace::parse(&text)
+    }
+
+    /// Serializes and writes a trace file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Events of one class (mostly for tests and reports).
+    pub fn count_class(&self, class: LoadClass) -> usize {
+        self.events.iter().filter(|e| e.class == class).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let trace = Trace {
+            seed: 7,
+            qps: 150.0,
+            duration_s: 2.5,
+            prelude: vec!["GEN g0 gnm 100 300 1".to_string()],
+            events: vec![
+                TraceEvent {
+                    at_us: 1200,
+                    class: LoadClass::Cached,
+                    steps: vec!["QUERY g0 3 4".to_string()],
+                },
+                TraceEvent {
+                    at_us: 9000,
+                    class: LoadClass::Session,
+                    steps: vec![
+                        "OPEN g0 3".to_string(),
+                        "NEXT $S 4".to_string(),
+                        "CLOSE $S".to_string(),
+                    ],
+                },
+            ],
+        };
+        let text = trace.to_text();
+        let parsed = Trace::parse(&text).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.to_text(), text, "parse ∘ serialize is stable");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Trace::parse("E nope cached QUERY g 3 4").is_err());
+        assert!(Trace::parse("E 12 martian QUERY g 3 4").is_err());
+        assert!(Trace::parse("E 12 cached").is_err());
+        assert!(Trace::parse("what is this").is_err());
+        // comments and blank lines are fine
+        let t = Trace::parse("# hello\n\n# seed=9 qps=10 duration_s=1 events=0\n").unwrap();
+        assert_eq!(t.seed, 9);
+        assert_eq!(t.qps, 10.0);
+        assert!(t.events.is_empty());
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for class in LoadClass::ALL {
+            assert_eq!(LoadClass::parse(class.name()), Some(class));
+            assert_eq!(LoadClass::ALL[class.index()], class);
+        }
+        assert_eq!(LoadClass::parse("warm"), None);
+    }
+}

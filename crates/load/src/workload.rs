@@ -1,0 +1,378 @@
+//! Deterministic workload generation: Poisson arrivals, Zipf-skewed
+//! popularity, seeded end to end.
+//!
+//! Arrivals are one merged Poisson process at [`WorkloadSpec::qps`] with
+//! a categorical class draw per event — by the superposition property
+//! this is exactly equivalent to independent per-class Poisson processes
+//! at the mix's partial rates, and it keeps the trace sorted by
+//! construction. Popularity is Zipf over a small (graph, γ, k) grid
+//! behind a seeded permutation, so the hot head isn't always the
+//! lexicographically first combination.
+
+use ic_graph::Pcg32;
+
+use crate::trace::{LoadClass, Trace, TraceEvent};
+
+/// One synthetic graph the trace registers in its prelude (`GEN … gnm`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// Registry name (`g0`, `g1`, …).
+    pub name: String,
+    /// Vertices.
+    pub n: u32,
+    /// Edges.
+    pub m: u32,
+    /// Generation seed passed to the server.
+    pub seed: u64,
+}
+
+/// Relative class rates; normalized by the generator, so any positive
+/// scale works.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    pub cold: f64,
+    pub cached: f64,
+    pub batch: f64,
+    pub session: f64,
+    pub update: f64,
+}
+
+impl ClassMix {
+    fn weights(&self) -> [f64; 5] {
+        // LoadClass::ALL order
+        [
+            self.cold,
+            self.cached,
+            self.batch,
+            self.session,
+            self.update,
+        ]
+    }
+}
+
+impl Default for ClassMix {
+    /// A serving-shaped mix: mostly popular lookups, a steady long tail,
+    /// some batches and sessions, and enough update/commit churn that
+    /// caches keep getting invalidated.
+    fn default() -> Self {
+        ClassMix {
+            cold: 0.15,
+            cached: 0.55,
+            batch: 0.10,
+            session: 0.10,
+            update: 0.10,
+        }
+    }
+}
+
+/// Everything that determines a trace. Equal specs generate
+/// byte-identical traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Master seed for arrivals, class draws, and popularity.
+    pub seed: u64,
+    /// Mean arrival rate (events per second).
+    pub qps: f64,
+    /// Scheduled duration in seconds.
+    pub duration_s: f64,
+    /// Graphs registered in the prelude and queried by events.
+    pub graphs: Vec<GraphSpec>,
+    /// γ values of the popular grid.
+    pub gammas: Vec<u32>,
+    /// k values of the popular grid.
+    pub ks: Vec<usize>,
+    /// Zipf exponent over the popular grid (1.0 ≈ classic web skew;
+    /// 0.0 = uniform).
+    pub zipf_theta: f64,
+    /// Relative class rates.
+    pub mix: ClassMix,
+    /// Sub-queries per `BATCH` event.
+    pub batch_size: usize,
+    /// Communities pulled per session's `NEXT`.
+    pub session_pull: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            seed: 42,
+            qps: 200.0,
+            duration_s: 10.0,
+            graphs: vec![
+                GraphSpec {
+                    name: "g0".to_string(),
+                    n: 2000,
+                    m: 8000,
+                    seed: 7,
+                },
+                GraphSpec {
+                    name: "g1".to_string(),
+                    n: 1000,
+                    m: 3000,
+                    seed: 11,
+                },
+            ],
+            gammas: vec![2, 3, 4],
+            ks: vec![2, 4, 8, 16],
+            zipf_theta: 1.0,
+            mix: ClassMix::default(),
+            batch_size: 8,
+            session_pull: 4,
+        }
+    }
+}
+
+/// Zipf sampler over ranks `0..n`: rank `r` has weight `1/(r+1)^θ`.
+/// Sampling is a binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the CDF for `n` ranks with exponent `theta`.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One exponential inter-arrival gap, seconds, for rate `qps`.
+fn exp_gap(rng: &mut Pcg32, qps: f64) -> f64 {
+    // u ∈ [0, 1): ln(1-u) is finite; mean of -ln(1-u)/λ is 1/λ
+    -(1.0 - rng.gen_f64()).ln() / qps
+}
+
+/// Generates the trace a spec describes. Fully deterministic in the
+/// spec: the same spec yields byte-identical [`Trace::to_text`] output.
+pub fn generate(spec: &WorkloadSpec) -> Trace {
+    assert!(spec.qps > 0.0, "qps must be positive");
+    assert!(spec.duration_s > 0.0, "duration must be positive");
+    assert!(!spec.graphs.is_empty(), "need at least one graph");
+    assert!(!spec.gammas.is_empty() && !spec.ks.is_empty());
+    let mut rng = Pcg32::new(spec.seed);
+
+    let prelude: Vec<String> = spec
+        .graphs
+        .iter()
+        .map(|g| format!("GEN {} gnm {} {} {}", g.name, g.n, g.m, g.seed))
+        .collect();
+
+    // the popular grid, permuted so Zipf's head lands on a seeded-random
+    // combination rather than always graphs[0] × gammas[0] × ks[0]
+    let mut grid: Vec<(usize, u32, usize)> = Vec::new();
+    for gi in 0..spec.graphs.len() {
+        for &gamma in &spec.gammas {
+            for &k in &spec.ks {
+                grid.push((gi, gamma, k));
+            }
+        }
+    }
+    rng.shuffle(&mut grid);
+    let zipf = Zipf::new(grid.len(), spec.zipf_theta);
+    let popular = |rng: &mut Pcg32, grid: &[(usize, u32, usize)], zipf: &Zipf| {
+        let (gi, gamma, k) = grid[zipf.sample(rng)];
+        format!("QUERY {} {gamma} {k}", spec.graphs[gi].name)
+    };
+    let k_max = spec.ks.iter().copied().max().unwrap_or(16);
+
+    let weights = spec.mix.weights();
+    let mix_total: f64 = weights.iter().sum();
+    assert!(mix_total > 0.0, "class mix must have positive total weight");
+
+    let mut events = Vec::new();
+    let mut t = 0.0_f64;
+    let mut cold_seq = 0u64;
+    loop {
+        t += exp_gap(&mut rng, spec.qps);
+        if t >= spec.duration_s {
+            break;
+        }
+        let mut draw = rng.gen_f64() * mix_total;
+        let mut class = LoadClass::Cold;
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                class = LoadClass::ALL[i];
+                break;
+            }
+            draw -= w;
+        }
+        let steps = match class {
+            LoadClass::Cold => {
+                // the long tail: k past the popular grid, cycling upward
+                // so prefix-aware caching cannot trivially serve it
+                let gi = rng.gen_index(spec.graphs.len());
+                let gamma = spec.gammas[rng.gen_index(spec.gammas.len())];
+                let k = k_max + 1 + (cold_seq % 97) as usize;
+                cold_seq += 1;
+                vec![format!("QUERY {} {gamma} {k}", spec.graphs[gi].name)]
+            }
+            LoadClass::Cached => vec![popular(&mut rng, &grid, &zipf)],
+            LoadClass::Batch => {
+                let subs: Vec<String> = (0..spec.batch_size.max(1))
+                    .map(|_| {
+                        popular(&mut rng, &grid, &zipf)
+                            .trim_start_matches("QUERY ")
+                            .to_string()
+                    })
+                    .collect();
+                vec![format!("BATCH {}", subs.join(" ; "))]
+            }
+            LoadClass::Session => {
+                let gi = rng.gen_index(spec.graphs.len());
+                let gamma = spec.gammas[rng.gen_index(spec.gammas.len())];
+                vec![
+                    format!("OPEN {} {gamma}", spec.graphs[gi].name),
+                    format!("NEXT $S {}", spec.session_pull),
+                    "CLOSE $S".to_string(),
+                ]
+            }
+            LoadClass::Update => {
+                let g = &spec.graphs[rng.gen_index(spec.graphs.len())];
+                let v = rng.gen_range(g.n);
+                let w = 0.25 + 9.75 * rng.gen_f64();
+                vec![
+                    format!("UPDATE {} REWEIGHT {v} {w:.3}", g.name),
+                    format!("COMMIT {}", g.name),
+                ]
+            }
+        };
+        events.push(TraceEvent {
+            at_us: (t * 1e6).round() as u64,
+            class,
+            steps,
+        });
+    }
+
+    Trace {
+        seed: spec.seed,
+        qps: spec.qps,
+        duration_s: spec.duration_s,
+        prelude,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let spec = WorkloadSpec::default();
+        let a = generate(&spec).to_text();
+        let b = generate(&spec).to_text();
+        assert_eq!(a, b, "generation must be deterministic");
+        let parsed = Trace::parse(&a).unwrap();
+        assert_eq!(parsed.to_text(), a, "and round-trip stable");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&WorkloadSpec::default()).to_text();
+        let b = generate(&WorkloadSpec {
+            seed: 43,
+            ..WorkloadSpec::default()
+        })
+        .to_text();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn poisson_schedule_is_sorted_and_roughly_at_rate() {
+        let spec = WorkloadSpec {
+            qps: 500.0,
+            duration_s: 4.0,
+            ..WorkloadSpec::default()
+        };
+        let trace = generate(&spec);
+        let expected = spec.qps * spec.duration_s;
+        let got = trace.events.len() as f64;
+        // Poisson(2000): ±5 σ ≈ ±224
+        assert!(
+            (got - expected).abs() < 5.0 * expected.sqrt() + 1.0,
+            "got {got} events, expected ≈{expected}"
+        );
+        for pair in trace.events.windows(2) {
+            assert!(pair[0].at_us <= pair[1].at_us, "events must be sorted");
+        }
+        assert!(trace.events.last().unwrap().at_us < 4_000_000);
+    }
+
+    #[test]
+    fn every_class_appears_under_the_default_mix() {
+        let trace = generate(&WorkloadSpec::default());
+        for class in LoadClass::ALL {
+            assert!(
+                trace.count_class(class) > 0,
+                "class {} missing from {} events",
+                class.name(),
+                trace.events.len()
+            );
+        }
+        // the mix roughly holds: cached is the majority class
+        assert!(trace.count_class(LoadClass::Cached) > trace.count_class(LoadClass::Cold));
+    }
+
+    #[test]
+    fn zipf_head_dominates_tail() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Pcg32::new(9);
+        let mut counts = [0u32; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > 5 * counts[50].max(1),
+            "rank 0 ({}) should dwarf rank 50 ({})",
+            counts[0],
+            counts[50]
+        );
+        // uniform when θ = 0
+        let flat = Zipf::new(4, 0.0);
+        let mut rng = Pcg32::new(9);
+        let mut counts = [0u32; 4];
+        for _ in 0..8_000 {
+            counts[flat.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..2400).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn session_and_update_events_are_compound() {
+        let trace = generate(&WorkloadSpec::default());
+        let session = trace
+            .events
+            .iter()
+            .find(|e| e.class == LoadClass::Session)
+            .unwrap();
+        assert_eq!(session.steps.len(), 3);
+        assert!(session.steps[0].starts_with("OPEN "));
+        assert!(session.steps[1].contains("$S"));
+        let update = trace
+            .events
+            .iter()
+            .find(|e| e.class == LoadClass::Update)
+            .unwrap();
+        assert_eq!(update.steps.len(), 2);
+        assert!(update.steps[0].starts_with("UPDATE "));
+        assert!(update.steps[1].starts_with("COMMIT "));
+    }
+}

@@ -15,6 +15,8 @@
 //! exposition over plain HTTP on `ADDR` (the same body the `METRICS`
 //! protocol verb returns), and `--slowlog-ms MS` sets the slow-query
 //! retention threshold (`SLOWLOG` lists retained traces).
+//! `--idle-timeout SECS` closes connections that send no request for
+//! that long, so half-open clients cannot pin connection threads.
 //!
 //! `--data-dir DIR` makes the instance durable: registrations are
 //! snapshotted under `DIR`, every accepted `UPDATE` is write-ahead
@@ -27,11 +29,12 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 use ic_service::protocol::HELP;
-use ic_service::{serve, serve_metrics, Service, ServiceConfig};
+use ic_service::{serve_metrics, serve_with, ServerOptions, Service, ServiceConfig};
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServiceConfig::default();
+    let mut options = ServerOptions::default();
     let mut preload = false;
     let mut data_dir: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
@@ -59,11 +62,18 @@ fn main() -> ExitCode {
                 Some(ms) => config.slowlog_threshold = std::time::Duration::from_millis(ms),
                 None => return usage("--slowlog-ms needs a number"),
             },
+            "--idle-timeout" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 => {
+                    options.idle_timeout = Some(std::time::Duration::from_secs_f64(secs))
+                }
+                _ => return usage("--idle-timeout needs a positive number of seconds"),
+            },
             "--preload" => preload = true,
             "--help" | "-h" => {
                 println!(
                     "usage: serve [addr] [--workers N] [--cache N] [--data-dir DIR] \
-                     [--metrics-addr ADDR] [--slowlog-ms MS] [--preload]\n\
+                     [--metrics-addr ADDR] [--slowlog-ms MS] [--idle-timeout SECS] \
+                     [--preload]\n\
                      protocol: {HELP}"
                 );
                 return ExitCode::SUCCESS;
@@ -136,7 +146,7 @@ fn main() -> ExitCode {
         "ic-service listening on {addr} ({} workers); {HELP}",
         svc.worker_count()
     );
-    if let Err(e) = serve(listener, svc) {
+    if let Err(e) = serve_with(&listener, svc, options) {
         eprintln!("server failed: {e}");
         return ExitCode::FAILURE;
     }

@@ -98,7 +98,7 @@ pub use metrics::{ServiceMetrics, SlowQuery};
 pub use planner::{plan, plan_dynamic, plan_stored, Algorithm, Explain, Mode, Query};
 pub use pool::WorkerPool;
 pub use registry::{GraphRegistry, RegisteredGraph};
-pub use server::{serve, serve_metrics};
+pub use server::{serve, serve_metrics, serve_with, Accept, ServerOptions};
 pub use service::{QueryResponse, Service, ServiceConfig, SyntheticSpec, UpdateStatus};
 pub use session::Session;
 pub use stats::ServiceStats;

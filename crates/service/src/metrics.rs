@@ -63,6 +63,10 @@ pub struct ServiceMetrics {
     slowlog_capacity: usize,
     slowlog_threshold_ns: u64,
     slow_seq: AtomicU64,
+    /// Protocol connections currently being served (`ic-conn` threads).
+    live_connections: AtomicU64,
+    /// Protocol connections ever accepted.
+    connections_total: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -76,6 +80,8 @@ impl ServiceMetrics {
             slowlog_capacity: capacity,
             slowlog_threshold_ns: threshold_ns,
             slow_seq: AtomicU64::new(0),
+            live_connections: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
         }
     }
 
@@ -143,6 +149,29 @@ impl ServiceMetrics {
     /// The retention threshold, in nanoseconds.
     pub fn slowlog_threshold_ns(&self) -> u64 {
         self.slowlog_threshold_ns
+    }
+
+    /// A protocol connection was accepted and its handler started.
+    pub fn connection_opened(&self) {
+        self.live_connections.fetch_add(1, Ordering::Relaxed);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A protocol connection's handler finished (any reason: `QUIT`,
+    /// EOF, idle timeout, or I/O error).
+    pub fn connection_closed(&self) {
+        self.live_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Protocol connections currently being served — the gauge a load
+    /// harness watches to verify idle connections are actually reclaimed.
+    pub fn live_connections(&self) -> u64 {
+        self.live_connections.load(Ordering::Relaxed)
+    }
+
+    /// Protocol connections ever accepted.
+    pub fn connections_total(&self) -> u64 {
+        self.connections_total.load(Ordering::Relaxed)
     }
 }
 

@@ -306,13 +306,16 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             }
             out.push_str(&format!(
                 " mean_latency_micros={} sessions_opened={} sessions_closed={} \
-                 streamed={} graphs={} cached_entries={}",
+                 streamed={} graphs={} cached_entries={} accept_errors={} \
+                 live_connections={}",
                 s.mean_latency().as_micros(),
                 s.sessions_opened,
                 s.sessions_closed,
                 s.communities_streamed,
                 svc.graphs().len(),
                 svc.cache_len(),
+                s.accept_errors,
+                svc.metrics().live_connections(),
             ));
             // one `S` row per registered store with its cumulative I/O
             for (name, kind, io) in svc.store_io() {

@@ -994,6 +994,13 @@ impl Service {
         stats
     }
 
+    /// Counts one transient accept-loop failure the TCP front-end
+    /// survived (surfaced as `accept_errors` in `STATS` and
+    /// `ic_accept_errors_total` in `METRICS`).
+    pub(crate) fn record_accept_error(&self) {
+        self.stats.record_accept_error();
+    }
+
     /// Why durability was lost, if it was: the first persistence-hook
     /// failure on a [`Service::with_persistence`] instance. `None` for
     /// purely in-memory services and for healthy durable ones. Once set,
@@ -1096,6 +1103,28 @@ impl Service {
             "counter",
         );
         p.sample("ic_worker_panics_total", &[], stats.worker_panics);
+        p.header(
+            "ic_accept_errors_total",
+            "Transient accept-loop failures the server survived.",
+            "counter",
+        );
+        p.sample("ic_accept_errors_total", &[], stats.accept_errors);
+        p.header(
+            "ic_connections_total",
+            "Protocol connections accepted.",
+            "counter",
+        );
+        p.sample(
+            "ic_connections_total",
+            &[],
+            self.metrics.connections_total(),
+        );
+        p.header(
+            "ic_live_connections",
+            "Protocol connections currently being served.",
+            "gauge",
+        );
+        p.sample("ic_live_connections", &[], self.metrics.live_connections());
 
         p.header(
             "ic_executions_total",

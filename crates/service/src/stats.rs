@@ -29,6 +29,7 @@ pub struct StatsRecorder {
     sessions_opened: AtomicU64,
     sessions_closed: AtomicU64,
     communities_streamed: AtomicU64,
+    accept_errors: AtomicU64,
 }
 
 impl StatsRecorder {
@@ -85,6 +86,12 @@ impl StatsRecorder {
             .fetch_add(communities as u64, Ordering::Relaxed);
     }
 
+    /// One transient accept-loop failure the server survived (failed
+    /// `accept` or connection-thread spawn); the loop kept accepting.
+    pub fn record_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads every counter into a plain snapshot.
     pub fn snapshot(&self) -> ServiceStats {
         let executed = std::array::from_fn(|i| self.executed[i].load(Ordering::Relaxed));
@@ -101,6 +108,7 @@ impl StatsRecorder {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             communities_streamed: self.communities_streamed.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -136,6 +144,9 @@ pub struct ServiceStats {
     pub sessions_closed: u64,
     /// Communities delivered through progressive sessions.
     pub communities_streamed: u64,
+    /// Transient accept-loop failures survived (failed `accept` calls or
+    /// connection-thread spawns; the server kept accepting).
+    pub accept_errors: u64,
 }
 
 impl ServiceStats {

@@ -2,14 +2,16 @@
 //!
 //! Re-exports the graph substrates ([`graph`]), the community-search
 //! algorithms ([`search`]), the dynamic-update subsystem ([`dynamic`]),
-//! the observability primitives ([`obs`]), and the concurrent
-//! query-serving subsystem ([`service`]) so that examples and
-//! downstream users need a single dependency. See the README for a
-//! quickstart and for the paper-to-module map.
+//! the observability primitives ([`obs`]), the concurrent
+//! query-serving subsystem ([`service`]), and the open-loop load
+//! harness ([`load`]) so that examples and downstream users need a
+//! single dependency. See the README for a quickstart and for the
+//! paper-to-module map.
 
 pub use ic_core as search;
 pub use ic_dynamic as dynamic;
 pub use ic_graph as graph;
+pub use ic_load as load;
 pub use ic_obs as obs;
 pub use ic_service as service;
 

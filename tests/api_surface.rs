@@ -30,6 +30,7 @@ const ROOTS: &[&str] = &[
     "crates/dynamic/src",
     "crates/obs/src",
     "crates/service/src",
+    "crates/load/src",
 ];
 
 /// Files allowed to declare a free `pub fn top_k`: none. The deprecated
