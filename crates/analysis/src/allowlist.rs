@@ -1,0 +1,202 @@
+//! The committed suppression surface: `lint-allow.toml`.
+//!
+//! Suppressing a finding takes **both** halves, so neither side can
+//! drift silently:
+//!
+//! 1. a `lint:allow(CHECK-ID)` marker comment on (or directly above)
+//!    the flagged line, and
+//! 2. a matching `[[allow]]` entry here, carrying the check ID, the
+//!    workspace-relative file, a `context` substring that must occur in
+//!    the flagged raw line, and a non-empty `justification`.
+//!
+//! Entries that stop matching anything become findings themselves
+//! (`IC-ALLOW`), so the file can only shrink as sites are fixed — and
+//! CI separately refuses any diff that grows the entry count.
+//!
+//! The format is a deliberately tiny TOML subset (`[[allow]]` tables of
+//! `key = "string"` pairs) so the std-only workspace needs no TOML
+//! dependency.
+
+/// One `[[allow]]` table from `lint-allow.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Check ID this entry suppresses, e.g. `IC-PANIC`.
+    pub check: String,
+    /// Workspace-relative path of the file the site lives in.
+    pub file: String,
+    /// Substring that must occur in the flagged raw line.
+    pub context: String,
+    /// Why the site is allowed to stay. Must be non-empty.
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header, for findings about the
+    /// entry itself.
+    pub line: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Path the list was read from, workspace-relative.
+    pub rel: String,
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the tiny-TOML allowlist. Syntax errors (unknown keys,
+    /// non-string values, fields outside an entry) are hard errors:
+    /// a malformed suppression surface must fail loudly, not silently
+    /// stop suppressing.
+    pub fn parse(rel: impl Into<String>, text: &str) -> Result<Allowlist, String> {
+        let rel = rel.into();
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    entries.push(validate(e)?);
+                }
+                current = Some(AllowEntry {
+                    check: String::new(),
+                    file: String::new(),
+                    context: String::new(),
+                    justification: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("{rel}:{lineno}: expected `key = \"value\"`"));
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(format!("{rel}:{lineno}: field outside an [[allow]] entry"));
+            };
+            let value = parse_string(value.trim())
+                .ok_or_else(|| format!("{rel}:{lineno}: value must be a double-quoted string"))?;
+            match key.trim() {
+                "check" => entry.check = value,
+                "file" => entry.file = value,
+                "context" => entry.context = value,
+                "justification" => entry.justification = value,
+                other => {
+                    return Err(format!("{rel}:{lineno}: unknown key {other:?}"));
+                }
+            }
+        }
+        if let Some(e) = current.take() {
+            entries.push(validate(e)?);
+        }
+        Ok(Allowlist { rel, entries })
+    }
+}
+
+/// Every field except the justification must be present; an empty
+/// justification is reported as a finding (not a parse error) so it
+/// shows up in the normal `--deny` output with the rest.
+fn validate(e: AllowEntry) -> Result<AllowEntry, String> {
+    for (name, value) in [
+        ("check", &e.check),
+        ("file", &e.file),
+        ("context", &e.context),
+    ] {
+        if value.is_empty() {
+            return Err(format!(
+                "[[allow]] entry at line {} is missing `{name}`",
+                e.line
+            ));
+        }
+    }
+    Ok(e)
+}
+
+/// Decodes a double-quoted TOML basic string with `\"` and `\\` (and
+/// the common whitespace escapes). Returns `None` on anything else.
+fn parse_string(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            // An unescaped interior quote means the suffix-strip above
+            // cut the string short — reject rather than misparse.
+            if c == '"' {
+                return None;
+            }
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[allow]]
+check = "IC-PANIC"
+file = "crates/service/src/pool.rs"
+context = ".expect(\"spawning worker thread\")"
+justification = "startup-only; no connection exists to receive an error"
+"#;
+
+    #[test]
+    fn parses_entries_with_escapes() {
+        let list = Allowlist::parse("lint-allow.toml", GOOD).unwrap();
+        assert_eq!(list.entries.len(), 1);
+        let e = &list.entries[0];
+        assert_eq!(e.check, "IC-PANIC");
+        assert_eq!(e.context, ".expect(\"spawning worker thread\")");
+        assert!(e.line > 0);
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        let err = Allowlist::parse("x", "[[allow]]\ncheck = \"IC-PANIC\"\n").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = Allowlist::parse("x", "[[allow]]\nwhy = \"no\"\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn field_outside_entry_is_an_error() {
+        let err = Allowlist::parse("x", "check = \"IC-PANIC\"\n").unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn empty_justification_is_allowed_by_parse() {
+        // Semantic validation (empty justification) is a finding, not a
+        // parse error — the workspace runner owns that.
+        let text =
+            "[[allow]]\ncheck = \"C\"\nfile = \"f\"\ncontext = \"x\"\njustification = \"\"\n";
+        let list = Allowlist::parse("x", text).unwrap();
+        assert!(list.entries[0].justification.is_empty());
+    }
+
+    #[test]
+    fn empty_file_parses() {
+        assert!(Allowlist::parse("x", "# nothing\n")
+            .unwrap()
+            .entries
+            .is_empty());
+    }
+}

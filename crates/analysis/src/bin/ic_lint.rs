@@ -1,0 +1,98 @@
+//! `ic-lint` — run the workspace's repo-specific static checks.
+//!
+//! ```text
+//! ic-lint [--deny] [--root DIR] [--list-checks]
+//! ```
+//!
+//! Prints `CHECK file:line message` per finding. Exit status: 0 when
+//! clean (always, without `--deny`), 1 when `--deny` and findings
+//! exist, 2 on usage or I/O errors. CI runs
+//! `cargo run -p ic-analysis --release -- --deny`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ic_analysis::{checks, Workspace};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--list-checks" => {
+                for (id, what) in checks::ALL_CHECKS {
+                    println!("{id}  {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: ic-lint [--deny] [--root DIR] [--list-checks]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match find_root() {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "ic-lint: no workspace Cargo.toml above the current directory; use --root"
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("ic-lint: failed to load {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = ws.run();
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "ic-lint: {} finding(s), {} suppressed by lint-allow.toml",
+        report.findings.len(),
+        report.suppressed
+    );
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("ic-lint: {err}\nusage: ic-lint [--deny] [--root DIR] [--list-checks]");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]` — so the binary works from any crate dir.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! IC-ALGO: every `AlgorithmId` variant is fully wired.
+//!
+//! The variant set is parsed from the enum declaration in
+//! `crates/core/src/query.rs`; nothing here is hand-listed. For each
+//! variant the check requires:
+//!
+//! 1. membership in the `ALL` table (set equality both ways — a
+//!    variant missing from `ALL` is invisible to iteration-driven
+//!    surfaces like STATS; an `ALL` entry without a variant is a
+//!    parse bug worth hearing about),
+//! 2. an executor wired in `resolve()` (`&exec::Variant`),
+//! 3. coverage in the cross-algorithm differential suite
+//!    (`AlgorithmId::Variant` in `tests/consistency.rs`),
+//! 4. structurally, that the per-algorithm stats counters are driven
+//!    by `ALL` (`Algorithm::ALL` / `AlgorithmId::ALL` referenced in
+//!    `crates/service/src/stats.rs`) — which, combined with (1),
+//!    means every variant is counted.
+
+use crate::checks::IC_ALGO;
+use crate::source::{contains_token, SourceFile};
+use crate::Finding;
+
+/// Where the enum, `ALL`, and `resolve()` live.
+const QUERY_RS: &str = "crates/core/src/query.rs";
+/// The differential suite that must exercise every variant.
+const CONSISTENCY: &str = "tests/consistency.rs";
+/// The per-algorithm counter surface.
+const STATS_RS: &str = "crates/service/src/stats.rs";
+
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let Some(query) = files.iter().find(|f| f.rel() == QUERY_RS) else {
+        return Vec::new(); // not in scope for this input set (fixtures)
+    };
+    let mut out = Vec::new();
+    let variants = enum_variants(query);
+    if variants.is_empty() {
+        out.push(Finding {
+            check: IC_ALGO,
+            file: QUERY_RS.to_string(),
+            line: 1,
+            message: "could not parse any variants out of `pub enum AlgorithmId`".to_string(),
+        });
+        return out;
+    }
+    let all = all_table(query);
+    let query_raw = joined_raw(query);
+    let consistency = files
+        .iter()
+        .find(|f| f.rel() == CONSISTENCY)
+        .map(joined_raw);
+    for (variant, line) in &variants {
+        if !all.iter().any(|(v, _)| v == variant) {
+            out.push(at(
+                *line,
+                format!("variant {variant} is missing from the ALL table"),
+            ));
+        }
+        if !contains_token(&query_raw, &format!("&exec::{variant}")) {
+            out.push(at(
+                *line,
+                format!(
+                    "variant {variant} has no executor wired in resolve() (`&exec::{variant}`)"
+                ),
+            ));
+        }
+        match &consistency {
+            None => out.push(at(
+                *line,
+                format!("tests/consistency.rs is missing from the scan (needed for {variant})"),
+            )),
+            Some(text) => {
+                if !contains_token(text, &format!("AlgorithmId::{variant}")) {
+                    out.push(at(
+                        *line,
+                        format!("variant {variant} is never exercised by tests/consistency.rs"),
+                    ));
+                }
+            }
+        }
+    }
+    for (entry, line) in &all {
+        if !variants.iter().any(|(v, _)| v == entry) {
+            out.push(at(
+                *line,
+                format!("ALL lists {entry}, which is not a variant of AlgorithmId"),
+            ));
+        }
+    }
+    if let Some(stats) = files.iter().find(|f| f.rel() == STATS_RS) {
+        let raw = joined_raw(stats);
+        if !contains_token(&raw, "Algorithm::ALL") && !contains_token(&raw, "AlgorithmId::ALL") {
+            out.push(Finding {
+                check: IC_ALGO,
+                file: STATS_RS.to_string(),
+                line: 1,
+                message: "per-algorithm stats are not driven by AlgorithmId::ALL; a new variant would go uncounted".to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn at(line: usize, message: String) -> Finding {
+    Finding {
+        check: IC_ALGO,
+        file: QUERY_RS.to_string(),
+        line,
+        message,
+    }
+}
+
+fn joined_raw(f: &SourceFile) -> String {
+    f.lines().map(|l| l.raw).collect::<Vec<_>>().join("\n")
+}
+
+/// Parses `(variant, line)` pairs from the `pub enum AlgorithmId` body.
+fn enum_variants(query: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut inside = false;
+    for line in query.lines() {
+        let t = line.code.trim();
+        if !inside {
+            if t.starts_with("pub enum AlgorithmId") {
+                inside = true;
+            }
+            continue;
+        }
+        if t.starts_with('}') {
+            break;
+        }
+        let ident: String = t
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let is_variant = ident.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && t[ident.len()..].trim_start().starts_with(',');
+        if is_variant {
+            out.push((ident, line.number));
+        }
+    }
+    out
+}
+
+/// Parses `(entry, line)` pairs from the `ALL` const table
+/// (`AlgorithmId::X` / `Self::X` entries until the closing `];`).
+fn all_table(query: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut inside = false;
+    for line in query.lines() {
+        let t = line.code.trim();
+        if !inside {
+            if t.starts_with("pub const ALL") || t.starts_with("const ALL") {
+                inside = true;
+            } else {
+                continue;
+            }
+        }
+        for prefix in ["AlgorithmId::", "Self::"] {
+            let mut rest = line.code;
+            while let Some(pos) = rest.find(prefix) {
+                rest = &rest[pos + prefix.len()..];
+                let ident: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !ident.is_empty() && !out.iter().any(|(v, _)| *v == ident) {
+                    out.push((ident.clone(), line.number));
+                }
+            }
+        }
+        if line.code.contains("];") {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUERY_SRC: &str = "
+pub enum AlgorithmId {
+    /// doc
+    LocalSearch,
+    LocalSearchSE,
+}
+
+impl AlgorithmId {
+    pub const ALL: [AlgorithmId; 2] = [
+        AlgorithmId::LocalSearch,
+        AlgorithmId::LocalSearchSE,
+    ];
+    pub fn resolve(self) -> &'static dyn Algorithm {
+        match self {
+            AlgorithmId::LocalSearch => &exec::LocalSearch,
+            AlgorithmId::LocalSearchSE => &exec::LocalSearchSE,
+        }
+    }
+}
+";
+
+    fn base_files() -> Vec<SourceFile> {
+        vec![
+            SourceFile::new(QUERY_RS, QUERY_SRC),
+            SourceFile::new(
+                CONSISTENCY,
+                "run(AlgorithmId::LocalSearch);\nrun(AlgorithmId::LocalSearchSE);\n",
+            ),
+            SourceFile::new(STATS_RS, "pub const N: usize = Algorithm::ALL.len();\n"),
+        ]
+    }
+
+    #[test]
+    fn fully_wired_enum_is_clean() {
+        let f = run(&base_files());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn variant_parsing_ignores_docs_and_attrs() {
+        let v: Vec<String> = enum_variants(&SourceFile::new(
+            QUERY_RS,
+            "pub enum AlgorithmId {\n    /// doc\n    #[default]\n    A,\n    B,\n}\n",
+        ))
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+        assert_eq!(v, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn missing_consistency_coverage_fires() {
+        let mut files = base_files();
+        files[1] = SourceFile::new(CONSISTENCY, "run(AlgorithmId::LocalSearch);\n");
+        let f = run(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("LocalSearchSE"), "{}", f[0].message);
+        assert!(f[0].message.contains("consistency"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn missing_executor_and_all_entry_fire() {
+        let mut files = base_files();
+        let src = QUERY_SRC
+            .replace("        AlgorithmId::LocalSearchSE,\n", "")
+            .replace("AlgorithmId::LocalSearchSE => &exec::LocalSearchSE,\n", "");
+        files[0] = SourceFile::new(QUERY_RS, &src);
+        files[1] = SourceFile::new(
+            CONSISTENCY,
+            "run(AlgorithmId::LocalSearch);\nrun(AlgorithmId::LocalSearchSE);\n",
+        );
+        let f = run(&files);
+        let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("missing from the ALL table")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("no executor wired")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn stats_not_driven_by_all_fires() {
+        let mut files = base_files();
+        files[2] = SourceFile::new(STATS_RS, "static COUNTERS: [u64; 2] = [0, 0];\n");
+        let f = run(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("uncounted"), "{}", f[0].message);
+    }
+}

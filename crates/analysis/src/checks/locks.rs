@@ -1,0 +1,273 @@
+//! IC-LOCK: no lock guard alive across a blocking call.
+//!
+//! A `Mutex`/`RwLock` guard held while the thread parks on channel or
+//! socket I/O turns one slow peer into a convoy: every other thread
+//! needing that lock queues behind the blocked holder. The check is a
+//! scope heuristic over scrubbed lines:
+//!
+//! - a *guard binding* is a `let` whose initializer ends in a guard
+//!   producer — `.lock()` / `.read()` / `.write()` (empty-parens, so
+//!   `io::Read::read(&mut buf)` never matches) or the service's
+//!   `lock_or_poison` / `read_or_poison` / `write_or_poison` helpers —
+//!   followed only by poison-handling (`.unwrap()`, `.expect(...)`,
+//!   `.unwrap_or_else(...)`). A producer chained straight into another
+//!   method (`map.read().unwrap().get(k)`) is a statement-temporary,
+//!   dropped at the `;`, and is not tracked;
+//! - the guard dies when its block closes (brace tracking) or a
+//!   `drop(name)` releases it;
+//! - while any guard is alive — or a producer appears on the same line
+//!   as the call — the blocking tokens `send` / `recv` / `accept` /
+//!   `read_line` / `write_all` / fsync (`sync_all` / `sync_data`) are
+//!   findings.
+
+use crate::checks::IC_LOCK;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Tokens that produce a lock guard when they end an initializer.
+const PRODUCERS: &[&str] = &[
+    ".lock()",
+    ".read()",
+    ".write()",
+    "lock_or_poison(",
+    "read_or_poison(",
+    "write_or_poison(",
+];
+
+/// Blocking-call tokens (channel, socket, file durability).
+const BLOCKING: &[&str] = &[
+    ".send(",
+    ".recv(",
+    ".recv_timeout(",
+    ".accept(",
+    ".read_line(",
+    ".write_all(",
+    ".sync_all(",
+    ".sync_data(",
+    ".fsync(",
+];
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    bound_at: usize,
+    depth: i64,
+}
+
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files.iter().filter(|f| f.rel().ends_with(".rs")) {
+        let mut depth: i64 = 0;
+        let mut guards: Vec<Guard> = Vec::new();
+        for line in file.lines() {
+            if line.in_test {
+                // Brace tracking must still see test blocks to keep
+                // depth aligned, but no guards or findings come of them.
+                depth += brace_delta(line.code);
+                guards.retain(|g| g.depth <= depth);
+                continue;
+            }
+            if let Some(tok) = BLOCKING.iter().find(|t| line.code.contains(**t)) {
+                if let Some(g) = guards.first() {
+                    out.push(Finding {
+                        check: IC_LOCK,
+                        file: file.rel().to_string(),
+                        line: line.number,
+                        message: format!(
+                            "blocking call `{tok}` while lock guard `{}` (bound at line {}) is alive",
+                            g.name, g.bound_at
+                        ),
+                    });
+                } else if PRODUCERS.iter().any(|p| line.code.contains(p)) {
+                    out.push(Finding {
+                        check: IC_LOCK,
+                        file: file.rel().to_string(),
+                        line: line.number,
+                        message: format!(
+                            "blocking call `{tok}` on a statement-temporary lock guard"
+                        ),
+                    });
+                }
+            }
+            // Releases by explicit drop.
+            if let Some(dropped) = drop_target(line.code) {
+                guards.retain(|g| g.name != dropped);
+            }
+            depth += brace_delta(line.code);
+            guards.retain(|g| g.depth <= depth);
+            if let Some(name) = guard_binding(line.code) {
+                guards.push(Guard {
+                    name,
+                    bound_at: line.number,
+                    depth,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Net `{`/`}` delta of a scrubbed line.
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// If this line binds a guard (`let g = ...lock()...;` with only
+/// poison-handling after the producer), returns the bound name.
+fn guard_binding(code: &str) -> Option<String> {
+    let let_pos = code.find("let ")?;
+    let producer_end = PRODUCERS.iter().find_map(|p| {
+        let start = code.find(p)?;
+        if start < let_pos {
+            return None;
+        }
+        let mut end = start + p.len();
+        if p.ends_with('(') {
+            end = skip_to_close(code, end)?;
+        }
+        Some(end)
+    })?;
+    let tail = consume_poison_suffix(code, producer_end);
+    match code[tail..].trim_start().chars().next() {
+        // Chained into another call: the guard is a statement
+        // temporary, not a binding.
+        Some('.') => None,
+        _ => {
+            let mut rest = code[let_pos + 4..].trim_start();
+            rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                None
+            } else {
+                Some(name)
+            }
+        }
+    }
+}
+
+/// Skips past `.unwrap()` / `.expect(...)` / `.unwrap_or_else(...)`
+/// chains after a producer, returning the index after the last one.
+fn consume_poison_suffix(code: &str, mut pos: usize) -> usize {
+    loop {
+        let rest = &code[pos..];
+        let advanced = [".unwrap()", ".expect(", ".unwrap_or_else("]
+            .iter()
+            .find_map(|suffix| {
+                let stripped = rest.strip_prefix(*suffix)?;
+                if suffix.ends_with("()") {
+                    Some(pos + suffix.len())
+                } else {
+                    skip_to_close(code, code.len() - stripped.len())
+                }
+            });
+        match advanced {
+            Some(next) => pos = next,
+            None => return pos,
+        }
+    }
+}
+
+/// Given an index just past an opening `(`, returns the index just past
+/// its matching `)`.
+fn skip_to_close(code: &str, open: usize) -> Option<usize> {
+    let mut depth = 1i32;
+    for (off, c) in code[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `drop(name)` / `std::mem::drop(name)` → the released name.
+fn drop_target(code: &str) -> Option<String> {
+    let pos = code.find("drop(")?;
+    let inner = &code[pos + 5..];
+    let name: String = inner
+        .trim_start_matches('&')
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        run(&[SourceFile::new("crates/service/src/x.rs", src)])
+    }
+
+    #[test]
+    fn guard_across_recv_fires() {
+        let src = "fn f() {\n    let g = self.state.lock().unwrap();\n    let job = rx.recv();\n    g.use_it();\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("`g`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn guard_released_by_scope_or_drop_does_not_fire() {
+        let scoped = "fn f() {\n    {\n        let g = m.lock().unwrap();\n        g.bump();\n    }\n    rx.recv();\n}\n";
+        assert!(findings(scoped).is_empty());
+        let dropped = "fn f() {\n    let g = m.lock().unwrap();\n    drop(g);\n    rx.recv();\n}\n";
+        assert!(findings(dropped).is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_chain_is_not_a_binding() {
+        let src = "fn f() {\n    let v = map.read().unwrap().get(k).cloned();\n    rx.recv();\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn same_line_temporary_across_recv_fires() {
+        let src = "fn f() {\n    let job = rx.lock().unwrap().recv();\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert!(
+            f[0].message.contains("statement-temporary"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_producer() {
+        let src = "fn f() {\n    let n = stream.read(&mut buf);\n    rx.recv();\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn helper_producers_are_tracked() {
+        let src =
+            "fn f() {\n    let g = lock_or_poison(&self.table);\n    sock.write_all(b\"x\");\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+}

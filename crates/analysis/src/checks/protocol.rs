@@ -1,0 +1,269 @@
+//! IC-PROTO: the protocol surface stays in sync, extracted — never
+//! hand-listed — from the live dispatcher.
+//!
+//! The verb set is parsed out of the `fn dispatch` match in
+//! `crates/service/src/protocol.rs` (top-level `"VERB" => ...` arms
+//! only; nested sub-action matches like `UPDATE`'s `ADD`/`DEL` belong
+//! to their verb). Every dispatched verb must then appear:
+//!
+//! 1. in a README protocol-table row (a line starting with `|`),
+//! 2. somewhere in the `tests/protocol_robustness.rs` hostile corpus,
+//! 3. for verbs with observable side effects, as a live counter token
+//!    somewhere in the serving crate (see `COUNTER_EVIDENCE`).
+//!
+//! Adding a verb to the dispatcher without touching the docs, the
+//! fuzz corpus, or the stats surface is exactly the drift this check
+//! exists to stop.
+
+use crate::checks::IC_PROTO;
+use crate::source::{contains_token, SourceFile};
+use crate::Finding;
+
+/// Path of the dispatcher the verb set is extracted from.
+const PROTOCOL_RS: &str = "crates/service/src/protocol.rs";
+/// Path of the protocol documentation table.
+const README: &str = "README.md";
+/// Path of the hostile-input corpus.
+const ROBUSTNESS: &str = "tests/protocol_robustness.rs";
+
+/// Verbs whose handling must be visible in a counter: the token on the
+/// right must occur somewhere in `crates/service/src`. Verbs not listed
+/// are surfaces or one-shot commands with no meaningful counter.
+const COUNTER_EVIDENCE: &[(&str, &str)] = &[
+    ("QUERY", "queries="),
+    ("BATCH", "batches="),
+    ("OPEN", "sessions_opened"),
+    ("NEXT", "streamed"),
+    ("CLOSE", "sessions_closed"),
+    ("SLOWLOG", "slow_total"),
+];
+
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let Some(proto) = files.iter().find(|f| f.rel() == PROTOCOL_RS) else {
+        return Vec::new(); // not in scope for this input set (fixtures)
+    };
+    let mut out = Vec::new();
+    let verbs = dispatch_verbs(proto);
+    if verbs.is_empty() {
+        out.push(Finding {
+            check: IC_PROTO,
+            file: PROTOCOL_RS.to_string(),
+            line: 1,
+            message: "could not extract any verb arms from fn dispatch".to_string(),
+        });
+        return out;
+    }
+    let readme = files.iter().find(|f| f.rel() == README);
+    let corpus = files.iter().find(|f| f.rel() == ROBUSTNESS);
+    for (verb, line) in &verbs {
+        match readme {
+            None => out.push(missing(verb, *line, "README.md is missing from the scan")),
+            Some(r) => {
+                let documented = r
+                    .lines()
+                    .any(|l| l.raw.trim_start().starts_with('|') && contains_token(l.raw, verb));
+                if !documented {
+                    out.push(missing(
+                        verb,
+                        *line,
+                        "no README protocol-table row mentions it",
+                    ));
+                }
+            }
+        }
+        match corpus {
+            None => out.push(missing(
+                verb,
+                *line,
+                "tests/protocol_robustness.rs is missing from the scan",
+            )),
+            Some(c) => {
+                if !c.lines().any(|l| contains_token(l.raw, verb)) {
+                    out.push(missing(
+                        verb,
+                        *line,
+                        "the protocol_robustness hostile corpus never exercises it",
+                    ));
+                }
+            }
+        }
+        if let Some((_, token)) = COUNTER_EVIDENCE.iter().find(|(v, _)| v == verb) {
+            let counted = files
+                .iter()
+                .filter(|f| f.rel().starts_with("crates/service/src/"))
+                .any(|f| f.lines().any(|l| l.raw.contains(token)));
+            if !counted {
+                out.push(missing(
+                    verb,
+                    *line,
+                    &format!("no counter token {token:?} found in crates/service/src"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn missing(verb: &str, line: usize, why: &str) -> Finding {
+    Finding {
+        check: IC_PROTO,
+        file: PROTOCOL_RS.to_string(),
+        line,
+        message: format!("verb {verb} is dispatched but {why}"),
+    }
+}
+
+/// Extracts `(verb, line)` pairs from the top-level match arms of
+/// `fn dispatch`, delimited by brace depth so nested matches inside
+/// other functions (or inside an arm's body) don't contribute.
+fn dispatch_verbs(proto: &SourceFile) -> Vec<(String, usize)> {
+    let mut verbs: Vec<(String, usize)> = Vec::new();
+    let mut in_dispatch = false;
+    let mut depth: i64 = 0;
+    let mut arm_depth: Option<i64> = None;
+    for line in proto.lines() {
+        if line.in_test {
+            continue;
+        }
+        if !in_dispatch {
+            if line.code.contains("fn dispatch") {
+                in_dispatch = true;
+                depth = 0;
+            } else {
+                continue;
+            }
+        }
+        let trimmed_raw = line.raw.trim_start();
+        if trimmed_raw.starts_with('"') && line.code.contains("=>") {
+            // Only arms of the *outermost* match inside dispatch: the
+            // first arm fixes the depth all verb arms share.
+            let at_depth = depth;
+            if *arm_depth.get_or_insert(at_depth) == at_depth {
+                if let Some(verb) = quoted_verb(trimmed_raw) {
+                    if !verbs.iter().any(|(v, _)| *v == verb) {
+                        verbs.push((verb, line.number));
+                    }
+                }
+            }
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return verbs; // fn dispatch closed
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    verbs
+}
+
+/// `"VERB ..." => ...` → `VERB` (first word of the first quoted string,
+/// if it is ALL-CAPS).
+fn quoted_verb(trimmed_raw: &str) -> Option<String> {
+    let rest = trimmed_raw.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    let word = rest[..end].split_whitespace().next()?;
+    if !word.is_empty()
+        && word
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+    {
+        Some(word.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DISPATCH: &str = r#"
+pub fn dispatch(line: &str) -> String {
+    match verb {
+        "HELP" => help(),
+        "QUERY" => {
+            run_query()
+        }
+        "UPDATE" => {
+            match action {
+                "ADD" => add(),
+                "DEL" => del(),
+            }
+        }
+        other => unknown(other),
+    }
+}
+"#;
+
+    fn proto_file() -> SourceFile {
+        SourceFile::new(PROTOCOL_RS, DISPATCH)
+    }
+
+    #[test]
+    fn extracts_top_level_verbs_only() {
+        let verbs: Vec<String> = dispatch_verbs(&proto_file())
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(verbs, vec!["HELP", "QUERY", "UPDATE"]);
+    }
+
+    #[test]
+    fn clean_surfaces_produce_no_findings() {
+        let files = vec![
+            proto_file(),
+            SourceFile::new(
+                README,
+                "| `HELP` | help |\n| `QUERY g` | query |\n| `UPDATE g ADD` | update |\n",
+            ),
+            SourceFile::new(
+                ROBUSTNESS,
+                "let verbs = [\"HELP\", \"QUERY x\", \"UPDATE g\"];\n",
+            ),
+            SourceFile::new(
+                "crates/service/src/stats.rs",
+                "// STATS prints queries= here\nconst S: &str = \"queries=\";\n",
+            ),
+        ];
+        let f = run(&files);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn missing_readme_row_and_corpus_fire() {
+        let files = vec![
+            proto_file(),
+            SourceFile::new(README, "| `HELP` | help |\n| `UPDATE g` | update |\n"),
+            SourceFile::new(ROBUSTNESS, "let verbs = [\"HELP\", \"UPDATE\"];\n"),
+            SourceFile::new(
+                "crates/service/src/stats.rs",
+                "const S: &str = \"queries=\";\n",
+            ),
+        ];
+        let f = run(&files);
+        let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(f.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().all(|m| m.contains("QUERY")), "{msgs:?}");
+    }
+
+    #[test]
+    fn missing_counter_evidence_fires() {
+        let files = vec![
+            proto_file(),
+            SourceFile::new(
+                README,
+                "| `HELP` | x |\n| `QUERY` | x |\n| `UPDATE` | x |\n",
+            ),
+            SourceFile::new(ROBUSTNESS, "[\"HELP\", \"QUERY\", \"UPDATE\"]\n"),
+        ];
+        let f = run(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("counter"), "{}", f[0].message);
+    }
+}

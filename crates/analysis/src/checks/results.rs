@@ -1,0 +1,126 @@
+//! IC-RESULT: no silently swallowed `Result`s on write paths.
+//!
+//! Scope: the serving crate and the dynamic-update crate — the places
+//! where a dropped error means a client never hears back or a graph
+//! mutation silently half-applies. Two patterns fire:
+//!
+//! - `let _ = expr;` with no `?` in the statement. (`let _ = expr?;`
+//!   is exempt: the error was propagated and only the Ok value is
+//!   discarded.)
+//! - a statement-level I/O call (`write_all` / `flush` / `write!` /
+//!   `writeln!` / `sync_all` / `sync_data`) ending in `;` with no `?`
+//!   and no binding — rustc's `unused_must_use` misses these when the
+//!   macro returns `()`-wrapped results through `io::Write`.
+
+use crate::checks::{write_path, IC_RESULT};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Result-returning I/O tokens for the statement-drop pattern.
+const IO_TOKENS: &[&str] = &[
+    ".write_all(",
+    ".flush(",
+    "write!(",
+    "writeln!(",
+    ".sync_all(",
+    ".sync_data(",
+];
+
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files.iter().filter(|f| write_path(f.rel())) {
+        for line in file.lines().filter(|l| !l.in_test) {
+            let code = line.code;
+            if code.contains("let _ =") && !code.contains('?') {
+                out.push(Finding {
+                    check: IC_RESULT,
+                    file: file.rel().to_string(),
+                    line: line.number,
+                    message:
+                        "value discarded with `let _ =` on a write path; handle or count the error"
+                            .to_string(),
+                });
+                continue;
+            }
+            if dropped_io_statement(code) {
+                out.push(Finding {
+                    check: IC_RESULT,
+                    file: file.rel().to_string(),
+                    line: line.number,
+                    message: "I/O Result dropped at statement level; propagate with `?` or count the error"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A whole-line I/O statement whose `Result` nothing consumes.
+fn dropped_io_statement(code: &str) -> bool {
+    let trimmed = code.trim();
+    if !trimmed.ends_with(';') || trimmed.contains('?') {
+        return false;
+    }
+    let Some(pos) = IO_TOKENS.iter().find_map(|t| trimmed.find(t)) else {
+        return false;
+    };
+    let head = &trimmed[..pos];
+    // A binding, comparison arm, return, or error-handling suffix means
+    // someone is looking at the value.
+    !(head.contains("let ")
+        || head.contains(" = ")
+        || head.contains("return")
+        || head.contains("match ")
+        || head.contains("=>")
+        || trimmed.contains(".unwrap")
+        || trimmed.contains(".expect(")
+        || trimmed.contains(".ok()")
+        || trimmed.contains(".is_err()")
+        || trimmed.contains(".is_ok()"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        run(&[SourceFile::new("crates/service/src/x.rs", src)])
+    }
+
+    #[test]
+    fn let_underscore_fires() {
+        let f = findings("fn f() {\n    let _ = handle_scrape(stream, &svc);\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn let_underscore_with_propagation_is_exempt() {
+        assert!(findings(
+            "fn f() -> io::Result<()> {\n    let _ = stream.read(&mut head)?;\n    Ok(())\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn dropped_write_statement_fires() {
+        let f = findings("fn f() {\n    writer.write_all(b\"OK\");\n}\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn handled_writes_are_exempt() {
+        let src = "fn f() -> io::Result<()> {\n    writer.write_all(b\"OK\")?;\n    writeln!(writer, \"x\")?;\n    if writer.flush().is_err() {\n        close();\n    }\n    Ok(())\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_exempt() {
+        let f = run(&[SourceFile::new(
+            "crates/graph/src/x.rs",
+            "fn f() { let _ = w.write_all(b\"x\"); }\n",
+        )]);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+// IC-ALGO fixture differential suite: covers the two wired variants
+// and (deliberately) not Hybrid.
+
+fn run_all() {
+    check(AlgorithmId::LocalSearch);
+    check(AlgorithmId::Progressive);
+}

@@ -1,0 +1,21 @@
+// IC-ALGO fixture enum: `Hybrid` is declared but missing from ALL,
+// resolve(), and the consistency-suite fixture — three findings.
+
+pub enum AlgorithmId {
+    /// the paper's batch algorithm
+    LocalSearch,
+    Progressive,
+    Hybrid,
+}
+
+impl AlgorithmId {
+    pub const ALL: [AlgorithmId; 2] = [AlgorithmId::LocalSearch, AlgorithmId::Progressive];
+
+    pub fn resolve(self) -> &'static str {
+        match self {
+            AlgorithmId::LocalSearch => &exec::LocalSearch,
+            AlgorithmId::Progressive => &exec::Progressive,
+            AlgorithmId::Hybrid => todo!(),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+// IC-LOCK near-misses: the guard is always dead before anything blocks.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn copy_then_send(m: &Mutex<Vec<u8>>, out: &mut std::net::TcpStream) {
+    let snapshot = {
+        let guard = m.lock().unwrap();
+        guard.clone()
+    }; // guard died with its block
+    out.write_all(&snapshot).unwrap();
+}
+
+pub fn explicit_drop_then_send(m: &Mutex<Vec<u8>>, out: &mut std::net::TcpStream) {
+    let guard = m.lock().unwrap();
+    let snapshot = guard.clone();
+    drop(guard);
+    out.write_all(&snapshot).unwrap();
+}

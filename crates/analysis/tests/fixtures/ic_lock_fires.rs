@@ -1,0 +1,14 @@
+// IC-LOCK fixture: a guard bound in scope while the same scope blocks.
+
+use std::io::Write;
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn guard_held_across_send(m: &Mutex<Vec<u8>>, out: &mut std::net::TcpStream) {
+    let guard = m.lock().unwrap();
+    out.write_all(&guard).unwrap(); // FIRE: write_all while `guard` is live
+}
+
+pub fn statement_temporary_recv(rx: &Mutex<Receiver<u32>>) -> Option<u32> {
+    rx.lock().unwrap().recv().ok() // FIRE: recv on a statement-temporary guard
+}

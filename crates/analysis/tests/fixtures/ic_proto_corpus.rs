@@ -1,0 +1,9 @@
+// IC-PROTO fixture corpus: exercises HELP and QUERY only — the third
+// dispatched verb is deliberately absent from this whole file.
+
+const HOSTILE: &[&str] = &[
+    "HELP extra junk",
+    "QUERY",
+    "QUERY g -1 0",
+    "QUERYX is not a QUERY token match for a different verb",
+];

@@ -1,0 +1,16 @@
+// IC-PROTO fixture dispatcher: three verbs, one of which (PING) the
+// paired README/corpus fixtures deliberately do not cover.
+
+pub fn dispatch(verb: &str) -> String {
+    match verb {
+        "HELP" => help(),
+        "QUERY" => {
+            match sub() {
+                "FAST" => fast(), // nested arm: not a protocol verb
+                _ => slow(),
+            }
+        }
+        "PING" => pong(),
+        other => format!("ERR unknown verb {other}"),
+    }
+}

@@ -1,0 +1,14 @@
+// IC-RESULT near-misses: every Result is propagated, bound, or handled.
+
+use std::io::{Read, Write};
+
+pub fn handled(mut out: std::net::TcpStream, data: &[u8]) -> std::io::Result<usize> {
+    out.write_all(data)?; // propagated
+    out.flush()?;
+    let _ = out.read(&mut [0u8; 8])?; // discards the count, not the error
+    let sent = out.write(data); // bound: the caller inspects it
+    if out.write_all(b"\n").is_err() {
+        return Ok(0); // handled inline
+    }
+    sent
+}

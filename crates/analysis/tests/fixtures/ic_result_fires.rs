@@ -1,0 +1,8 @@
+// IC-RESULT fixture: swallowed Results on a write path.
+
+use std::io::Write;
+
+pub fn swallowed(mut out: std::net::TcpStream, data: &[u8]) {
+    let _ = out.write_all(data); // FIRE: `let _ =` discards the write error
+    out.flush(); // FIRE: statement-dropped I/O Result
+}

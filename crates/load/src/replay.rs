@@ -233,7 +233,12 @@ fn run_client(
 /// report; errs only on setup failure (unreachable server, failed
 /// prelude) — per-event failures are counted in the report.
 pub fn replay(trace: &Trace, opts: &ReplayOptions) -> std::io::Result<LoadReport> {
-    assert!(opts.connections > 0, "need at least one connection");
+    if opts.connections == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "need at least one connection",
+        ));
+    }
     let scale = if opts.target_qps > 0.0 && trace.qps > 0.0 {
         trace.qps / opts.target_qps
     } else {

@@ -124,14 +124,17 @@ fn main() -> ExitCode {
             }
         };
         let svc_for_metrics = std::sync::Arc::clone(&svc);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("ic-metrics-acceptor".to_string())
             .spawn(move || {
                 if let Err(e) = serve_metrics(scrape_listener, svc_for_metrics) {
                     eprintln!("metrics endpoint failed: {e}");
                 }
-            })
-            .expect("spawn metrics acceptor");
+            });
+        if let Err(e) = spawned {
+            eprintln!("cannot start metrics acceptor: {e}");
+            return ExitCode::FAILURE;
+        }
         println!("metrics exposition on http://{maddr}/metrics");
     }
 

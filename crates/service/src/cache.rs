@@ -31,6 +31,8 @@ use std::sync::{Arc, Mutex};
 
 use ic_core::{AnswerFamily, Community};
 
+use crate::sync::lock_or_poison;
+
 /// Cache key: the query triple that determines the answer, the *answer
 /// family* the executed algorithm belongs to, plus the registration
 /// generation of the graph instance it was computed against.
@@ -141,7 +143,7 @@ impl ResultCache {
 
     /// Looks up a key exactly, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Community>>> {
-        let mut shard = self.shard(key).lock().expect("cache lock poisoned");
+        let mut shard = lock_or_poison(self.shard(key));
         shard.tick += 1;
         let tick = shard.tick;
         shard.map.get_mut(key).map(|e| {
@@ -156,7 +158,7 @@ impl ResultCache {
     /// recency is refreshed either way, so a lane kept warm by small-k
     /// traffic retains its large-k donor.
     pub fn get_serving(&self, key: &CacheKey) -> Option<CacheHit> {
-        let mut shard = self.shard(key).lock().expect("cache lock poisoned");
+        let mut shard = lock_or_poison(self.shard(key));
         shard.tick += 1;
         let tick = shard.tick;
         if let Some(e) = shard.map.get_mut(key) {
@@ -186,7 +188,7 @@ impl ResultCache {
     /// Inserts (or refreshes) an entry, evicting the least-recently-used
     /// entry of the shard if it is full.
     pub fn insert(&self, key: CacheKey, value: Arc<Vec<Community>>) {
-        let mut shard = self.shard(&key).lock().expect("cache lock poisoned");
+        let mut shard = lock_or_poison(self.shard(&key));
         shard.tick += 1;
         let tick = shard.tick;
         if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
@@ -212,7 +214,7 @@ impl ResultCache {
     /// under an existing name, so stale answers can never be served.
     pub fn invalidate_graph(&self, graph: &str) {
         for shard in self.shards.iter() {
-            let mut shard = shard.lock().expect("cache lock poisoned");
+            let mut shard = lock_or_poison(shard);
             shard.map.retain(|k, _| k.graph != graph);
         }
     }
@@ -220,7 +222,7 @@ impl ResultCache {
     /// Removes every entry.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("cache lock poisoned").map.clear();
+            lock_or_poison(shard).map.clear();
         }
     }
 
@@ -229,7 +231,7 @@ impl ResultCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache lock poisoned").map.len())
+            .map(|s| lock_or_poison(s).map.len())
             .sum()
     }
 

@@ -28,6 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use ic_core::Community;
 
 use crate::cache::CacheKey;
+use crate::sync::{lock_or_poison, wait_or_poison};
 
 /// What one flight resolved to: the shared answer, or nothing (the
 /// leader unwound before publishing — followers must retry).
@@ -74,7 +75,7 @@ impl InflightTable {
     /// active. Followers block until the leader publishes or dies.
     pub fn join(&self, key: &CacheKey) -> Join<'_> {
         let slot = {
-            let mut flights = self.flights.lock().expect("inflight table poisoned");
+            let mut flights = lock_or_poison(&self.flights);
             match flights.get(key) {
                 Some(slot) => Arc::clone(slot),
                 None => {
@@ -92,18 +93,18 @@ impl InflightTable {
                 }
             }
         };
-        let mut state = slot.state.lock().expect("flight state poisoned");
+        let mut state = lock_or_poison(&slot.state);
         loop {
             if let FlightState::Done(outcome) = &*state {
                 return Join::Follower(outcome.clone());
             }
-            state = slot.done.wait(state).expect("flight state poisoned");
+            state = wait_or_poison(&slot.done, state);
         }
     }
 
     /// Number of keys currently being computed (diagnostics only).
     pub fn len(&self) -> usize {
-        self.flights.lock().expect("inflight table poisoned").len()
+        lock_or_poison(&self.flights).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -115,11 +116,8 @@ impl InflightTable {
         // arriving after the wake must start a fresh flight (or, far more
         // likely, hit the cache the leader just filled), never block on a
         // completed one.
-        self.flights
-            .lock()
-            .expect("inflight table poisoned")
-            .remove(key);
-        let mut state = slot.state.lock().expect("flight state poisoned");
+        lock_or_poison(&self.flights).remove(key);
+        let mut state = lock_or_poison(&slot.state);
         *state = FlightState::Done(outcome);
         slot.done.notify_all();
     }

@@ -88,6 +88,7 @@ pub mod server;
 pub mod service;
 pub mod session;
 pub mod stats;
+pub(crate) mod sync;
 
 pub use cache::{CacheHit, CacheKey, ResultCache};
 pub use error::ServiceError;

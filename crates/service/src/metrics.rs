@@ -21,6 +21,7 @@ use ic_graph::StorageKind;
 use ic_obs::{Histogram, HistogramSnapshot, QueryClass, QueryTrace};
 
 use crate::planner::Algorithm;
+use crate::sync::lock_or_poison;
 
 /// Number of [`StorageKind`] variants the execute histograms cover.
 const STORAGE_KINDS: usize = 2;
@@ -111,7 +112,7 @@ impl ServiceMetrics {
             class,
             trace: *trace,
         };
-        let mut ring = self.slowlog.lock().expect("slowlog poisoned");
+        let mut ring = lock_or_poison(&self.slowlog);
         if ring.len() == self.slowlog_capacity {
             ring.pop_front();
         }
@@ -136,7 +137,7 @@ impl ServiceMetrics {
 
     /// The `n` most recent slow queries, newest first.
     pub fn slowlog(&self, n: usize) -> Vec<SlowQuery> {
-        let ring = self.slowlog.lock().expect("slowlog poisoned");
+        let ring = lock_or_poison(&self.slowlog);
         ring.iter().rev().take(n).cloned().collect()
     }
 

@@ -275,7 +275,12 @@ impl Persistence {
                     .map_err(|e| persist_err(format!("open {}: {e}", path.display())))?,
             );
         }
-        Ok(entry.wal.as_mut().expect("wal just ensured"))
+        // just ensured above; failing the write beats panicking if the
+        // invariant ever breaks
+        entry
+            .wal
+            .as_mut()
+            .ok_or_else(|| persist_err(format!("wal for graph {name} unavailable")))
     }
 
     // ----- recovery ----------------------------------------------------
@@ -429,7 +434,14 @@ impl Persistence {
 
     fn remove_entry_files(&self, id: u64) {
         for ext in ["icg", "ptr", "wal"] {
-            let _ = fs::remove_file(self.dir.join(format!("{id}.{ext}")));
+            let path = self.dir.join(format!("{id}.{ext}"));
+            if let Err(e) = fs::remove_file(&path) {
+                if e.kind() != io::ErrorKind::NotFound {
+                    // best-effort cleanup: an undeletable orphan wastes
+                    // disk but corrupts nothing; keep serving
+                    eprintln!("persist: cannot remove {}: {e}", path.display());
+                }
+            }
         }
     }
 
@@ -455,7 +467,11 @@ impl Persistence {
                 Err(_) => ext == "tmp",
             };
             if orphaned {
-                let _ = fs::remove_file(entry.path());
+                if let Err(e) = fs::remove_file(entry.path()) {
+                    if e.kind() != io::ErrorKind::NotFound {
+                        eprintln!("persist: cannot gc {}: {e}", entry.path().display());
+                    }
+                }
             }
         }
     }

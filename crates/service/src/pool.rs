@@ -21,6 +21,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use crate::sync::lock_or_poison;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Shared gauges updated by `submit` and the worker loop: the number of
@@ -56,6 +58,11 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("ic-worker-{i}"))
                     .spawn(move || worker_loop(&rx, &gauges))
+                    // Pool construction happens at service startup, before
+                    // any connection exists to receive a typed error; a
+                    // spawn failure is resource exhaustion that must
+                    // abort boot.
+                    // lint:allow(IC-PANIC): startup-only, pre-connection
                     .expect("spawning worker thread")
             })
             .collect();
@@ -109,8 +116,12 @@ impl WorkerPool {
 
 fn worker_loop(rx: &Mutex<Receiver<Job>>, gauges: &PoolGauges) {
     loop {
-        // Hold the lock only for the dequeue, never during the job.
-        let job = match rx.lock().expect("worker queue poisoned").recv() {
+        // Hold the lock only for the dequeue, never during the job. The
+        // mpsc receiver is single-consumer by construction; parking in
+        // recv() *is* the queue hand-off, and the guard is a statement
+        // temporary released the instant a job lands.
+        // lint:allow(IC-LOCK): recv under the queue mutex is the hand-off
+        let job = match lock_or_poison(rx).recv() {
             Ok(job) => job,
             Err(_) => return, // channel closed: pool dropped
         };
@@ -133,6 +144,10 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         drop(self.tx.take()); // close the channel: workers drain then exit
         for w in self.workers.drain(..) {
+            // A worker that panicked outside catch_unwind has nothing
+            // left to report; Drop cannot propagate, and the panic was
+            // already counted.
+            // lint:allow(IC-RESULT): Drop cannot propagate a join error
             let _ = w.join();
         }
     }

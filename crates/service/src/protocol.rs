@@ -111,7 +111,11 @@ pub fn handle_line(svc: &Arc<Service>, line: &str) -> String {
 
 fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
     let mut parts = line.split_ascii_whitespace();
-    let verb_token = parts.next().expect("non-empty line");
+    // handle_line trims before dispatching, but parsing must not lean on
+    // its caller: an empty line is simply an empty reply.
+    let Some(verb_token) = parts.next() else {
+        return Ok(String::new());
+    };
     let verb = verb_token.to_ascii_uppercase();
     let args: Vec<&str> = parts.collect();
     match verb.as_str() {
@@ -127,14 +131,12 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             ))
         }
         "LOADX" => {
-            if args.len() < 2 || args.len() > 3 {
-                return Err(usage(&verb, "LOADX <name> <path.icsr> [budget_bytes]"));
-            }
-            let budget = match args.get(2) {
-                Some(s) => Some(parse_num::<u64>("budget_bytes", s)?),
-                None => None,
+            let (name, path, budget) = match *args.as_slice() {
+                [name, path] => (name, path, None),
+                [name, path, b] => (name, path, Some(parse_num::<u64>("budget_bytes", b)?)),
+                _ => return Err(usage(&verb, "LOADX <name> <path.icsr> [budget_bytes]")),
             };
-            let entry = svc.register_file(args[0], args[1], budget)?;
+            let entry = svc.register_file(name, path, budget)?;
             Ok(format!(
                 "OK graph={} n={} m={} gamma_max={} storage={}",
                 entry.name,
@@ -210,7 +212,7 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
                 .first()
                 .is_some_and(|a| a.eq_ignore_ascii_case("ANALYZE"))
             {
-                return handle_explain_analyze(svc, &args[1..]);
+                return handle_explain_analyze(svc, args.get(1..).unwrap_or_default());
             }
             let query = parse_query(&verb, &args)?;
             let e = svc.explain(&query)?;
@@ -229,11 +231,11 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             ))
         }
         "UPDATE" => {
-            let op = parse_update(&verb, &args)?;
-            let st = svc.update(args[0], op)?;
+            let (graph, op) = parse_update(&verb, &args)?;
+            let st = svc.update(graph, op)?;
             Ok(format!(
                 "OK graph={} pending={} stale_core={:.4} n={} m={} gamma_max={}",
-                args[0], st.pending, st.stale_core_fraction, st.n, st.m, st.gamma_max
+                graph, st.pending, st.stale_core_fraction, st.n, st.m, st.gamma_max
             ))
         }
         "COMMIT" => {
@@ -257,11 +259,13 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             Ok(format!("OK session={id}"))
         }
         "NEXT" => {
-            if args.is_empty() || args.len() > 2 {
-                return Err(usage(&verb, "NEXT <session> [n]"));
-            }
-            let id = parse_num::<u64>("session", args[0])?;
-            let n = match args.get(1) {
+            let (id_token, n_token) = match *args.as_slice() {
+                [id] => (id, None),
+                [id, n] => (id, Some(n)),
+                _ => return Err(usage(&verb, "NEXT <session> [n]")),
+            };
+            let id = parse_num::<u64>("session", id_token)?;
+            let n = match n_token {
                 Some(s) => parse_num::<usize>("n", s)?,
                 None => 1,
             };
@@ -307,7 +311,7 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
             out.push_str(&format!(
                 " mean_latency_micros={} sessions_opened={} sessions_closed={} \
                  streamed={} graphs={} cached_entries={} accept_errors={} \
-                 live_connections={}",
+                 write_errors={} live_connections={}",
                 s.mean_latency().as_micros(),
                 s.sessions_opened,
                 s.sessions_closed,
@@ -315,6 +319,7 @@ fn dispatch(svc: &Arc<Service>, line: &str) -> Result<String, ServiceError> {
                 svc.graphs().len(),
                 svc.cache_len(),
                 s.accept_errors,
+                s.write_errors,
                 svc.metrics().live_connections(),
             ));
             // one `S` row per registered store with its cumulative I/O
@@ -467,75 +472,83 @@ fn stage_fields(trace: &ic_obs::QueryTrace) -> String {
 }
 
 fn parse_query(verb: &str, args: &[&str]) -> Result<Query, ServiceError> {
-    if args.len() < 3 || args.len() > 4 {
-        return Err(usage(verb, "<graph> <gamma> <k> [mode]"));
-    }
-    let mode = match args.get(3) {
+    let (graph, gamma, k, mode_token) = match *args {
+        [graph, gamma, k] => (graph, gamma, k, None),
+        [graph, gamma, k, mode] => (graph, gamma, k, Some(mode)),
+        _ => return Err(usage(verb, "<graph> <gamma> <k> [mode]")),
+    };
+    let mode = match mode_token {
         Some(s) => parse_mode(s)?,
         None => Mode::Auto,
     };
     Ok(Query {
-        graph: args[0].to_string(),
-        gamma: parse_num("gamma", args[1])?,
-        k: parse_num("k", args[2])?,
+        graph: graph.to_string(),
+        gamma: parse_num("gamma", gamma)?,
+        k: parse_num("k", k)?,
         mode,
     })
 }
 
 /// Parses the argument tail of an `UPDATE` line:
 /// `<graph> ADD|DEL <u> <v> [w]` or `<graph> ADDV|DELV|REWEIGHT <v> [w]`.
-fn parse_update(verb: &str, args: &[&str]) -> Result<UpdateOp, ServiceError> {
+/// Returns the graph name alongside the op so the caller never indexes
+/// back into the raw argument list.
+fn parse_update<'a>(verb: &str, args: &[&'a str]) -> Result<(&'a str, UpdateOp), ServiceError> {
     const USAGE: &str = "<graph> ADD|DEL <u> <v> [w], or <graph> ADDV|DELV|REWEIGHT <v> [w]";
-    if args.len() < 2 {
+    let [graph, action_token, rest @ ..] = args else {
         return Err(usage(verb, USAGE));
-    }
-    let action = args[1].to_ascii_uppercase();
-    let rest = &args[2..];
-    match action.as_str() {
+    };
+    let action = action_token.to_ascii_uppercase();
+    let op = match action.as_str() {
         "ADD" => {
-            if rest.len() < 2 || rest.len() > 3 {
-                return Err(usage(verb, "<graph> ADD <u> <v> [w]"));
-            }
-            Ok(UpdateOp::InsertEdge {
-                u: parse_num("u", rest[0])?,
-                v: parse_num("v", rest[1])?,
-                default_weight: match rest.get(2) {
+            let (u, v, w) = match *rest {
+                [u, v] => (u, v, None),
+                [u, v, w] => (u, v, Some(w)),
+                _ => return Err(usage(verb, "<graph> ADD <u> <v> [w]")),
+            };
+            UpdateOp::InsertEdge {
+                u: parse_num("u", u)?,
+                v: parse_num("v", v)?,
+                default_weight: match w {
                     Some(s) => Some(parse_num::<f64>("w", s)?),
                     None => None,
                 },
-            })
+            }
         }
         "DEL" => {
             let [u, v] = expect_args::<2>(verb, rest)?;
-            Ok(UpdateOp::DeleteEdge {
+            UpdateOp::DeleteEdge {
                 u: parse_num("u", u)?,
                 v: parse_num("v", v)?,
-            })
+            }
         }
         "ADDV" => {
             let [v, w] = expect_args::<2>(verb, rest)?;
-            Ok(UpdateOp::AddVertex {
+            UpdateOp::AddVertex {
                 v: parse_num("v", v)?,
                 weight: parse_num("w", w)?,
-            })
+            }
         }
         "DELV" => {
             let [v] = expect_args::<1>(verb, rest)?;
-            Ok(UpdateOp::RemoveVertex {
+            UpdateOp::RemoveVertex {
                 v: parse_num("v", v)?,
-            })
+            }
         }
         "REWEIGHT" => {
             let [v, w] = expect_args::<2>(verb, rest)?;
-            Ok(UpdateOp::Reweight {
+            UpdateOp::Reweight {
                 v: parse_num("v", v)?,
                 weight: parse_num("w", w)?,
-            })
+            }
         }
-        other => Err(ServiceError::InvalidQuery(format!(
-            "unknown update action {other:?} (expected ADD, DEL, ADDV, DELV, REWEIGHT)"
-        ))),
-    }
+        other => {
+            return Err(ServiceError::InvalidQuery(format!(
+                "unknown update action {other:?} (expected ADD, DEL, ADDV, DELV, REWEIGHT)"
+            )))
+        }
+    };
+    Ok((graph, op))
 }
 
 fn format_query_response(resp: &QueryResponse) -> String {

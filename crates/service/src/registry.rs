@@ -23,6 +23,7 @@ use ic_graph::stats::graph_stats;
 use ic_graph::{GraphStats, GraphStore, StorageKind, WeightedGraph};
 
 use crate::error::ServiceError;
+use crate::sync::{read_or_poison, write_or_poison};
 
 /// A registered graph: the shared store handle plus its planning
 /// statistics.
@@ -151,18 +152,13 @@ impl GraphRegistry {
             store,
             generation,
         };
-        self.graphs
-            .write()
-            .expect("registry lock poisoned")
-            .insert(name.to_string(), entry.clone());
+        write_or_poison(&self.graphs).insert(name.to_string(), entry.clone());
         entry
     }
 
     /// Looks up a graph by name.
     pub fn get(&self, name: &str) -> Result<RegisteredGraph, ServiceError> {
-        self.graphs
-            .read()
-            .expect("registry lock poisoned")
+        read_or_poison(&self.graphs)
             .get(name)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))
@@ -170,20 +166,14 @@ impl GraphRegistry {
 
     /// All registered graphs, sorted by name.
     pub fn list(&self) -> Vec<RegisteredGraph> {
-        let mut v: Vec<RegisteredGraph> = self
-            .graphs
-            .read()
-            .expect("registry lock poisoned")
-            .values()
-            .cloned()
-            .collect();
+        let mut v: Vec<RegisteredGraph> = read_or_poison(&self.graphs).values().cloned().collect();
         v.sort_by(|a, b| a.name.cmp(&b.name));
         v
     }
 
     /// Number of registered graphs.
     pub fn len(&self) -> usize {
-        self.graphs.read().expect("registry lock poisoned").len()
+        read_or_poison(&self.graphs).len()
     }
 
     pub fn is_empty(&self) -> bool {

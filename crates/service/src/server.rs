@@ -100,7 +100,11 @@ fn run_connection(stream: TcpStream, svc: Arc<Service>, options: ServerOptions) 
 }
 
 fn run_scrape(stream: TcpStream, svc: Arc<Service>, _options: ServerOptions) {
-    let _ = handle_scrape(stream, &svc);
+    // a failed response write was already counted inside handle_scrape;
+    // either way the socket closes on drop and the loop keeps accepting
+    if let Err(e) = handle_scrape(stream, &svc) {
+        eprintln!("metrics scrape: {e}");
+    }
 }
 
 /// Errors that mean the *listener* is unusable (closed descriptor,
@@ -231,31 +235,51 @@ pub fn handle_connection_with(
     stream.set_read_timeout(options.idle_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    writeln!(writer, "OK ic-service ready; {HELP}")?;
-    writer.flush()?;
+    if !send_line(&mut writer, svc, &format!("OK ic-service ready; {HELP}")) {
+        return Ok(());
+    }
     let mut buf: Vec<u8> = Vec::new();
     loop {
         buf.clear();
         match read_request_line(&mut reader, &mut buf)? {
             LineRead::Closed => break,
             LineRead::Oversized => {
-                writeln!(writer, "ERR line exceeds {MAX_LINE_BYTES} bytes")?;
-                writer.flush()?;
+                if !send_line(
+                    &mut writer,
+                    svc,
+                    &format!("ERR line exceeds {MAX_LINE_BYTES} bytes"),
+                ) {
+                    return Ok(());
+                }
                 continue;
             }
             LineRead::Line => {}
         }
         let line = String::from_utf8_lossy(&buf);
         let reply = handle_line(svc, &line);
-        if !reply.is_empty() {
-            writeln!(writer, "{reply}")?;
-            writer.flush()?;
+        if !reply.is_empty() && !send_line(&mut writer, svc, &reply) {
+            return Ok(());
         }
         if line.trim().eq_ignore_ascii_case("QUIT") {
             break;
         }
     }
     Ok(())
+}
+
+/// Writes one reply line and flushes it. A failed write means the
+/// client is gone mid-response: it is counted (`write_errors` in
+/// `STATS`, `ic_write_errors_total` in `METRICS`) and reported as
+/// `false` so the caller closes the connection cleanly instead of
+/// surfacing a spurious connection error.
+fn send_line(writer: &mut BufWriter<TcpStream>, svc: &Arc<Service>, text: &str) -> bool {
+    match writeln!(writer, "{text}").and_then(|()| writer.flush()) {
+        Ok(()) => true,
+        Err(_) => {
+            svc.record_write_error();
+            false
+        }
+    }
 }
 
 enum LineRead {
@@ -351,12 +375,19 @@ pub fn handle_scrape(mut stream: TcpStream, svc: &Arc<Service>) -> io::Result<()
     let _ = stream.read(&mut head)?;
     let body = svc.metrics_text();
     let mut writer = BufWriter::new(stream);
-    write!(
+    if let Err(e) = write!(
         writer,
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    )?;
-    writer.flush()
+    )
+    .and_then(|()| writer.flush())
+    {
+        // the scraper hung up mid-body: its loss, but count the
+        // undelivered write before propagating
+        svc.record_write_error();
+        return Err(e);
+    }
+    Ok(())
 }
 
 /// Discards input up to and including the next newline, in bounded
@@ -781,5 +812,46 @@ mod tests {
             "half-open mid-line client must be closed, got {line:?}"
         );
         assert_eq!(svc.stats().queries, before, "partial line never executed");
+    }
+
+    /// A client that asks for large replies and hangs up without reading
+    /// them makes the server's socket writes fail. The failure must be
+    /// *counted* (`write_errors`) and the connection closed cleanly —
+    /// `Ok(())`, not an error bubbling out of the handler.
+    #[test]
+    fn failed_client_write_is_counted_and_closed_cleanly() {
+        let svc = test_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc_for_server = Arc::clone(&svc);
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            handle_connection_with(stream, &svc_for_server, ServerOptions::default())
+        });
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        // queue many multi-kilobyte METRICS replies and never read one:
+        // the server fills the client's receive window and blocks
+        for _ in 0..200 {
+            client.write_all(b"METRICS\n").unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        // closing with unread data pending resets the connection, so the
+        // server's in-flight write fails rather than seeing EOF
+        drop(client);
+
+        let served = server.join().unwrap();
+        assert!(
+            served.is_ok(),
+            "failed write must close cleanly: {served:?}"
+        );
+        assert!(
+            svc.stats().write_errors >= 1,
+            "the lost write was not counted"
+        );
+        assert!(
+            svc.metrics_text().contains("ic_write_errors_total"),
+            "write_errors missing from the exposition"
+        );
     }
 }

@@ -24,6 +24,7 @@
 //! `(graph, generation, γ, family)` and answers each group with one
 //! search at the group's largest k.
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
@@ -47,6 +48,7 @@ use crate::pool::WorkerPool;
 use crate::registry::{GraphRegistry, RegisteredGraph};
 use crate::session::Session;
 use crate::stats::{ServiceStats, StatsRecorder};
+use crate::sync::{lock_or_poison, read_or_poison, write_or_poison};
 
 /// Sizing knobs for a [`Service`].
 #[derive(Debug, Clone, Copy)]
@@ -256,19 +258,18 @@ impl Service {
     /// the gap between them, or it would rebuild an overlay from the
     /// superseded snapshot and a later commit would resurrect it.
     pub fn register(&self, name: &str, graph: WeightedGraph) -> RegisteredGraph {
-        let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
+        let mut dynamics = write_or_poison(&self.dynamics);
         dynamics.remove(name);
         self.cache.invalidate_graph(name);
         let entry = self.registry.register(name, graph);
         if let Some(persist) = &self.persist {
-            let snapshot = entry
-                .store
-                .as_memory()
-                .expect("register() always produces a memory store");
-            persist
-                .lock()
-                .expect("persistence lock poisoned")
-                .record_memory(name, snapshot, entry.generation);
+            // register() above built a GraphStore::Memory, so the accessor
+            // cannot miss; if that invariant ever changes, skipping the
+            // snapshot (debug-asserted) beats crashing the serving path.
+            debug_assert!(entry.store.as_memory().is_some());
+            if let Some(snapshot) = entry.store.as_memory() {
+                lock_or_poison(persist).record_memory(name, snapshot, entry.generation);
+            }
         }
         entry
     }
@@ -311,15 +312,12 @@ impl Service {
         .map_err(|e| ServiceError::GraphLoad(format!("{path}: {e}")))?;
         let stats = csr.stats();
         let store = GraphStore::File(Arc::new(csr));
-        let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
+        let mut dynamics = write_or_poison(&self.dynamics);
         dynamics.remove(name);
         self.cache.invalidate_graph(name);
         let entry = self.registry.register_store(name, store, stats);
         if let Some(persist) = &self.persist {
-            persist
-                .lock()
-                .expect("persistence lock poisoned")
-                .record_file(name, path, budget, entry.generation);
+            lock_or_poison(persist).record_file(name, path, budget, entry.generation);
         }
         Ok(entry)
     }
@@ -358,7 +356,7 @@ impl Service {
         // queries (which read this lock on their hot path) keep flowing
         // while an overlay for a large graph is prepared.
         let prebuilt = {
-            let dynamics = self.dynamics.read().expect("dynamics table poisoned");
+            let dynamics = read_or_poison(&self.dynamics);
             if dynamics.contains_key(name) {
                 None
             } else {
@@ -370,14 +368,15 @@ impl Service {
                 })
             }
         };
-        let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
+        let mut dynamics = write_or_poison(&self.dynamics);
         // The registry mapping for `name` cannot change while this lock
         // is held — register() and commit_updates() both take it — so one
         // generation check decides whether the prebuilt overlay (or any
         // overlay another thread inserted meanwhile) is still current.
         let entry = self.registry.get(name)?;
-        if !dynamics.contains_key(name) {
-            let overlay = match prebuilt {
+        let overlay = match dynamics.entry(name.to_string()) {
+            MapEntry::Occupied(o) => o.into_mut(),
+            MapEntry::Vacant(slot) => slot.insert(match prebuilt {
                 Some(ov) if ov.base_generation == entry.generation => ov,
                 // raced with a wholesale replacement between the read and
                 // write locks: rebuild from the current snapshot
@@ -385,10 +384,8 @@ impl Service {
                     base_generation: entry.generation,
                     graph: DynamicGraph::from_arc(Arc::clone(entry.memory()?)),
                 },
-            };
-            dynamics.insert(name.to_string(), overlay);
-        }
-        let overlay = dynamics.get_mut(name).expect("overlay just ensured");
+            }),
+        };
         debug_assert_eq!(
             overlay.base_generation, entry.generation,
             "an overlay can only drift from its registration if register() \
@@ -402,10 +399,7 @@ impl Service {
         // append fails the client must hear that this update would not
         // survive a restart.
         if let Some(persist) = &self.persist {
-            persist
-                .lock()
-                .expect("persistence lock poisoned")
-                .append_op(name, &op)?;
+            lock_or_poison(persist).append_op(name, &op)?;
         }
         Ok(UpdateStatus {
             pending: dg.pending_updates(),
@@ -427,7 +421,7 @@ impl Service {
         &self,
         name: &str,
     ) -> Result<(RegisteredGraph, CommitReceipt), ServiceError> {
-        let mut dynamics = self.dynamics.write().expect("dynamics table poisoned");
+        let mut dynamics = write_or_poison(&self.dynamics);
         let Some(overlay) = dynamics.get_mut(name) else {
             // no overlay: nothing to fold in (file-backed stores never
             // have overlays — update() rejects them — so the memory
@@ -457,10 +451,7 @@ impl Service {
         // recovery replays exactly the ops above the last `commit` line,
         // re-deriving this same snapshot under this same generation.
         if let Some(persist) = &self.persist {
-            persist
-                .lock()
-                .expect("persistence lock poisoned")
-                .append_commit(name, entry.generation)?;
+            lock_or_poison(persist).append_commit(name, entry.generation)?;
         }
         Ok((entry, receipt))
     }
@@ -468,18 +459,14 @@ impl Service {
     /// The stale-core fraction of `name`'s registered snapshot under its
     /// pending updates; 0.0 for graphs without a dynamic overlay.
     pub fn stale_core_fraction(&self, name: &str) -> f64 {
-        self.dynamics
-            .read()
-            .expect("dynamics table poisoned")
+        read_or_poison(&self.dynamics)
             .get(name)
             .map_or(0.0, |ov| ov.graph.stale_core_fraction())
     }
 
     /// Pending (uncommitted) updates for `name`; 0 without an overlay.
     pub fn pending_updates(&self, name: &str) -> u64 {
-        self.dynamics
-            .read()
-            .expect("dynamics table poisoned")
+        read_or_poison(&self.dynamics)
             .get(name)
             .map_or(0, |ov| ov.graph.pending_updates())
     }
@@ -663,12 +650,14 @@ impl Service {
         let mut trace = QueryTrace::start();
         let accepted = self.pool.submit(move || {
             trace.lap(Stage::Queue);
+            // lint:allow(IC-RESULT): a hung-up caller has no use for the answer
             let _ = tx.send(svc.execute_traced(&query, &mut trace));
         });
         if !accepted {
             // The pool only refuses during teardown; surface that as an
             // immediately-failed receiver rather than a hang.
             let (tx2, rx2) = channel();
+            // lint:allow(IC-RESULT): receiver is returned below, send cannot fail
             let _ = tx2.send(Err(ServiceError::WorkerGone));
             return rx2;
         }
@@ -697,6 +686,7 @@ impl Service {
         let accepted = self.pool.submit(move || {
             trace.lap(Stage::Queue);
             let result = svc.execute_traced(&query, &mut trace);
+            // lint:allow(IC-RESULT): a hung-up caller has no use for the answer
             let _ = tx.send(result.map(|resp| (resp, trace)));
         });
         if !accepted {
@@ -785,7 +775,11 @@ impl Service {
         let (tx, rx) = channel::<(Vec<usize>, Vec<Result<QueryResponse, ServiceError>>)>();
         let mut dispatched = 0usize;
         for key in order {
-            let group = groups.remove(&key).expect("group just built");
+            // every key in `order` was inserted exactly once above
+            debug_assert!(groups.contains_key(&key));
+            let Some(group) = groups.remove(&key) else {
+                continue;
+            };
             let svc = Arc::clone(self);
             let queries_of_group: Vec<Query> =
                 group.members.iter().map(|&i| queries[i].clone()).collect();
@@ -795,6 +789,7 @@ impl Service {
             let mode = group.mode.unwrap_or(Mode::Auto);
             let accepted = self.pool.submit(move || {
                 let out = svc.execute_group_inline(&queries_of_group, max_k, mode);
+                // lint:allow(IC-RESULT): batch caller gone; answers are moot
                 let _ = tx.send((members, out));
             });
             if accepted {
@@ -837,9 +832,12 @@ impl Service {
         max_k: usize,
         mode: Mode,
     ) -> Vec<Result<QueryResponse, ServiceError>> {
+        let Some(first) = member_queries.first() else {
+            return Vec::new();
+        };
         let lead = Query {
-            graph: member_queries[0].graph.clone(),
-            gamma: member_queries[0].gamma,
+            graph: first.graph.clone(),
+            gamma: first.gamma,
             k: max_k,
             mode,
         };
@@ -901,10 +899,7 @@ impl Service {
         // file-backed stores are rejected with the typed storage error
         let session = Session::open(graph, Arc::clone(entry.memory()?), gamma)?;
         let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
-        self.sessions
-            .lock()
-            .expect("session table poisoned")
-            .insert(id, session);
+        lock_or_poison(&self.sessions).insert(id, session);
         self.stats.record_session_opened();
         Ok(id)
     }
@@ -929,7 +924,7 @@ impl Service {
         // through a detached client so other sessions stay reachable
         // while this one's iterator works.
         let client = {
-            let sessions = self.sessions.lock().expect("session table poisoned");
+            let sessions = lock_or_poison(&self.sessions);
             let session = sessions.get(&id).ok_or(ServiceError::UnknownSession(id))?;
             session.client()?
         };
@@ -940,10 +935,7 @@ impl Service {
 
     /// Closes a session, joining its worker thread.
     pub fn close_session(&self, id: u64) -> Result<(), ServiceError> {
-        let session = self
-            .sessions
-            .lock()
-            .expect("session table poisoned")
+        let session = lock_or_poison(&self.sessions)
             .remove(&id)
             .ok_or(ServiceError::UnknownSession(id))?;
         drop(session);
@@ -953,9 +945,7 @@ impl Service {
 
     /// The graph name a session streams from, if the session is open.
     pub fn session_graph_name(&self, id: u64) -> Option<String> {
-        self.sessions
-            .lock()
-            .expect("session table poisoned")
+        lock_or_poison(&self.sessions)
             .get(&id)
             .map(|s| s.graph.clone())
     }
@@ -964,22 +954,14 @@ impl Service {
     /// open. This is the rank space of the session's communities — use it
     /// for id translation even if the name has since been re-registered.
     pub fn session_graph_instance(&self, id: u64) -> Option<Arc<WeightedGraph>> {
-        self.sessions
-            .lock()
-            .expect("session table poisoned")
+        lock_or_poison(&self.sessions)
             .get(&id)
             .map(|s| s.graph_instance())
     }
 
     /// Ids of the currently open sessions.
     pub fn open_session_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
-            .sessions
-            .lock()
-            .expect("session table poisoned")
-            .keys()
-            .copied()
-            .collect();
+        let mut ids: Vec<u64> = lock_or_poison(&self.sessions).keys().copied().collect();
         ids.sort_unstable();
         ids
     }
@@ -1001,18 +983,22 @@ impl Service {
         self.stats.record_accept_error();
     }
 
+    /// Counts one failed client-socket write (surfaced as
+    /// `write_errors` in `STATS` and `ic_write_errors_total` in
+    /// `METRICS`); the connection that suffered it is closed.
+    pub(crate) fn record_write_error(&self) {
+        self.stats.record_write_error();
+    }
+
     /// Why durability was lost, if it was: the first persistence-hook
     /// failure on a [`Service::with_persistence`] instance. `None` for
     /// purely in-memory services and for healthy durable ones. Once set,
     /// every subsequent `UPDATE`/`COMMIT` fails with
     /// [`ServiceError::Persistence`] rather than over-promising.
     pub fn persistence_degraded(&self) -> Option<String> {
-        self.persist.as_ref().and_then(|p| {
-            p.lock()
-                .expect("persistence lock poisoned")
-                .degraded()
-                .map(str::to_string)
-        })
+        self.persist
+            .as_ref()
+            .and_then(|p| lock_or_poison(p).degraded().map(str::to_string))
     }
 
     /// Cumulative I/O per registered store, sorted by name — the
@@ -1041,7 +1027,7 @@ impl Service {
     /// `None` for in-memory services (no `--data-dir`).
     pub fn wal_metrics(&self) -> Option<(WalStats, u64, u64)> {
         self.persist.as_ref().map(|p| {
-            let p = p.lock().expect("persistence lock poisoned");
+            let p = lock_or_poison(p);
             (p.wal_stats(), p.replayed_ops(), p.replay_ns())
         })
     }
@@ -1109,6 +1095,12 @@ impl Service {
             "counter",
         );
         p.sample("ic_accept_errors_total", &[], stats.accept_errors);
+        p.header(
+            "ic_write_errors_total",
+            "Client-socket writes that failed; each closed its connection.",
+            "counter",
+        );
+        p.sample("ic_write_errors_total", &[], stats.write_errors);
         p.header(
             "ic_connections_total",
             "Protocol connections accepted.",

@@ -68,10 +68,14 @@ impl Session {
         let worker = std::thread::Builder::new()
             .name(format!("ic-session-{name}"))
             .spawn(move || {
-                let mut stream = query
-                    .stream(&graph_for_worker)
-                    .expect("query validated before spawn")
-                    .peekable();
+                let Ok(stream) = query.stream(&graph_for_worker) else {
+                    // validated before spawn, so the builder and the
+                    // stream constructor can only disagree if an
+                    // invariant broke; ending the session (clients see
+                    // WorkerGone) beats panicking the worker
+                    return;
+                };
+                let mut stream = stream.peekable();
                 while let Ok(cmd) = rx.recv() {
                     let req = match cmd {
                         Command::Next(req) => req,
@@ -149,9 +153,11 @@ impl Drop for Session {
             // Explicit shutdown rather than relying on disconnect: a live
             // SessionClient clone would keep the channel connected, and
             // the join below must never wait on one.
+            // lint:allow(IC-RESULT): worker already gone means already shut down
             let _ = tx.send(Command::Shutdown);
         }
         if let Some(worker) = self.worker.take() {
+            // lint:allow(IC-RESULT): Drop cannot propagate a join error
             let _ = worker.join();
         }
     }

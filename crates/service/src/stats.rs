@@ -30,6 +30,7 @@ pub struct StatsRecorder {
     sessions_closed: AtomicU64,
     communities_streamed: AtomicU64,
     accept_errors: AtomicU64,
+    write_errors: AtomicU64,
 }
 
 impl StatsRecorder {
@@ -92,6 +93,13 @@ impl StatsRecorder {
         self.accept_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One failed client-socket write: the response could not be
+    /// delivered and the connection was closed. The query itself still
+    /// counted normally — this tracks delivery, not execution.
+    pub fn record_write_error(&self) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads every counter into a plain snapshot.
     pub fn snapshot(&self) -> ServiceStats {
         let executed = std::array::from_fn(|i| self.executed[i].load(Ordering::Relaxed));
@@ -109,6 +117,7 @@ impl StatsRecorder {
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             communities_streamed: self.communities_streamed.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,6 +156,8 @@ pub struct ServiceStats {
     /// Transient accept-loop failures survived (failed `accept` calls or
     /// connection-thread spawns; the server kept accepting).
     pub accept_errors: u64,
+    /// Client-socket writes that failed; each closed its connection.
+    pub write_errors: u64,
 }
 
 impl ServiceStats {

@@ -31,6 +31,7 @@ const ROOTS: &[&str] = &[
     "crates/obs/src",
     "crates/service/src",
     "crates/load/src",
+    "crates/analysis/src",
 ];
 
 /// Files allowed to declare a free `pub fn top_k`: none. The deprecated
